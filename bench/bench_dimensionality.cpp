@@ -1,0 +1,125 @@
+// E10 — §6.4: "As feature sizes shrink and problems are tackled with
+// larger lattices in higher dimensions, this effect will become even
+// more dramatic." Quantified three ways:
+//   1. serial-PE window storage: Θ(L) in 2-D vs Θ(L²) in 3-D, and the
+//      collapse of the largest on-chip lattice (846 → ~29 on the 1987
+//      technology);
+//   2. the fabricated prototype's floorplan: ~4% of area is processing
+//      (§6.4's measured number), shrinking as L grows;
+//   3. measured tiled-schedule R/B across d = 1, 2, 3 with fitted
+//      exponents approaching 1, 1/2, 1/3.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "lattice/arch/design_space.hpp"
+#include "lattice/lgca3d/pipeline3.hpp"
+#include "lattice/pebble/bounds.hpp"
+#include "lattice/pebble/schedules.hpp"
+
+namespace {
+
+using namespace lattice;
+
+void print_tables() {
+  const arch::Technology t = arch::Technology::paper1987();
+  bench_util::header("E10", "dimensionality effects (paper Sec. 6.4)");
+
+  std::printf("  serial-PE window storage (sites) and largest on-chip "
+              "lattice:\n");
+  std::printf("  %6s %14s %14s\n", "L", "d=2 (2L+3)", "d=3 (2L^2+L+3)");
+  for (const std::int64_t len : {std::int64_t{16}, std::int64_t{32},
+                                 std::int64_t{64}, std::int64_t{256},
+                                 std::int64_t{785}}) {
+    std::printf("  %6lld %14lld %14lld\n", static_cast<long long>(len),
+                static_cast<long long>(2 * len + 3),
+                static_cast<long long>(
+                    lgca3d::Pipeline3::window_sites({len, len, len})));
+  }
+  // Largest L whose window fits one chip with a single PE.
+  const double budget = (1.0 - t.pe_area) / t.cell_area;  // sites on chip
+  const double lmax2 = (budget - 3.0) / 2.0;
+  const double lmax3 = (std::sqrt(1.0 + 8.0 * (budget - 3.0)) - 1.0) / 4.0;
+  std::printf("\n  largest on-chip lattice, 1 PE, 1987 technology:\n");
+  std::printf("    d = 2: L = %.0f    d = 3: L = %.0f  "
+              "(a ~%.0fx collapse)\n",
+              lmax2, lmax3, lmax2 / lmax3);
+
+  std::printf("\n  WSA chip floorplan: processing fraction of used area:\n");
+  std::printf("  %6s %8s %12s\n", "L", "PEs", "processing");
+  for (const std::int64_t len : {std::int64_t{200}, std::int64_t{400},
+                                 std::int64_t{785}}) {
+    for (const int p : {2, 4}) {
+      std::printf("  %6lld %8d %11.1f%%\n", static_cast<long long>(len), p,
+                  100.0 * arch::wsa::processing_area_fraction(t, p, len));
+    }
+  }
+  bench_util::note("paper Sec. 6.4: 'about 4 percent of the area is used");
+  bench_util::note("for processing' on the fabricated 2-PE chip at L=785.");
+
+  std::printf("\n  tiled-schedule R/B by dimension (fitted exponent vs "
+              "theory 1/d):\n");
+  std::printf("  %4s %10s %10s %12s %10s\n", "d", "S range", "R/B range",
+              "exponent", "theory");
+  {
+    const auto a = pebble::run_tiled_1d(1024, 128, 64);
+    const auto b = pebble::run_tiled_1d(1024, 128, 512);
+    const double ex = std::log(b.updates_per_io() / a.updates_per_io()) /
+                      std::log(512.0 / 64.0);
+    std::printf("  %4d %10s %4.1f..%-5.1f %12.2f %10.2f\n", 1, "64..512",
+                a.updates_per_io(), b.updates_per_io(), ex, 1.0);
+  }
+  {
+    const auto a = pebble::run_tiled_2d(64, 64, 16, 256);
+    const auto b = pebble::run_tiled_2d(64, 64, 16, 8192);
+    const double ex = std::log(b.updates_per_io() / a.updates_per_io()) /
+                      std::log(8192.0 / 256.0);
+    std::printf("  %4d %10s %4.1f..%-5.1f %12.2f %10.2f\n", 2, "256..8k",
+                a.updates_per_io(), b.updates_per_io(), ex, 0.5);
+  }
+  {
+    const auto a = pebble::run_tiled_3d(24, 8, 512);
+    const auto b = pebble::run_tiled_3d(24, 8, 32768);
+    const double ex = std::log(b.updates_per_io() / a.updates_per_io()) /
+                      std::log(32768.0 / 512.0);
+    std::printf("  %4d %10s %4.1f..%-5.1f %12.2f %10.2f\n", 3, "512..32k",
+                a.updates_per_io(), b.updates_per_io(), ex, 1.0 / 3.0);
+  }
+}
+
+void BM_Reference3dStep(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  lgca3d::Lattice3 lat({n, n, n}, lgca3d::Boundary3::Periodic);
+  lgca3d::fill_random(lat, 0.3, 7);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    lgca3d::reference_step(lat, t++);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Reference3dStep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Pipeline3Run(benchmark::State& state) {
+  const lgca3d::Extent3 e{16, 16, 16};
+  lgca3d::Lattice3 lat(e, lgca3d::Boundary3::Null);
+  lgca3d::fill_random(lat, 0.3, 7);
+  for (auto _ : state) {
+    lgca3d::Pipeline3 pipe(e, 2);
+    benchmark::DoNotOptimize(pipe.run(lat));
+  }
+  state.SetItemsProcessed(state.iterations() * e.volume() * 2);
+}
+BENCHMARK(BM_Pipeline3Run)->Unit(benchmark::kMillisecond);
+
+void BM_Tiled3d(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pebble::run_tiled_3d(16, 8, 2048));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 16 * 8);
+}
+BENCHMARK(BM_Tiled3d)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -1,0 +1,92 @@
+// E5 — §7 bounds: the line-spread count of Lemma 8, the τ(2S) ceiling
+// of Theorem 4, and the headline R = O(B·S^(1/d)) rate bound across
+// dimensions and storage sizes.
+
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "lattice/pebble/bounds.hpp"
+#include "lattice/pebble/comp_graph.hpp"
+
+namespace {
+
+using namespace lattice::pebble;
+
+void print_tables() {
+  bench_util::header("E5", "pebbling bounds (Lemma 8, Theorem 4)");
+
+  std::printf("  Lemma 8 — cells within j steps of a corner vs j^d/d!:\n");
+  std::printf("  %4s %4s %12s %12s\n", "d", "j", "measured", "j^d/d!");
+  for (const int d : {1, 2, 3}) {
+    LatticeBox box;
+    box.extent.assign(static_cast<std::size_t>(d), 13);
+    for (const std::int64_t j : {std::int64_t{4}, std::int64_t{8},
+                                 std::int64_t{12}}) {
+      std::printf("  %4d %4lld %12lld %12.1f\n", d,
+                  static_cast<long long>(j),
+                  static_cast<long long>(cells_within(box, 0, j)),
+                  line_spread_lower(d, static_cast<double>(j)));
+    }
+  }
+
+  std::printf("\n  Theorem 4 — tau(2S) < 2(d!·2S)^(1/d), and the implied\n");
+  std::printf("  ceiling on updates per I/O word (R/B <= 2·tau):\n");
+  std::printf("  %8s %14s %14s %14s\n", "S", "d=1: R/B<=", "d=2: R/B<=",
+              "d=3: R/B<=");
+  for (double s = 64; s <= 1 << 20; s *= 8) {
+    std::printf("  %8.0f %14.1f %14.1f %14.1f\n", s,
+                updates_per_io_upper(1, s), updates_per_io_upper(2, s),
+                updates_per_io_upper(3, s));
+  }
+
+  std::printf("\n  headline: R <= B * O(S^(1/d)) — rate ceiling at "
+              "B = 5e6 sites/s (the prototype's 40 MB/s):\n");
+  std::printf("  %8s %14s %14s %14s\n", "S", "d=1 (upd/s)", "d=2 (upd/s)",
+              "d=3 (upd/s)");
+  for (double s = 1024; s <= 1 << 20; s *= 16) {
+    std::printf("  %8.0f %14.3g %14.3g %14.3g\n", s,
+                update_rate_upper(1, s, 5e6), update_rate_upper(2, s, 5e6),
+                update_rate_upper(3, s, 5e6));
+  }
+  bench_util::note("");
+  bench_util::note("shape check: doubling S doubles the d=1 ceiling, gains");
+  bench_util::note("sqrt(2) in d=2, cbrt(2) in d=3 — storage helps less in");
+  bench_util::note("higher dimensions, exactly the paper's conclusion.");
+}
+
+void BM_CellsWithinBfs(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  LatticeBox box;
+  box.extent.assign(static_cast<std::size_t>(d), d == 3 ? 21 : 101);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cells_within(box, 0, 10));
+  }
+}
+BENCHMARK(BM_CellsWithinBfs)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_BoundEvaluation(benchmark::State& state) {
+  double acc = 0;
+  for (auto _ : state) {
+    for (double s = 16; s <= 1e6; s *= 2) {
+      acc += updates_per_io_upper(2, s);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BoundEvaluation);
+
+void BM_ComputationGraphBuild(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    const LatticeBox box{{n, n}};
+    benchmark::DoNotOptimize(computation_graph(box, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 8);
+}
+BENCHMARK(BM_ComputationGraphBuild)->Arg(16)->Arg(32)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -1,0 +1,86 @@
+// E7 — §8 prototype: 20 M site-updates/s peak per 2-PE chip at 10 MHz,
+// 40 MB/s of host bandwidth required, ≈1 M updates/s realized on a
+// workstation host.
+
+#include "bench_util.hpp"
+
+#include "lattice/arch/prototype.hpp"
+#include "lattice/arch/system_run.hpp"
+#include "lattice/lgca/gas_model.hpp"
+
+namespace {
+
+using namespace lattice::arch;
+
+void print_tables() {
+  bench_util::header("E7", "prototype engine (paper Sec. 8)");
+  const PrototypeModel m;
+  std::printf("  chip: %d PEs at %.0f MHz -> peak %.3g updates/s "
+              "(paper: 20M)\n",
+              m.pe_per_chip, m.tech.clock_hz / 1e6, m.peak_rate());
+  std::printf("  host bandwidth required: %.0f MB/s (paper: 40 MB/s)\n",
+              m.required_bandwidth_bytes() / 1e6);
+
+  std::printf("\n  sustained rate vs host bandwidth (single chip):\n");
+  std::printf("  %14s %16s %12s\n", "host (MB/s)", "sustained (upd/s)",
+              "of peak");
+  for (const double mb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 40.0, 100.0}) {
+    const double r = m.sustained_rate(mb * 1e6);
+    std::printf("  %14.1f %16.3g %11.1f%%\n", mb, r,
+                100.0 * r / m.peak_rate());
+  }
+  bench_util::note("");
+  bench_util::note("at the ~2 MB/s a mid-80s workstation could stream, the");
+  bench_util::note("20M-update chip delivers ~1M updates/s — the paper's");
+  bench_util::note("'we expect to realize approximately 1 million'.");
+
+  std::printf("\n  deeper pipelines amortize the stream (k chips):\n");
+  std::printf("  %6s %16s %16s\n", "k", "peak (upd/s)", "at 2 MB/s host");
+  for (const int k : {1, 2, 4, 8, 16}) {
+    PrototypeModel deep;
+    deep.chips = k;
+    std::printf("  %6d %16.3g %16.3g\n", k, deep.peak_rate(),
+                deep.sustained_rate(2e6));
+  }
+
+  // Whole-application view: wall-clock split for a 512² lattice run
+  // 512 generations on the prototype at various hosts.
+  std::printf("\n  full run (512^2 lattice, 512 generations, k = 1):\n");
+  std::printf("  %14s %12s %12s %12s %12s\n", "host (MB/s)", "xfer (s)",
+              "compute (s)", "wall (s)", "utilization");
+  for (const double mb : {0.5, 2.0, 8.0, 40.0}) {
+    SystemRunConfig cfg;
+    cfg.host_bytes_per_sec = mb * 1e6;
+    const SystemRunReport r = model_system_run(cfg);
+    std::printf("  %14.1f %12.1f %12.1f %12.1f %11.1f%%\n", mb,
+                r.transfer_seconds, r.compute_seconds, r.wall_seconds,
+                100.0 * r.utilization);
+  }
+}
+
+void BM_CollisionTableLookup(benchmark::State& state) {
+  // The per-site work a PE does each tick: one table read.
+  const auto& model =
+      lattice::lgca::GasModel::get(lattice::lgca::GasKind::FHP_II);
+  std::uint8_t s = 0x2d;
+  for (auto _ : state) {
+    s = model.collide(s, s & 1);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CollisionTableLookup);
+
+void BM_PrototypeModelEval(benchmark::State& state) {
+  const PrototypeModel m;
+  double acc = 0;
+  for (auto _ : state) {
+    for (double mb = 0.5; mb < 64; mb *= 2) acc += m.sustained_rate(mb * 1e6);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PrototypeModelEval);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

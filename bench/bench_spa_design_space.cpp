@@ -1,0 +1,74 @@
+// E2 — §6.2 SPA design-space graph: pin-optimum projection and area
+// curve in the W–P plane (paper: corner near P ≈ 13.5, W ≈ 43).
+
+#include "bench_util.hpp"
+
+#include "lattice/arch/design_space.hpp"
+#include "lattice/arch/spa.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+
+namespace {
+
+using namespace lattice;
+using namespace lattice::arch;
+
+void print_tables() {
+  const Technology t = Technology::paper1987();
+  bench_util::header("E2", "SPA design space (paper Sec. 6.2 graph)");
+  const spa::PinOptimum po = spa::pin_optimum(t);
+  std::printf("  %6s  %10s  %10s  %10s\n", "W", "P_pins", "P_area",
+              "P_feasible");
+  for (double w = 5; w <= 100; w += 5) {
+    std::printf("  %6.0f  %10.2f  %10.2f  %10.2f\n", w, po.pe,
+                spa::max_pe_area(t, w), spa::feasible_pe(t, w));
+  }
+  const spa::Corner c = spa::corner(t);
+  const SpaDesign d = spa::paper_design(t, 785, 6);
+  std::printf("\n  pin optimum: P_w = %.2f, P_k = %.2f, P = %.2f "
+              "(paper: P_w = 9/4, P = 13.5)\n",
+              po.slices, po.depth, po.pe);
+  std::printf("  continuous corner: P = %.2f at W = %.1f (paper: ~13.5 at "
+              "W ~ 43)\n",
+              c.pe, c.slice_width);
+  std::printf("  integer design point: P_w = %d, P_k = %d -> %d PEs/chip, "
+              "W <= %lld (paper: 12 PEs/chip)\n",
+              d.slices_per_chip, d.depth_per_chip,
+              d.slices_per_chip * d.depth_per_chip,
+              static_cast<long long>(d.slice_width));
+}
+
+void BM_SpaMachine(benchmark::State& state) {
+  const auto slice = state.range(0);
+  const auto depth = static_cast<int>(state.range(1));
+  const Extent e{64, 64};
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  lgca::SiteLattice lat(e, lgca::Boundary::Null);
+  lgca::fill_random(lat, rule.model(), 0.3, 11);
+  for (auto _ : state) {
+    SpaMachine spa(e, rule, slice, depth);
+    benchmark::DoNotOptimize(spa.run(lat));
+  }
+  state.SetItemsProcessed(state.iterations() * e.area() * depth);
+  state.counters["slices"] = static_cast<double>(64 / slice);
+}
+BENCHMARK(BM_SpaMachine)
+    ->Args({64, 2})
+    ->Args({16, 2})
+    ->Args({8, 2})
+    ->Args({8, 6})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpaDesignEval(benchmark::State& state) {
+  const Technology t = Technology::paper1987();
+  double acc = 0;
+  for (auto _ : state) {
+    for (double w = 2; w <= 100; w += 1) acc += spa::feasible_pe(t, w);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SpaDesignEval);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -1,0 +1,75 @@
+// E4 — Theorem 1: any embedding of an n×n array into a list has span
+// ≥ n; row-major achieves it. Exhaustive verification for tiny n and a
+// span/window sweep across the classic embeddings.
+
+#include "bench_util.hpp"
+
+#include "lattice/embed/embedding.hpp"
+
+namespace {
+
+using namespace lattice;
+using namespace lattice::embed;
+
+void print_tables() {
+  bench_util::header("E4", "embedding spans (Theorem 1)");
+
+  std::printf("  exhaustive minimum span over all placements:\n");
+  for (std::int64_t n = 2; n <= 3; ++n) {
+    std::printf("    n = %lld: min span = %lld (theorem: >= %lld)\n",
+                static_cast<long long>(n),
+                static_cast<long long>(min_span_over_all_placements(n)),
+                static_cast<long long>(n));
+  }
+
+  std::printf("\n  span and Moore window by embedding (square n x n):\n");
+  std::printf("  %6s %15s %10s %10s %12s\n", "n", "embedding", "span",
+              "window", "mean dist");
+  for (const std::int64_t n : {std::int64_t{16}, std::int64_t{64},
+                               std::int64_t{256}}) {
+    for (const auto& emb : standard_embeddings()) {
+      if (!emb->supports({n, n})) continue;
+      std::printf("  %6lld %15s %10lld %10lld %12.1f\n",
+                  static_cast<long long>(n),
+                  std::string(emb->name()).c_str(),
+                  static_cast<long long>(adjacency_span(*emb, {n, n})),
+                  static_cast<long long>(moore_window(*emb, {n, n})),
+                  mean_adjacency_distance(*emb, {n, n}));
+    }
+  }
+  bench_util::note("");
+  bench_util::note("row-major: span = n (optimal), window = 2n+3 — the");
+  bench_util::note("paper's two-line shift register. Hilbert: great mean");
+  bench_util::note("distance, Theta(n^2) span — useless for shift registers.");
+}
+
+void BM_SpanRowMajor(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const RowMajorEmbedding emb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adjacency_span(emb, {n, n}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SpanRowMajor)->Arg(64)->Arg(256);
+
+void BM_SpanHilbert(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const HilbertEmbedding emb;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adjacency_span(emb, {n, n}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SpanHilbert)->Arg(64)->Arg(256);
+
+void BM_ExhaustiveTheoremOne(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_span_over_all_placements(3));
+  }
+}
+BENCHMARK(BM_ExhaustiveTheoremOne)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -1,0 +1,117 @@
+// E9 — simulated machine update rates: modeled updates/tick for the
+// reference, WSA and SPA backends across lattice sizes and pipeline
+// shapes. Shape expectations from §6: WSA rate ≈ P·k per tick
+// independent of lattice size; SPA rate ≈ (L/W)·k per tick, growing
+// with the slice count; both at their technology clock ceilings.
+
+#include "bench_util.hpp"
+
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca/init.hpp"
+
+namespace {
+
+using namespace lattice;
+using namespace lattice::core;
+
+double run_and_rate(Backend b, std::int64_t side, int depth, int width,
+                    std::int64_t slice, double* bw = nullptr) {
+  LatticeEngine::Config cfg;
+  cfg.extent = {side, side};
+  cfg.gas = lgca::GasKind::FHP_II;
+  cfg.backend = b;
+  cfg.pipeline_depth = depth;
+  cfg.wsa_width = width;
+  cfg.spa_slice_width = slice;
+  LatticeEngine e(cfg);
+  lgca::fill_random(e.state(), e.gas_model(), 0.3, 13, 0.1);
+  e.advance(depth);
+  const PerformanceReport r = e.report();
+  if (bw != nullptr) *bw = r.bandwidth_bits_per_tick;
+  return r.updates_per_tick;
+}
+
+void print_tables() {
+  bench_util::header("E9", "simulated machine update rates");
+
+  std::printf("  WSA: updates/tick vs P and k (64^2 lattice; model: P*k):\n");
+  std::printf("  %4s %4s %14s %10s\n", "P", "k", "upd/tick", "model");
+  for (const int p : {1, 2, 4}) {
+    for (const int k : {1, 4, 8}) {
+      const double upt = run_and_rate(Backend::Wsa, 64, k, p, 0);
+      std::printf("  %4d %4d %14.2f %10d\n", p, k, upt, p * k);
+    }
+  }
+
+  std::printf("\n  SPA: updates/tick vs W and k (64^2; model: (L/W)*k):\n");
+  std::printf("  %4s %4s %14s %10s %14s\n", "W", "k", "upd/tick", "model",
+              "bw bits/tick");
+  for (const std::int64_t w : {std::int64_t{64}, std::int64_t{16},
+                               std::int64_t{8}}) {
+    for (const int k : {2, 6}) {
+      double bw = 0;
+      const double upt = run_and_rate(Backend::Spa, 64, k, 1, w, &bw);
+      std::printf("  %4lld %4d %14.2f %10lld %14.0f\n",
+                  static_cast<long long>(w), k, upt,
+                  static_cast<long long>(64 / w * k), bw);
+    }
+  }
+  bench_util::note("");
+  bench_util::note("who wins: at equal pipeline depth SPA's slice");
+  bench_util::note("parallelism multiplies throughput by L/W — and its");
+  bench_util::note("bandwidth column grows by exactly the same factor,");
+  bench_util::note("which is the whole tradeoff of Sec. 6.3.");
+}
+
+void BM_EngineWsa(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  LatticeEngine::Config cfg;
+  cfg.extent = {side, side};
+  cfg.backend = Backend::Wsa;
+  cfg.pipeline_depth = 4;
+  cfg.wsa_width = 4;
+  for (auto _ : state) {
+    LatticeEngine e(cfg);
+    lgca::fill_random(e.state(), e.gas_model(), 0.3, 13);
+    e.advance(4);
+    benchmark::DoNotOptimize(e.state());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side * 4);
+}
+BENCHMARK(BM_EngineWsa)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_EngineSpa(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  LatticeEngine::Config cfg;
+  cfg.extent = {side, side};
+  cfg.backend = Backend::Spa;
+  cfg.pipeline_depth = 4;
+  cfg.spa_slice_width = side / 4;
+  for (auto _ : state) {
+    LatticeEngine e(cfg);
+    lgca::fill_random(e.state(), e.gas_model(), 0.3, 13);
+    e.advance(4);
+    benchmark::DoNotOptimize(e.state());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side * 4);
+}
+BENCHMARK(BM_EngineSpa)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_EngineReference(benchmark::State& state) {
+  const std::int64_t side = state.range(0);
+  LatticeEngine::Config cfg;
+  cfg.extent = {side, side};
+  cfg.backend = Backend::Reference;
+  for (auto _ : state) {
+    LatticeEngine e(cfg);
+    lgca::fill_random(e.state(), e.gas_model(), 0.3, 13);
+    e.advance(4);
+    benchmark::DoNotOptimize(e.state());
+  }
+  state.SetItemsProcessed(state.iterations() * side * side * 4);
+}
+BENCHMARK(BM_EngineReference)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

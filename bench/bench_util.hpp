@@ -1,0 +1,30 @@
+// Shared helpers for the reproduction benches: each bench binary first
+// prints the table/series that reproduces its paper figure, then runs
+// google-benchmark microbenchmarks for the code paths involved.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace bench_util {
+
+inline void header(const char* experiment, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment, title);
+}
+
+inline void note(const char* text) { std::printf("  %s\n", text); }
+
+/// Standard main body: reproduction tables first, then benchmarks.
+#define LATTICE_BENCH_MAIN(print_tables)              \
+  int main(int argc, char** argv) {                   \
+    print_tables();                                   \
+    ::benchmark::Initialize(&argc, argv);             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();            \
+    ::benchmark::Shutdown();                          \
+    return 0;                                         \
+  }
+
+}  // namespace bench_util

@@ -1,0 +1,94 @@
+// E1 — §6.1 WSA design-space graph: pin and area constraint curves in
+// the L–P plane, their corner, and the resulting operating point
+// (paper: curves intersect near P ≈ 4, L ≈ 785).
+
+#include "bench_util.hpp"
+
+#include "lattice/arch/design_space.hpp"
+#include "lattice/arch/wsa.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+
+namespace {
+
+using namespace lattice;
+using namespace lattice::arch;
+
+void print_tables() {
+  const Technology t = Technology::paper1987();
+  bench_util::header("E1", "WSA design space (paper Sec. 6.1 graph)");
+  std::printf("  %6s  %10s  %10s  %10s\n", "L", "P_pins", "P_area",
+              "P_feasible");
+  for (double len = 0; len <= 1000; len += 50) {
+    std::printf("  %6.0f  %10.2f  %10.2f  %10.2f\n", len, wsa::max_pe_pins(t),
+                wsa::max_pe_area(t, len), wsa::feasible_pe(t, len));
+  }
+  const wsa::Corner c = wsa::corner(t);
+  const WsaDesign d = wsa::paper_design(t);
+  std::printf("\n  continuous corner: P = %.2f, L = %.0f\n", c.pe,
+              c.lattice_len);
+  std::printf("  integer operating point: P = %d, L = %lld "
+              "(paper: P ~ 4, L ~ 785)\n",
+              d.pe_per_chip, static_cast<long long>(d.lattice_len));
+  std::printf("  max throughput at k = L: R_max = %.3g updates/s "
+              "(Pi/2D * F * L)\n",
+              wsa::max_throughput(t, d.lattice_len));
+  std::printf("  max lattice (P = 1, all storage): L = %.0f\n",
+              wsa::max_lattice_len(t));
+
+  // §3: "system area and total system throughput can be varied over a
+  // range of values" — the throughput-area curve a buyer picks from.
+  const WsaDesign base = wsa::paper_design(t);
+  std::printf("\n  throughput-area curve at the operating point "
+              "(P = %d, L = %lld):\n",
+              base.pe_per_chip, static_cast<long long>(base.lattice_len));
+  std::printf("  %8s %14s %16s\n", "chips N", "R (updates/s)",
+              "gens per pass");
+  for (int n = 1; n <= 512; n *= 4) {
+    WsaDesign d = base;
+    d.depth = n;
+    std::printf("  %8d %14.3g %16d\n", n, wsa::throughput(t, d), n);
+  }
+  std::printf("  (linear until N = L = %lld, where the pipeline holds the "
+              "whole lattice)\n",
+              static_cast<long long>(base.lattice_len));
+}
+
+// --- microbenchmarks: the simulated machine at several widths ---
+
+void BM_WsaPipeline(benchmark::State& state) {
+  const auto width = static_cast<int>(state.range(0));
+  const auto depth = static_cast<int>(state.range(1));
+  const Extent e{64, 64};
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  lgca::SiteLattice lat(e, lgca::Boundary::Null);
+  lgca::fill_random(lat, rule.model(), 0.3, 11);
+  for (auto _ : state) {
+    WsaPipeline pipe(e, rule, depth, width);
+    benchmark::DoNotOptimize(pipe.run(lat));
+  }
+  state.SetItemsProcessed(state.iterations() * e.area() * depth);
+  state.counters["PEs"] = width * depth;
+}
+BENCHMARK(BM_WsaPipeline)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WsaDesignEval(benchmark::State& state) {
+  const Technology t = Technology::paper1987();
+  double acc = 0;
+  for (auto _ : state) {
+    for (double len = 0; len <= 1000; len += 1) {
+      acc += wsa::feasible_pe(t, len);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_WsaDesignEval);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -1,0 +1,66 @@
+// Channel flow past a circular obstacle — the canonical lattice-gas
+// demonstration (§2): an FHP-II gas with a rightward drift flows down
+// a walled channel around a disk; the coarse-grained velocity field
+// shows the obstruction and wake.
+//
+//   ./channel_flow [width] [height] [steps] [out.pgm]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca/image_io.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/observables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lattice;
+  const std::int64_t width = argc > 1 ? std::atoll(argv[1]) : 160;
+  const std::int64_t height = argc > 2 ? std::atoll(argv[2]) : 64;
+  const std::int64_t steps = argc > 3 ? std::atoll(argv[3]) : 300;
+  const char* out_path = argc > 4 ? argv[4] : "channel_flow.pgm";
+
+  core::LatticeEngine::Config cfg;
+  cfg.extent = {width, height};
+  cfg.gas = lgca::GasKind::FHP_II;
+  cfg.boundary = lgca::Boundary::Periodic;  // re-circulating channel
+  cfg.backend = core::Backend::Reference;
+  core::LatticeEngine engine(cfg);
+
+  lgca::add_channel_walls(engine.state());
+  lgca::add_obstacle_disk(engine.state(),
+                          static_cast<double>(width) / 4.0,
+                          static_cast<double>(height) / 2.0,
+                          static_cast<double>(height) / 8.0);
+  lgca::fill_flow(engine.state(), engine.gas_model(), /*density=*/0.3,
+                  /*bias=*/0.15, /*seed=*/7);
+
+  const lgca::Invariants start =
+      lgca::measure_invariants(engine.state(), engine.gas_model());
+  std::printf("channel %lldx%lld, disk obstacle, %lld particles, %lld steps\n",
+              static_cast<long long>(width), static_cast<long long>(height),
+              static_cast<long long>(start.mass),
+              static_cast<long long>(steps));
+
+  engine.advance(steps);
+
+  const lgca::Invariants end =
+      lgca::measure_invariants(engine.state(), engine.gas_model());
+  std::printf("mass conserved: %s (%lld -> %lld)\n",
+              start.mass == end.mass ? "yes" : "NO",
+              static_cast<long long>(start.mass),
+              static_cast<long long>(end.mass));
+
+  const auto cells =
+      lgca::coarse_grain(engine.state(), engine.gas_model(), height / 16);
+  std::printf("\nvelocity field (obstruction visible as disrupted arrows):\n%s",
+              lgca::render_flow_ascii(cells).c_str());
+
+  std::ofstream pgm(out_path, std::ios::binary);
+  if (pgm) {
+    lgca::write_density_pgm(pgm, engine.state(), engine.gas_model());
+    std::printf("\ndensity image written to %s\n", out_path);
+  }
+  return 0;
+}

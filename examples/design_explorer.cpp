@@ -1,0 +1,76 @@
+// Design explorer: re-run the paper's §6 design-space analysis for any
+// chip technology. With no arguments it reproduces the 1987 numbers
+// (WSA corner P=4/L≈785, SPA corner P=13.5/W≈43).
+//
+//   ./design_explorer [pins] [bits_per_site] [boundary_bits]
+//                     [cell_area] [pe_area] [clock_hz]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lattice/arch/design_space.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lattice::arch;
+  Technology t = Technology::paper1987();
+  if (argc > 1) t.pins = std::atoi(argv[1]);
+  if (argc > 2) t.bits_per_site = std::atoi(argv[2]);
+  if (argc > 3) t.boundary_bits = std::atoi(argv[3]);
+  if (argc > 4) t.cell_area = std::atof(argv[4]);
+  if (argc > 5) t.pe_area = std::atof(argv[5]);
+  if (argc > 6) t.clock_hz = std::atof(argv[6]);
+  t.validate();
+
+  std::printf("technology: Pi=%d pins, D=%d bits/site, E=%d bits,\n"
+              "            B=%.3g, Gamma=%.3g, F=%.3g Hz\n\n",
+              t.pins, t.bits_per_site, t.boundary_bits, t.cell_area,
+              t.pe_area, t.clock_hz);
+
+  // ---- WSA ----
+  const wsa::Corner wc = wsa::corner(t);
+  const WsaDesign wd = wsa::paper_design(t);
+  std::printf("WSA (wide-serial, one stage per chip)\n");
+  std::printf("  pin bound:        P <= %.2f PEs/chip\n", wsa::max_pe_pins(t));
+  std::printf("  continuous corner P = %.2f at L = %.0f\n", wc.pe,
+              wc.lattice_len);
+  std::printf("  integer design:   P = %d, L = %lld\n", wd.pe_per_chip,
+              static_cast<long long>(wd.lattice_len));
+  std::printf("  max lattice at P=1: L = %.0f\n", wsa::max_lattice_len(t));
+  std::printf("  bandwidth: %d bits/tick;  R = %.3g updates/s per chip\n",
+              wsa::bandwidth_bits_per_tick(t, wd), wsa::throughput(t, wd));
+  std::printf("  L-P frontier:  L      P(pins)  P(area)\n");
+  for (double len = 0; len <= 1000; len += 100) {
+    std::printf("              %5.0f   %6.2f   %6.2f\n", len,
+                wsa::max_pe_pins(t), wsa::max_pe_area(t, len));
+  }
+
+  // ---- SPA ----
+  const spa::PinOptimum po = spa::pin_optimum(t);
+  const spa::Corner sc = spa::corner(t);
+  const SpaDesign sd = spa::paper_design(t, wd.lattice_len, 6);
+  std::printf("\nSPA (Sternberg partitioned)\n");
+  std::printf("  pin optimum: P_w = %.2f, P_k = %.2f, P = %.2f PEs/chip\n",
+              po.slices, po.depth, po.pe);
+  std::printf("  continuous corner P = %.2f at W = %.1f\n", sc.pe,
+              sc.slice_width);
+  std::printf("  integer design: P_w = %d, P_k = %d (P = %d), W <= %lld\n",
+              sd.slices_per_chip, sd.depth_per_chip,
+              sd.slices_per_chip * sd.depth_per_chip,
+              static_cast<long long>(sd.slice_width));
+  std::printf("  at L = %lld: bandwidth %.0f bits/tick, R = %.3g updates/s\n",
+              static_cast<long long>(sd.lattice_len),
+              spa::bandwidth_bits_per_tick(t, sd), spa::throughput(t, sd));
+  std::printf("  W-P frontier:  W      P(pins)  P(area)\n");
+  for (double w = 10; w <= 100; w += 10) {
+    std::printf("              %5.0f   %6.2f   %6.2f\n", w, po.pe,
+                spa::max_pe_area(t, w));
+  }
+
+  // ---- WSA-E ----
+  std::printf("\nWSA-E (extensible, off-chip line buffer)\n");
+  std::printf("  PEs/chip: %d;  bandwidth: %d bits/tick (constant in L)\n",
+              wsa_e::max_pe_pins(t), wsa_e::bandwidth_bits_per_tick(t));
+  std::printf("  storage/PE at L=1000: %.3f chip areas\n",
+              wsa_e::storage_area_per_pe(t, 1000));
+  return 0;
+}

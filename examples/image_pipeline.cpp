@@ -1,0 +1,94 @@
+// Image-processing on a lattice engine (§1's motivating workload):
+// denoise a synthetic salt-and-pepper image with a 3×3 median filter
+// running on the WSA pipeline, then smooth it with a box filter.
+// Demonstrates that the engines are generic lattice-update machines,
+// not gas-specific hardware.
+//
+//   ./image_pipeline [side] [noise_percent] [out_prefix]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "lattice/arch/wsa.hpp"
+#include "lattice/common/rng.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/image_io.hpp"
+
+namespace {
+
+// A synthetic test card: smooth gradient + bright disk + dark bar.
+lattice::lgca::SiteLattice test_card(std::int64_t side) {
+  using namespace lattice;
+  lgca::SiteLattice img({side, side}, lgca::Boundary::Null);
+  for (std::int64_t y = 0; y < side; ++y) {
+    for (std::int64_t x = 0; x < side; ++x) {
+      int v = static_cast<int>(64 + 128 * x / side);
+      const double dx = static_cast<double>(x) - side / 2.0;
+      const double dy = static_cast<double>(y) - side / 2.0;
+      if (dx * dx + dy * dy < (side / 6.0) * (side / 6.0)) v = 230;
+      if (y > 3 * side / 4 && y < 3 * side / 4 + side / 16) v = 20;
+      img.at({x, y}) = static_cast<lgca::Site>(v);
+    }
+  }
+  return img;
+}
+
+double mean_abs_error(const lattice::lgca::SiteLattice& a,
+                      const lattice::lgca::SiteLattice& b) {
+  double err = 0;
+  for (std::size_t i = 0; i < a.site_count(); ++i) {
+    err += std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
+  }
+  return err / static_cast<double>(a.site_count());
+}
+
+void save(const lattice::lgca::SiteLattice& img, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  lattice::lgca::write_raw_pgm(os, img);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lattice;
+  const std::int64_t side = argc > 1 ? std::atoll(argv[1]) : 128;
+  const int noise_pct = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string prefix = argc > 3 ? argv[3] : "image_pipeline";
+
+  const lgca::SiteLattice clean = test_card(side);
+
+  // Corrupt with salt-and-pepper noise.
+  lgca::SiteLattice noisy = clean;
+  Pcg32 rng(1234);
+  for (std::size_t i = 0; i < noisy.site_count(); ++i) {
+    if (rng.next_below(100) < static_cast<std::uint32_t>(noise_pct)) {
+      noisy[i] = (rng.next() & 1) ? lgca::Site{255} : lgca::Site{0};
+    }
+  }
+
+  // One median pass on a 4-wide WSA pipeline stage, then one box pass.
+  const lgca::MedianFilterRule median;
+  const lgca::BoxFilterRule box;
+  arch::WsaPipeline median_pipe({side, side}, median, 1, 4);
+  const lgca::SiteLattice denoised = median_pipe.run(noisy);
+  arch::WsaPipeline box_pipe({side, side}, box, 1, 4);
+  const lgca::SiteLattice smooth = box_pipe.run(denoised);
+
+  std::printf("image %lldx%lld, %d%% salt-and-pepper noise\n",
+              static_cast<long long>(side), static_cast<long long>(side),
+              noise_pct);
+  std::printf("  MAE vs clean:  noisy=%.2f  median=%.2f  median+box=%.2f\n",
+              mean_abs_error(noisy, clean), mean_abs_error(denoised, clean),
+              mean_abs_error(smooth, clean));
+  std::printf("  median pass: %lld ticks at 4 px/tick (%.2f px/tick "
+              "sustained)\n",
+              static_cast<long long>(median_pipe.stats().ticks),
+              median_pipe.stats().updates_per_tick());
+
+  save(noisy, prefix + "_noisy.pgm");
+  save(denoised, prefix + "_median.pgm");
+  save(smooth, prefix + "_smooth.pgm");
+  std::printf("  wrote %s_{noisy,median,smooth}.pgm\n", prefix.c_str());
+  return 0;
+}

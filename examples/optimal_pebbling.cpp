@@ -1,0 +1,54 @@
+// Optimal pebbling explorer — the paper's closing research question
+// ("discover an optimal pebbling... and thereby an architecture which
+// is optimal with regard to input/output complexity") answered exactly
+// for small instances: exhaustive minimum I/O vs the naive sweep and
+// the analytic lower bound, across storage sizes.
+//
+//   ./optimal_pebbling [n] [steps]   (1-D lattice, keep n*steps small)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lattice/pebble/bounds.hpp"
+#include "lattice/pebble/comp_graph.hpp"
+#include "lattice/pebble/optimal.hpp"
+#include "lattice/pebble/schedules.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lattice::pebble;
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 3;
+  const std::int64_t steps = argc > 2 ? std::atoll(argv[2]) : 3;
+
+  const LatticeBox box{{n}};
+  const Dag dag = computation_graph(box, steps);
+  if (dag.size() > 12) {
+    std::printf("graph has %lld vertices; exact search needs <= 12\n",
+                static_cast<long long>(dag.size()));
+    return 1;
+  }
+
+  std::printf("C_1 computation graph: n = %lld cells, T = %lld steps, "
+              "%lld vertices\n\n",
+              static_cast<long long>(n), static_cast<long long>(steps),
+              static_cast<long long>(dag.size()));
+  std::printf("  %4s %12s %12s %14s %10s\n", "S", "optimal Q", "sweep q",
+              "lower bound", "states");
+  for (std::int64_t s = 3; s <= 2 * n + 2; ++s) {
+    const OptimalResult opt = min_io_pebbling(dag, s);
+    const double lb = min_io_lower_bound(1, static_cast<double>(s),
+                                         static_cast<double>(dag.size()));
+    std::printf("  %4lld %12lld %12lld %14.1f %10lld",
+                static_cast<long long>(s),
+                opt.feasible ? static_cast<long long>(opt.min_io) : -1,
+                static_cast<long long>(
+                    s >= 5 ? run_sweep_1d(n, steps, s).io_moves : -1),
+                lb, static_cast<long long>(opt.states));
+    if (!opt.feasible) std::printf("  (infeasible: S too small)");
+    std::printf("\n");
+  }
+  std::printf("\nreading: the optimum collapses to inputs+outputs = %lld\n"
+              "as soon as S holds two layers; the sweep never improves\n"
+              "with S — the gap is the paper's entire thesis.\n",
+              static_cast<long long>(2 * n));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Machine recommender: which lattice engine should you build?
+//
+//   ./recommend_machine [lattice_len] [updates_per_sec] [max_bw_bits_per_tick]
+//
+// Defaults reproduce the regimes of §6.3/§8: WSA for modest problems,
+// SPA when you need raw rate and can feed it, WSA-E when the lattice
+// outgrows every chip.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lattice/core/recommend.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lattice;
+  core::Requirement req;
+  req.lattice_len = argc > 1 ? std::atoll(argv[1]) : 785;
+  req.min_update_rate = argc > 2 ? std::atof(argv[2]) : 2e8;
+  req.max_bandwidth_bits_per_tick = argc > 3 ? std::atof(argv[3]) : 0;
+
+  const arch::Technology tech = arch::Technology::paper1987();
+  std::printf("requirement: L = %lld, rate >= %.3g updates/s",
+              static_cast<long long>(req.lattice_len), req.min_update_rate);
+  if (req.max_bandwidth_bits_per_tick > 0) {
+    std::printf(", bandwidth <= %.0f bits/tick",
+                req.max_bandwidth_bits_per_tick);
+  }
+  std::printf("\n(1987 technology: 72 pins, 8 bits/site, 10 MHz)\n\n");
+
+  const auto candidates = core::recommend(tech, req);
+  std::printf("  %-6s %-9s %8s %6s %8s %12s %10s  %s\n", "rank", "arch",
+              "PEs/chip", "depth", "chips", "rate", "bw", "notes");
+  int rank = 1;
+  for (const auto& c : candidates) {
+    if (c.feasible) {
+      std::printf("  %-6d %-9s %8d %6d %8.1f %12.3g %7.0f b/t  %s\n", rank++,
+                  std::string(core::arch_choice_name(c.arch)).c_str(),
+                  c.pe_per_chip, c.depth, c.chips, c.rate,
+                  c.bandwidth_bits_per_tick, c.reason.c_str());
+    } else {
+      std::printf("  %-6s %-9s %s\n", "--",
+                  std::string(core::arch_choice_name(c.arch)).c_str(),
+                  c.reason.c_str());
+    }
+  }
+  return 0;
+}

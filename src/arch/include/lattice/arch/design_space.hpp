@@ -1,0 +1,169 @@
+// Design-space analysis for the two lattice-engine architectures
+// (§6.1, §6.2) and the extensible WSA-E variant (§6.3).
+//
+// WSA (wide-serial): one P-wide pipeline stage per chip. Constraints:
+//   pins:  2·D·P ≤ Π                      (stream in + out, P sites/tick)
+//   area:  (2L+3)·B + P·(7B + Γ) ≤ 1      (two-line window + per-PE cost)
+// giving the two curves of the paper's L–P design graph.
+//
+// SPA (Sternberg partitioned): the lattice is cut into L/W slices; a
+// chip carries P_w slice pipelines, each P_k deep. Constraints:
+//   pins:  2·D·P_w + 2·E·P_k ≤ Π          (streams + side channels)
+//   area:  ((2W+9)·B + Γ)·P_w·P_k ≤ 1
+// giving the W–P design graph (P = P_w·P_k PEs per chip).
+//
+// WSA-E: WSA made lattice-size-extensible by moving the line buffer off
+// chip; pins then admit only one PE per chip (§6.3).
+//
+// All quantities are continuous; *_design() helpers round down to the
+// integer operating points the paper quotes (WSA: P=4, L≈785; SPA:
+// P_w=2, P_k=6 → 12 PEs/chip).
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/arch/technology.hpp"
+
+namespace lattice::arch {
+
+// ---------------------------------------------------------------- WSA
+
+struct WsaDesign {
+  int pe_per_chip = 0;        // P
+  std::int64_t lattice_len = 0;  // L (max supported, sites per side)
+  int depth = 0;              // k = chips = pipeline stages
+};
+
+namespace wsa {
+
+/// Pin-limited PEs per chip: Π / 2D (continuous).
+double max_pe_pins(const Technology& t);
+
+/// Area-limited PEs per chip at lattice length L:
+/// (1 − 3B − 2BL) / (7B + Γ). Negative means L alone exceeds the chip.
+double max_pe_area(const Technology& t, double lattice_len);
+
+/// min of the two constraints (the feasible frontier of the L–P graph).
+double feasible_pe(const Technology& t, double lattice_len);
+
+/// L at which the area curve crosses a given P.
+double lattice_len_at_pe(const Technology& t, double pe);
+
+/// Continuous corner: intersection of pin and area curves.
+struct Corner {
+  double pe = 0;
+  double lattice_len = 0;
+};
+Corner corner(const Technology& t);
+
+/// Largest L processable at all (P = 1, everything else storage).
+double max_lattice_len(const Technology& t);
+
+/// The paper's integer operating point: P = ⌊pin bound⌋, L = ⌊area
+/// inverse at that P⌋. For the 1987 constants: P = 4, L = 785.
+WsaDesign paper_design(const Technology& t, int depth = 1);
+
+/// System throughput R = F·P·k site-updates/s (§6.1).
+double throughput(const Technology& t, const WsaDesign& d);
+
+/// Main-memory bandwidth demand, bits per clock tick: 2·D·P.
+int bandwidth_bits_per_tick(const Technology& t, const WsaDesign& d);
+
+/// Ultimate ceiling with unlimited chips: k_max = L (§6.1),
+/// R_max = (Π/2D)·F·L.
+double max_throughput(const Technology& t, std::int64_t lattice_len);
+
+/// Fraction of the occupied chip area doing *processing* (P·Γ over
+/// processing + shift-register storage). §6.4 reports "about 4
+/// percent" for the fabricated 2-PE, 3µ CMOS prototype at L = 785 —
+/// the silicon statement of the I/O bottleneck.
+double processing_area_fraction(const Technology& t, int pe_per_chip,
+                                std::int64_t lattice_len);
+
+}  // namespace wsa
+
+// ---------------------------------------------------------------- SPA
+
+struct SpaDesign {
+  int slices_per_chip = 0;   // P_w
+  int depth_per_chip = 0;    // P_k
+  std::int64_t slice_width = 0;  // W
+  std::int64_t lattice_len = 0;  // L (arbitrary; slices compose)
+  int depth = 0;             // k = total pipeline depth (generations/pass)
+};
+
+namespace spa {
+
+/// Continuous pin-optimal split: maximize P_w·P_k on 2D·P_w + 2E·P_k = Π
+/// → P_w = Π/4D, P_k = Π/4E, P = Π²/(16DE). 1987 values: 2.25, 6, 13.5.
+struct PinOptimum {
+  double slices = 0;  // P_w
+  double depth = 0;   // P_k
+  double pe = 0;      // product
+};
+PinOptimum pin_optimum(const Technology& t);
+
+/// Area-limited PEs per chip at slice width W: 1 / ((2W+9)B + Γ).
+double max_pe_area(const Technology& t, double slice_width);
+
+/// Feasible PEs per chip at W: min(pin optimum, area bound) — the
+/// paper's W–P design graph frontier.
+double feasible_pe(const Technology& t, double slice_width);
+
+/// Continuous corner: W where the area curve meets the pin optimum.
+struct Corner {
+  double pe = 0;
+  double slice_width = 0;
+};
+Corner corner(const Technology& t);
+
+/// The paper's integer design point: P_w = 2, P_k = 6 (12 PEs/chip)
+/// with W the largest slice width the area constraint then allows.
+SpaDesign paper_design(const Technology& t, std::int64_t lattice_len,
+                       int depth);
+
+/// Chips needed: (L/W)·(k/P_k) — §6.2 system area.
+double chips(const SpaDesign& d);
+
+/// System throughput R = F·k·(L/W) site-updates/s.
+double throughput(const Technology& t, const SpaDesign& d);
+
+/// Main-memory bandwidth, bits/tick: one site in and one out per slice
+/// pipeline per tick → 2·D·(L/W).
+double bandwidth_bits_per_tick(const Technology& t, const SpaDesign& d);
+
+/// Does (P_w, P_k) satisfy the pin constraint?
+bool pins_ok(const Technology& t, int slices, int depth_per_chip);
+
+/// Does (P_w, P_k, W) satisfy the area constraint?
+bool area_ok(const Technology& t, int slices, int depth_per_chip,
+             std::int64_t slice_width);
+
+/// Largest W satisfying the area constraint for a given PE count.
+std::int64_t max_slice_width(const Technology& t, int pe_per_chip);
+
+}  // namespace spa
+
+// -------------------------------------------------------------- WSA-E
+
+namespace wsa_e {
+
+/// PEs per chip once the line buffer is off-chip: the stream plus the
+/// two external window rows cost 6D pins per PE (§6.3: "only one
+/// processor per chip" at the 1987 pin budget).
+int max_pe_pins(const Technology& t);
+
+/// Off-chip storage per processor, in units of B (shift-register cell
+/// areas): 2L + 10 sites (§6.3).
+double storage_area_per_pe(const Technology& t, std::int64_t lattice_len);
+
+/// Main-memory bandwidth, bits/tick (constant in L): 2·D.
+int bandwidth_bits_per_tick(const Technology& t);
+
+/// Throughput of a k-deep WSA-E pipeline: F·k (one PE per stage).
+double throughput(const Technology& t, int depth);
+
+}  // namespace wsa_e
+
+}  // namespace lattice::arch

@@ -1,0 +1,50 @@
+// The §8 prototype data point: a 2-PE WSA chip at 10 MHz delivers
+// 20 M site-updates/s — if the host can stream 40 MB/s. A mid-1980s
+// workstation host cannot, so the realized rate collapses to the
+// bandwidth-limited ≈1 M updates/s/chip. This model turns (technology,
+// pipeline shape, host bandwidth) into peak and sustained rates.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/arch/technology.hpp"
+
+namespace lattice::arch {
+
+struct PrototypeModel {
+  Technology tech = Technology::paper1987();
+  int pe_per_chip = 2;  // the fabricated chip's width
+  int chips = 1;        // pipeline depth k
+
+  /// Peak update rate, updates/s: F·P·k.
+  double peak_rate() const {
+    return tech.clock_hz * pe_per_chip * chips;
+  }
+
+  /// Host bandwidth needed to sustain the peak, bytes/s: the stream
+  /// enters and leaves once per pass regardless of k, at F·P sites/s
+  /// each way, D bits per site.
+  double required_bandwidth_bytes() const {
+    return 2.0 * tech.clock_hz * pe_per_chip * tech.bits_per_site / 8.0;
+  }
+
+  /// Sustained rate when the host provides `host_bytes_per_sec`:
+  /// the input stream throttles to host/2 bytes/s each way, and every
+  /// streamed site yields k updates.
+  double sustained_rate(double host_bytes_per_sec) const {
+    LATTICE_REQUIRE(host_bytes_per_sec > 0, "host bandwidth must be > 0");
+    const double bytes_per_site = tech.bits_per_site / 8.0;
+    const double stream_sites =
+        host_bytes_per_sec / (2.0 * bytes_per_site);
+    const double bw_limited = stream_sites * chips;
+    return bw_limited < peak_rate() ? bw_limited : peak_rate();
+  }
+
+  /// Host bandwidth at which the pipeline stops being I/O-bound.
+  double saturation_bandwidth_bytes() const {
+    return required_bandwidth_bytes();
+  }
+};
+
+}  // namespace lattice::arch

@@ -1,0 +1,76 @@
+// Sternberg partitioned architecture simulator (§5, §6.2).
+//
+// The lattice is cut into vertical slices W sites wide; each slice gets
+// its own serial pipeline of `depth` stages. Sites whose neighborhoods
+// straddle a slice boundary are completed over synchronous side
+// channels between same-depth stages of adjacent slices — the paper's
+// E-bit-per-tick bidirectional links.
+//
+// Slice streams are *row-staggered*: slice j runs exactly one slice-row
+// (W positions) behind slice j-1. With that stagger, when a stage
+// updates its right boundary column the right neighbor's matching row
+// has just arrived, and when it updates its left boundary column the
+// left neighbor still holds the needed (older) data in its window
+// buffer — the data-access pattern the paper contrasts with WSA's plain
+// raster scan (§6.3).
+//
+// Each tick every slice consumes one site, so the whole machine
+// performs (L/W)·depth updates per tick; main memory must feed
+// 2·D·(L/W) bits each tick — the bandwidth price of SPA's speed.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lattice/arch/technology.hpp"
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::arch {
+
+/// Counters for a SPA run.
+struct SpaStats {
+  std::int64_t ticks = 0;
+  std::int64_t site_updates = 0;
+  std::int64_t mem_sites_read = 0;
+  std::int64_t mem_sites_written = 0;
+  std::int64_t boundary_fetches = 0;  // cross-slice window reads
+  std::int64_t buffer_sites = 0;
+
+  double updates_per_tick() const {
+    return ticks > 0 ? static_cast<double>(site_updates) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+  }
+};
+
+class SpaMachine {
+ public:
+  /// Partition `extent` into slices of width `slice_width` (which must
+  /// divide the lattice width) and process `depth` generations per pass.
+  SpaMachine(Extent extent, const lgca::Rule& rule, std::int64_t slice_width,
+             int depth, std::int64_t t0 = 0);
+
+  /// One pass: the lattice advanced by `depth` generations.
+  lgca::SiteLattice run(const lgca::SiteLattice& in);
+
+  const SpaStats& stats() const noexcept { return stats_; }
+  std::int64_t slices() const noexcept { return slices_; }
+  int depth() const noexcept { return depth_; }
+
+  double modeled_rate(const Technology& tech) const {
+    return stats_.updates_per_tick() * tech.clock_hz;
+  }
+
+ private:
+  Extent extent_;
+  const lgca::Rule* rule_;
+  std::int64_t slice_width_;
+  std::int64_t slices_;
+  int depth_;
+  std::int64_t t0_;
+  SpaStats stats_;
+};
+
+}  // namespace lattice::arch

@@ -1,0 +1,66 @@
+// One pipeline stage of the (wide-)serial architecture (§3, §4).
+//
+// The stage consumes the lattice as a raster-order site stream, P sites
+// per clock tick, holding the last ~two lines in an on-chip shift
+// register. Once the stream has delivered site (x+1, y+1) the stage can
+// emit the updated value of (x, y): a fixed latency of W+1 stream
+// positions (rounded up to a whole tick). Row/column edges are masked
+// to zero — the paper's null-boundary assumption — so a stage's output
+// stream is exactly one golden-reference generation of its input
+// stream.
+//
+// The stage is deliberately implemented the way the silicon works
+// (ring buffer standing in for the shift register, x/y masking at the
+// window multiplexers) rather than by calling the reference updater:
+// the equivalence of the two is the correctness claim the tests check.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::arch {
+
+class StreamStage {
+ public:
+  /// A stage updating generation `t` of a lattice of `extent`, `batch`
+  /// sites per tick (P of §4). `lead_padding` is the number of
+  /// meaningless stream positions that precede logical position 0 on
+  /// this stage's input — i.e. the accumulated latency of upstream
+  /// stages — so chained stages agree on site coordinates.
+  StreamStage(Extent extent, const lgca::Rule& rule, std::int64_t t,
+              int batch, std::int64_t lead_padding = 0);
+
+  /// Consume `batch` input sites, produce `batch` output sites.
+  /// Outputs at logical positions outside [0, area) are zeros.
+  void tick(const lgca::Site* in, lgca::Site* out);
+
+  /// Stage latency in stream positions (multiple of batch).
+  std::int64_t delay() const noexcept { return delay_; }
+
+  /// Shift-register capacity in sites — the quantity the paper's area
+  /// model charges (≈ 2W + 3 for a serial stage).
+  std::int64_t buffer_sites() const noexcept {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+
+  /// Total ticks consumed so far.
+  std::int64_t ticks() const noexcept { return ticks_; }
+
+ private:
+  lgca::Site stream_value(std::int64_t pos) const noexcept;
+  lgca::Site update_at(std::int64_t pos) const;
+
+  Extent extent_;
+  const lgca::Rule* rule_;
+  std::int64_t t_;
+  int batch_;
+  std::int64_t delay_;
+  std::int64_t next_in_;  // logical position of the next input site
+  std::int64_t ticks_ = 0;
+  std::vector<lgca::Site> ring_;
+};
+
+}  // namespace lattice::arch

@@ -1,0 +1,40 @@
+// Whole-application timing model (§8): a host machine streams the
+// lattice through a k-deep engine pass after pass until G generations
+// are done. Each pass moves the lattice in and out of host memory at
+// the host's bandwidth while the engine computes at F·P·k. With double
+// buffering the two overlap; either way the slower of the two paces
+// the run — the quantitative form of "it is unlikely the workstation
+// host will be able to supply the 40 MB/s".
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/arch/technology.hpp"
+
+namespace lattice::arch {
+
+struct SystemRunConfig {
+  Technology tech = Technology::paper1987();
+  int pe_per_chip = 2;             // P
+  int depth = 1;                   // k: generations per pass
+  std::int64_t lattice_len = 512;  // L (square lattice)
+  std::int64_t generations = 512;  // G total
+  double host_bytes_per_sec = 2e6; // what the host can actually stream
+  bool double_buffered = true;     // overlap transfer with compute
+};
+
+struct SystemRunReport {
+  std::int64_t passes = 0;
+  double transfer_seconds = 0;  // total host <-> engine stream time
+  double compute_seconds = 0;   // total engine busy time
+  double wall_seconds = 0;
+  double achieved_rate = 0;     // site updates per wall second
+  double peak_rate = 0;         // F·P·k
+  double utilization = 0;       // achieved / peak
+};
+
+/// Model a full run; pure arithmetic over the §6/§8 quantities.
+SystemRunReport model_system_run(const SystemRunConfig& cfg);
+
+}  // namespace lattice::arch

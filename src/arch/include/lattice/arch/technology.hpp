@@ -1,0 +1,47 @@
+// VLSI technology point (§6).
+//
+// All of the paper's design-space analysis is parameterized by six
+// constants describing one chip technology. The 1987 values (derived
+// from the authors' actual 3µ CMOS layouts) are provided as a named
+// preset; every curve, corner and comparison in the benches is computed
+// from these, so a user can re-run the whole analysis for a different
+// process by swapping the preset.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::arch {
+
+struct Technology {
+  /// Π — total pins usable for I/O.
+  int pins = 72;
+  /// D — bits needed to represent one lattice-site state.
+  int bits_per_site = 8;
+  /// E — bits needed to complete a neighborhood split across a slice
+  /// boundary (SPA side channels).
+  int boundary_bits = 3;
+  /// B — area of a shift-register cell holding one site, as a fraction
+  /// of total usable chip area (β/α in the paper).
+  double cell_area = 576e-6;
+  /// Γ — area of one processing element, as a fraction of total usable
+  /// chip area (γ/α in the paper).
+  double pe_area = 19.4e-3;
+  /// F — major cycle (clock) frequency, Hz.
+  double clock_hz = 10e6;
+
+  /// The paper's 3µ CMOS design point (§6.1: D=8, Π=72, B=576e-6,
+  /// Γ=19.4e-3; §6.2: E=3; §8: F=10 MHz).
+  static constexpr Technology paper1987() { return Technology{}; }
+
+  constexpr void validate() const {
+    LATTICE_REQUIRE(pins > 0 && bits_per_site > 0 && boundary_bits >= 0,
+                    "Technology: pin/bit counts must be positive");
+    LATTICE_REQUIRE(cell_area > 0 && pe_area > 0 && clock_hz > 0,
+                    "Technology: areas and clock must be positive");
+  }
+};
+
+}  // namespace lattice::arch

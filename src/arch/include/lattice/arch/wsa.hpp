@@ -1,0 +1,71 @@
+// Wide-serial architecture system simulator (§4, §6.1).
+//
+// A WSA system is k chips in a chain, each one P-wide pipeline stage;
+// one pass of the site stream through the chain advances the lattice k
+// generations. Main memory touches only the first stage's input and the
+// last stage's output, which is the architecture's defining virtue: the
+// bandwidth demand is 2·D·P bits per tick no matter how deep the
+// pipeline is.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lattice/arch/stream_stage.hpp"
+#include "lattice/arch/technology.hpp"
+
+namespace lattice::arch {
+
+/// Counters accumulated by a pipeline run.
+struct PipelineStats {
+  std::int64_t ticks = 0;            // clock cycles consumed
+  std::int64_t site_updates = 0;     // rule applications performed
+  std::int64_t mem_sites_read = 0;   // sites fetched from main memory
+  std::int64_t mem_sites_written = 0;
+  std::int64_t interchip_sites = 0;  // sites crossing chip-to-chip links
+  std::int64_t buffer_sites = 0;     // total shift-register storage
+
+  /// Sustained updates per tick (the R/F of §6).
+  double updates_per_tick() const {
+    return ticks > 0 ? static_cast<double>(site_updates) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+  }
+};
+
+/// A k-stage, P-wide serial pipeline over a fixed lattice extent.
+class WsaPipeline {
+ public:
+  /// `depth` chips (= generations per pass), `width` PEs per chip.
+  WsaPipeline(Extent extent, const lgca::Rule& rule, int depth, int width,
+              std::int64_t t0 = 0);
+
+  /// Stream `in` (which must use null boundaries) through the pipeline
+  /// and return the lattice advanced by `depth` generations.
+  lgca::SiteLattice run(const lgca::SiteLattice& in);
+
+  /// Run `passes` consecutive passes (depth generations each).
+  lgca::SiteLattice run_passes(const lgca::SiteLattice& in, int passes);
+
+  const PipelineStats& stats() const noexcept { return stats_; }
+  int depth() const noexcept { return depth_; }
+  int width() const noexcept { return width_; }
+
+  /// Modeled wall-clock update rate for a technology: updates/s
+  /// sustained at tech.clock_hz given the measured updates_per_tick.
+  double modeled_rate(const Technology& tech) const {
+    return stats_.updates_per_tick() * tech.clock_hz;
+  }
+
+ private:
+  Extent extent_;
+  const lgca::Rule* rule_;
+  int depth_;
+  int width_;
+  std::int64_t t0_;
+  PipelineStats stats_;
+};
+
+}  // namespace lattice::arch

@@ -1,0 +1,188 @@
+#include "lattice/arch/design_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lattice::arch {
+
+namespace wsa {
+
+double max_pe_pins(const Technology& t) {
+  t.validate();
+  return static_cast<double>(t.pins) / (2.0 * t.bits_per_site);
+}
+
+double max_pe_area(const Technology& t, double lattice_len) {
+  t.validate();
+  const double b = t.cell_area;
+  return (1.0 - 3.0 * b - 2.0 * b * lattice_len) / (7.0 * b + t.pe_area);
+}
+
+double feasible_pe(const Technology& t, double lattice_len) {
+  return std::max(0.0, std::min(max_pe_pins(t), max_pe_area(t, lattice_len)));
+}
+
+double lattice_len_at_pe(const Technology& t, double pe) {
+  t.validate();
+  const double b = t.cell_area;
+  return (1.0 - 3.0 * b - pe * (7.0 * b + t.pe_area)) / (2.0 * b);
+}
+
+Corner corner(const Technology& t) {
+  const double pe = max_pe_pins(t);
+  return Corner{pe, lattice_len_at_pe(t, pe)};
+}
+
+double max_lattice_len(const Technology& t) { return lattice_len_at_pe(t, 1.0); }
+
+WsaDesign paper_design(const Technology& t, int depth) {
+  LATTICE_REQUIRE(depth >= 1, "pipeline depth must be at least 1");
+  WsaDesign d;
+  d.pe_per_chip = static_cast<int>(std::floor(max_pe_pins(t)));
+  d.lattice_len = static_cast<std::int64_t>(
+      std::floor(lattice_len_at_pe(t, d.pe_per_chip)));
+  d.depth = depth;
+  return d;
+}
+
+double throughput(const Technology& t, const WsaDesign& d) {
+  return t.clock_hz * d.pe_per_chip * d.depth;
+}
+
+int bandwidth_bits_per_tick(const Technology& t, const WsaDesign& d) {
+  return 2 * t.bits_per_site * d.pe_per_chip;
+}
+
+double max_throughput(const Technology& t, std::int64_t lattice_len) {
+  // k_max = L: beyond that the pipeline holds the whole lattice (§6.1).
+  return max_pe_pins(t) * t.clock_hz * static_cast<double>(lattice_len);
+}
+
+double processing_area_fraction(const Technology& t, int pe_per_chip,
+                                std::int64_t lattice_len) {
+  LATTICE_REQUIRE(pe_per_chip >= 1 && lattice_len >= 1,
+                  "need at least one PE and a positive lattice");
+  const double processing = pe_per_chip * t.pe_area;
+  const double storage =
+      (2.0 * static_cast<double>(lattice_len) + 3.0 + 7.0 * pe_per_chip) *
+      t.cell_area;
+  return processing / (processing + storage);
+}
+
+}  // namespace wsa
+
+namespace spa {
+
+PinOptimum pin_optimum(const Technology& t) {
+  t.validate();
+  // Maximize P_w·P_k on the pin line 2D·P_w + 2E·P_k = Π: the product of
+  // two positive quantities with a fixed weighted sum peaks when each
+  // term carries half the budget.
+  PinOptimum o;
+  o.slices = static_cast<double>(t.pins) / (4.0 * t.bits_per_site);
+  o.depth = static_cast<double>(t.pins) / (4.0 * t.boundary_bits);
+  o.pe = o.slices * o.depth;
+  return o;
+}
+
+double max_pe_area(const Technology& t, double slice_width) {
+  t.validate();
+  return 1.0 / ((2.0 * slice_width + 9.0) * t.cell_area + t.pe_area);
+}
+
+double feasible_pe(const Technology& t, double slice_width) {
+  return std::min(pin_optimum(t).pe, max_pe_area(t, slice_width));
+}
+
+Corner corner(const Technology& t) {
+  // Solve max_pe_area(W) = pin_optimum: (2W+9)B + Γ = 1/P.
+  const double p = pin_optimum(t).pe;
+  Corner c;
+  c.pe = p;
+  c.slice_width = ((1.0 / p - t.pe_area) / t.cell_area - 9.0) / 2.0;
+  return c;
+}
+
+bool pins_ok(const Technology& t, int slices, int depth_per_chip) {
+  return 2 * t.bits_per_site * slices + 2 * t.boundary_bits * depth_per_chip <=
+         t.pins;
+}
+
+bool area_ok(const Technology& t, int slices, int depth_per_chip,
+             std::int64_t slice_width) {
+  const double per_pe =
+      (2.0 * static_cast<double>(slice_width) + 9.0) * t.cell_area + t.pe_area;
+  return per_pe * slices * depth_per_chip <= 1.0;
+}
+
+std::int64_t max_slice_width(const Technology& t, int pe_per_chip) {
+  LATTICE_REQUIRE(pe_per_chip > 0, "pe_per_chip must be positive");
+  const double w =
+      ((1.0 / pe_per_chip - t.pe_area) / t.cell_area - 9.0) / 2.0;
+  return w > 0 ? static_cast<std::int64_t>(std::floor(w)) : 0;
+}
+
+SpaDesign paper_design(const Technology& t, std::int64_t lattice_len,
+                       int depth) {
+  LATTICE_REQUIRE(depth >= 1, "pipeline depth must be at least 1");
+  // Integer split nearest the continuous optimum that satisfies pins:
+  // floor both coordinates, then greedily grow whichever axis still fits
+  // (for the 1987 constants this lands on P_w=2, P_k=6).
+  const PinOptimum o = pin_optimum(t);
+  int pw = std::max(1, static_cast<int>(std::floor(o.slices)));
+  int pk = std::max(1, static_cast<int>(std::floor(o.depth)));
+  while (pins_ok(t, pw + 1, pk)) ++pw;
+  while (pins_ok(t, pw, pk + 1)) ++pk;
+
+  SpaDesign d;
+  d.slices_per_chip = pw;
+  d.depth_per_chip = pk;
+  d.slice_width = max_slice_width(t, pw * pk);
+  d.lattice_len = lattice_len;
+  d.depth = depth;
+  return d;
+}
+
+double chips(const SpaDesign& d) {
+  const double slices = static_cast<double>(d.lattice_len) /
+                        static_cast<double>(d.slice_width);
+  return (slices / d.slices_per_chip) *
+         (static_cast<double>(d.depth) / d.depth_per_chip);
+}
+
+double throughput(const Technology& t, const SpaDesign& d) {
+  return t.clock_hz * d.depth * static_cast<double>(d.lattice_len) /
+         static_cast<double>(d.slice_width);
+}
+
+double bandwidth_bits_per_tick(const Technology& t, const SpaDesign& d) {
+  return 2.0 * t.bits_per_site * static_cast<double>(d.lattice_len) /
+         static_cast<double>(d.slice_width);
+}
+
+}  // namespace spa
+
+namespace wsa_e {
+
+int max_pe_pins(const Technology& t) {
+  t.validate();
+  // Per PE: stream in/out (2D) plus reads and writes of the two
+  // externally buffered window rows (4D) = 6D pins.
+  return std::max(0, t.pins / (6 * t.bits_per_site));
+}
+
+double storage_area_per_pe(const Technology& t, std::int64_t lattice_len) {
+  t.validate();
+  return (2.0 * static_cast<double>(lattice_len) + 10.0) * t.cell_area;
+}
+
+int bandwidth_bits_per_tick(const Technology& t) { return 2 * t.bits_per_site; }
+
+double throughput(const Technology& t, int depth) {
+  LATTICE_REQUIRE(depth >= 1, "pipeline depth must be at least 1");
+  return t.clock_hz * depth;
+}
+
+}  // namespace wsa_e
+
+}  // namespace lattice::arch

@@ -1,0 +1,208 @@
+#include "lattice/arch/spa.hpp"
+
+#include <algorithm>
+
+namespace lattice::arch {
+
+namespace {
+
+/// One serial pipeline stage scoped to a slice, with window completion
+/// across slice boundaries via peeks into the neighbor stage's buffer.
+class SliceStage {
+ public:
+  SliceStage(Extent slice_extent, std::int64_t slice_x0,
+             std::int64_t lattice_width, const lgca::Rule& rule,
+             std::int64_t t, std::int64_t lead)
+      : extent_(slice_extent),
+        x0_(slice_x0),
+        lattice_width_(lattice_width),
+        rule_(&rule),
+        t_(t),
+        delay_(extent_.width + 1),
+        next_in_(-lead),
+        ring_(static_cast<std::size_t>(2 * extent_.width + 6), 0) {}
+
+  std::int64_t delay() const noexcept { return delay_; }
+  std::int64_t newest() const noexcept { return next_in_ - 1; }
+  std::int64_t buffer_sites() const noexcept {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+
+  void set_neighbors(SliceStage* left, SliceStage* right) noexcept {
+    left_ = left;
+    right_ = right;
+  }
+
+  /// Buffered stream value at logical position `pos`; zero outside the
+  /// slice stream (vertical null padding). Asserts the position has
+  /// arrived and is still buffered — the synchronism guarantee the
+  /// stagger provides.
+  lgca::Site peek(std::int64_t pos) const noexcept {
+    if (pos < 0 || pos >= extent_.area()) return 0;
+    LATTICE_ASSERT(pos <= newest(), "SPA side channel read of future data");
+    LATTICE_ASSERT(newest() - pos <
+                       static_cast<std::int64_t>(ring_.size()),
+                   "SPA side channel read of expired data");
+    return ring_[index(pos)];
+  }
+
+  /// Consume one input site, emit one output site (zero when the
+  /// output position falls outside the slice).
+  lgca::Site tick(lgca::Site in, SpaStats& stats) {
+    ring_[index(next_in_)] = in;
+    ++next_in_;
+    const std::int64_t pos = next_in_ - 1 - delay_;
+    if (pos < 0 || pos >= extent_.area()) return 0;
+    return update_at(pos, stats);
+  }
+
+ private:
+  std::size_t index(std::int64_t pos) const noexcept {
+    const auto cap = static_cast<std::int64_t>(ring_.size());
+    return static_cast<std::size_t>(((pos % cap) + cap) % cap);
+  }
+
+  lgca::Site update_at(std::int64_t pos, SpaStats& stats) const {
+    const std::int64_t w = extent_.width;
+    const std::int64_t x = pos % w;  // slice-local column
+    const std::int64_t y = pos / w;
+    lgca::Window win;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t gx = x0_ + x + dx;  // global column
+        const std::int64_t ny = y + dy;
+        lgca::Site v = 0;
+        if (gx >= 0 && gx < lattice_width_ && ny >= 0 &&
+            ny < extent_.height) {
+          const std::int64_t lx = x + dx;
+          if (lx >= 0 && lx < w) {
+            v = peek(pos + dy * w + dx);
+          } else if (lx < 0) {
+            LATTICE_ASSERT(left_ != nullptr, "missing left slice");
+            v = left_->peek(ny * w + (w - 1));
+            ++stats.boundary_fetches;
+          } else {
+            LATTICE_ASSERT(right_ != nullptr, "missing right slice");
+            v = right_->peek(ny * w + 0);
+            ++stats.boundary_fetches;
+          }
+        }
+        win.at(dx, dy) = v;
+      }
+    }
+    ++stats.site_updates;
+    return rule_->apply(win, lgca::SiteContext{x0_ + x, y, t_});
+  }
+
+  Extent extent_;
+  std::int64_t x0_;
+  std::int64_t lattice_width_;
+  const lgca::Rule* rule_;
+  std::int64_t t_;
+  std::int64_t delay_;
+  std::int64_t next_in_;
+  std::vector<lgca::Site> ring_;
+  SliceStage* left_ = nullptr;
+  SliceStage* right_ = nullptr;
+};
+
+}  // namespace
+
+SpaMachine::SpaMachine(Extent extent, const lgca::Rule& rule,
+                       std::int64_t slice_width, int depth, std::int64_t t0)
+    : extent_(extent),
+      rule_(&rule),
+      slice_width_(slice_width),
+      slices_(0),
+      depth_(depth),
+      t0_(t0) {
+  LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
+                  "SPA extent must be positive");
+  LATTICE_REQUIRE(slice_width >= 2, "SPA slice width must be >= 2");
+  LATTICE_REQUIRE(extent.width % slice_width == 0,
+                  "SPA slice width must divide the lattice width");
+  LATTICE_REQUIRE(depth >= 1, "SPA depth must be >= 1");
+  slices_ = extent.width / slice_width;
+}
+
+lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
+  LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
+  LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
+                  "SPA streams null-boundary lattices only");
+
+  const Extent slice_extent{slice_width_, extent_.height};
+  const std::int64_t slice_area = slice_extent.area();
+  const std::int64_t stage_delay = slice_width_ + 1;
+
+  // stages[j][d]: depth-d stage of slice j. Slice j is staggered one
+  // slice-row (W positions) behind slice j-1; depth adds stage latency.
+  std::vector<std::vector<SliceStage>> stages(
+      static_cast<std::size_t>(slices_));
+  for (std::int64_t j = 0; j < slices_; ++j) {
+    auto& chain = stages[static_cast<std::size_t>(j)];
+    chain.reserve(static_cast<std::size_t>(depth_));
+    for (int d = 0; d < depth_; ++d) {
+      chain.emplace_back(slice_extent, j * slice_width_, extent_.width,
+                         *rule_, t0_ + d,
+                         j * slice_width_ + d * stage_delay);
+    }
+  }
+  for (std::int64_t j = 0; j < slices_; ++j) {
+    for (int d = 0; d < depth_; ++d) {
+      SliceStage* left =
+          j > 0 ? &stages[static_cast<std::size_t>(j - 1)]
+                         [static_cast<std::size_t>(d)]
+                : nullptr;
+      SliceStage* right =
+          j + 1 < slices_ ? &stages[static_cast<std::size_t>(j + 1)]
+                                   [static_cast<std::size_t>(d)]
+                          : nullptr;
+      stages[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)]
+          .set_neighbors(left, right);
+    }
+  }
+
+  lgca::SiteLattice out(extent_, lgca::Boundary::Null);
+  std::int64_t collected = 0;
+  const std::int64_t total_ticks = (slices_ - 1) * slice_width_ +
+                                   slice_area + depth_ * stage_delay + 2;
+
+  for (std::int64_t tick = 0;
+       tick < total_ticks || collected < extent_.area(); ++tick) {
+    // Rightmost slice first: it is the most-delayed stream, and its
+    // left neighbors read its freshly arrived boundary column.
+    for (std::int64_t j = slices_ - 1; j >= 0; --j) {
+      auto& chain = stages[static_cast<std::size_t>(j)];
+      // Memory feeds slice j the site at local position tick - j·W.
+      const std::int64_t p0 = tick - j * slice_width_;
+      lgca::Site v = 0;
+      if (p0 >= 0 && p0 < slice_area) {
+        const std::int64_t ly = p0 / slice_width_;
+        const std::int64_t lx = p0 % slice_width_;
+        v = in.at({j * slice_width_ + lx, ly});
+        ++stats_.mem_sites_read;
+      }
+      for (int d = 0; d < depth_; ++d) {
+        v = chain[static_cast<std::size_t>(d)].tick(v, stats_);
+      }
+      // Final stage output: logical position for the last stage.
+      const std::int64_t out_pos =
+          tick - j * slice_width_ - depth_ * stage_delay;
+      if (out_pos >= 0 && out_pos < slice_area) {
+        const std::int64_t ly = out_pos / slice_width_;
+        const std::int64_t lx = out_pos % slice_width_;
+        out.at({j * slice_width_ + lx, ly}) = v;
+        ++stats_.mem_sites_written;
+        ++collected;
+      }
+    }
+    ++stats_.ticks;
+  }
+
+  stats_.buffer_sites = 0;
+  for (const auto& chain : stages)
+    for (const SliceStage& s : chain) stats_.buffer_sites += s.buffer_sites();
+  return out;
+}
+
+}  // namespace lattice::arch

@@ -1,0 +1,73 @@
+#include "lattice/arch/stream_stage.hpp"
+
+namespace lattice::arch {
+
+namespace {
+constexpr std::int64_t round_up(std::int64_t v, std::int64_t m) {
+  return ((v + m - 1) / m) * m;
+}
+}  // namespace
+
+StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
+                         std::int64_t t, int batch,
+                         std::int64_t lead_padding)
+    : extent_(extent),
+      rule_(&rule),
+      t_(t),
+      batch_(batch),
+      // batch is validated below; clamp here so the computation in the
+      // initializer list cannot divide by zero first.
+      delay_(round_up(extent.width + 1, batch > 0 ? batch : 1)),
+      next_in_(-lead_padding) {
+  LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
+                  "StreamStage extent must be positive");
+  LATTICE_REQUIRE(batch >= 1 && batch <= extent.width,
+                  "StreamStage batch (P) must be in [1, lattice width]");
+  LATTICE_REQUIRE(lead_padding >= 0, "lead padding must be >= 0");
+  // Window reach: W+1 behind the oldest center plus the delay in front.
+  ring_.assign(static_cast<std::size_t>(delay_ + 2 * extent.width + 4), 0);
+}
+
+lgca::Site StreamStage::stream_value(std::int64_t pos) const noexcept {
+  const auto cap = static_cast<std::int64_t>(ring_.size());
+  const std::int64_t idx = ((pos % cap) + cap) % cap;
+  return ring_[static_cast<std::size_t>(idx)];
+}
+
+lgca::Site StreamStage::update_at(std::int64_t pos) const {
+  const std::int64_t w = extent_.width;
+  const std::int64_t x = pos % w;
+  const std::int64_t y = pos / w;
+  lgca::Window win;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      // The window multiplexer masks accesses that would cross a row
+      // edge or fall outside the lattice: null boundary.
+      const std::int64_t nx = x + dx;
+      const std::int64_t ny = y + dy;
+      win.at(dx, dy) = (nx >= 0 && nx < w && ny >= 0 && ny < extent_.height)
+                           ? stream_value(pos + dy * w + dx)
+                           : lgca::Site{0};
+    }
+  }
+  return rule_->apply(win, lgca::SiteContext{x, y, t_});
+}
+
+void StreamStage::tick(const lgca::Site* in, lgca::Site* out) {
+  const auto cap = static_cast<std::int64_t>(ring_.size());
+  for (int b = 0; b < batch_; ++b) {
+    const std::int64_t pos = next_in_ + b;
+    const std::int64_t idx = ((pos % cap) + cap) % cap;
+    ring_[static_cast<std::size_t>(idx)] = in[b];
+  }
+  next_in_ += batch_;
+  ++ticks_;
+
+  const std::int64_t area = extent_.area();
+  for (int b = 0; b < batch_; ++b) {
+    const std::int64_t pos = next_in_ - batch_ + b - delay_;
+    out[b] = (pos >= 0 && pos < area) ? update_at(pos) : lgca::Site{0};
+  }
+}
+
+}  // namespace lattice::arch

@@ -1,0 +1,44 @@
+#include "lattice/arch/system_run.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lattice::arch {
+
+SystemRunReport model_system_run(const SystemRunConfig& cfg) {
+  cfg.tech.validate();
+  LATTICE_REQUIRE(cfg.pe_per_chip >= 1 && cfg.depth >= 1,
+                  "need at least one PE and one stage");
+  LATTICE_REQUIRE(cfg.lattice_len >= 2 && cfg.generations >= 1,
+                  "need a lattice and at least one generation");
+  LATTICE_REQUIRE(cfg.host_bytes_per_sec > 0, "host bandwidth must be > 0");
+
+  SystemRunReport r;
+  r.passes = (cfg.generations + cfg.depth - 1) / cfg.depth;
+
+  const double sites = static_cast<double>(cfg.lattice_len) *
+                       static_cast<double>(cfg.lattice_len);
+  const double bytes_per_site = cfg.tech.bits_per_site / 8.0;
+
+  // Per pass: the lattice streams in and out once...
+  const double transfer_per_pass =
+      2.0 * sites * bytes_per_site / cfg.host_bytes_per_sec;
+  // ...while the engine consumes sites at F·P (each yielding k updates).
+  const double compute_per_pass =
+      sites / (cfg.tech.clock_hz * cfg.pe_per_chip);
+
+  r.transfer_seconds = r.passes * transfer_per_pass;
+  r.compute_seconds = r.passes * compute_per_pass;
+  r.wall_seconds =
+      cfg.double_buffered
+          ? r.passes * std::max(transfer_per_pass, compute_per_pass)
+          : r.transfer_seconds + r.compute_seconds;
+
+  const double updates = sites * static_cast<double>(cfg.generations);
+  r.achieved_rate = updates / r.wall_seconds;
+  r.peak_rate = cfg.tech.clock_hz * cfg.pe_per_chip * cfg.depth;
+  r.utilization = r.achieved_rate / r.peak_rate;
+  return r;
+}
+
+}  // namespace lattice::arch

@@ -1,0 +1,92 @@
+#include "lattice/arch/wsa.hpp"
+
+namespace lattice::arch {
+
+WsaPipeline::WsaPipeline(Extent extent, const lgca::Rule& rule, int depth,
+                         int width, std::int64_t t0)
+    : extent_(extent), rule_(&rule), depth_(depth), width_(width), t0_(t0) {
+  LATTICE_REQUIRE(depth >= 1, "WSA pipeline needs at least one stage");
+  LATTICE_REQUIRE(width >= 1, "WSA stage width (P) must be >= 1");
+}
+
+lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
+  LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
+  LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
+                  "serial pipelines stream null-boundary lattices only");
+
+  // Build the stage chain: stage s updates generation t0+s and sees
+  // s·delay positions of upstream latency.
+  std::vector<StreamStage> stages;
+  stages.reserve(static_cast<std::size_t>(depth_));
+  std::int64_t lead = 0;
+  for (int s = 0; s < depth_; ++s) {
+    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead);
+    lead += stages.back().delay();
+  }
+
+  const std::int64_t area = extent_.area();
+  lgca::SiteLattice out(extent_, lgca::Boundary::Null);
+
+  // Total stream positions: the lattice plus the accumulated latency,
+  // rounded up to whole ticks.
+  const std::int64_t total_positions = area + lead;
+  std::vector<lgca::Site> bus_a(static_cast<std::size_t>(width_), 0);
+  std::vector<lgca::Site> bus_b(static_cast<std::size_t>(width_), 0);
+
+  std::int64_t collected = 0;
+  for (std::int64_t pos = 0; pos < total_positions || collected < area;
+       pos += width_) {
+    // Fetch a batch from main memory (zero-padded past the end).
+    for (int b = 0; b < width_; ++b) {
+      const std::int64_t p = pos + b;
+      bus_a[static_cast<std::size_t>(b)] =
+          p < area ? in[static_cast<std::size_t>(p)] : lgca::Site{0};
+      if (p < area) ++stats_.mem_sites_read;
+    }
+    // Ripple the batch through the chain.
+    lgca::Site* cur = bus_a.data();
+    lgca::Site* nxt = bus_b.data();
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+      stages[s].tick(cur, nxt);
+      std::swap(cur, nxt);
+      if (s + 1 < stages.size()) stats_.interchip_sites += width_;
+    }
+    ++stats_.ticks;
+    // The final stage's logical output position trails the *global*
+    // input position by the total latency.
+    for (int b = 0; b < width_; ++b) {
+      const std::int64_t out_pos = pos + b - lead;
+      if (out_pos >= 0 && out_pos < area) {
+        out[static_cast<std::size_t>(out_pos)] = cur[b];
+        ++stats_.mem_sites_written;
+        ++collected;
+      }
+    }
+  }
+
+  stats_.site_updates += area * depth_;
+  stats_.buffer_sites = 0;
+  for (const StreamStage& s : stages) stats_.buffer_sites += s.buffer_sites();
+  return out;
+}
+
+lgca::SiteLattice WsaPipeline::run_passes(const lgca::SiteLattice& in,
+                                          int passes) {
+  LATTICE_REQUIRE(passes >= 1, "need at least one pass");
+  lgca::SiteLattice cur = in;
+  for (int p = 0; p < passes; ++p) {
+    // Each pass advances depth_ generations; rebuild with advanced t0.
+    WsaPipeline pass(extent_, *rule_, depth_, width_,
+                     t0_ + static_cast<std::int64_t>(p) * depth_);
+    cur = pass.run(cur);
+    stats_.ticks += pass.stats_.ticks;
+    stats_.site_updates += pass.stats_.site_updates;
+    stats_.mem_sites_read += pass.stats_.mem_sites_read;
+    stats_.mem_sites_written += pass.stats_.mem_sites_written;
+    stats_.interchip_sites += pass.stats_.interchip_sites;
+    stats_.buffer_sites = pass.stats_.buffer_sites;
+  }
+  return cur;
+}
+
+}  // namespace lattice::arch

@@ -1,0 +1,44 @@
+// Error handling primitives shared by every module.
+//
+// Library code throws lattice::Error for precondition violations that a
+// caller could plausibly trigger (bad sizes, out-of-range parameters).
+// Internal invariants use LATTICE_ASSERT, which is active in all build
+// types: the simulators are correctness tools first, performance models
+// second, and a silent invariant break would invalidate every number
+// they report.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lattice {
+
+/// Exception thrown on precondition violations in the public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace lattice
+
+/// Always-on invariant check. `msg` may use stream-free string concatenation.
+#define LATTICE_ASSERT(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lattice::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (false)
+
+/// Precondition check on public entry points; throws lattice::Error.
+#define LATTICE_REQUIRE(expr, msg)                \
+  do {                                            \
+    if (!(expr)) {                                \
+      throw ::lattice::Error(std::string(msg));   \
+    }                                             \
+  } while (false)

@@ -1,0 +1,102 @@
+// Small geometry helpers shared by the lattice, embedding, and
+// architecture modules: 2-D extents, coordinates, and a generic
+// row-major Grid<T> container.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice {
+
+/// Integer 2-D coordinate. `x` is the column, `y` the row.
+struct Coord {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend constexpr bool operator==(Coord, Coord) = default;
+  constexpr Coord operator+(Coord o) const noexcept {
+    return {x + o.x, y + o.y};
+  }
+};
+
+/// 2-D extent (width × height).
+struct Extent {
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+
+  friend constexpr bool operator==(Extent, Extent) = default;
+  constexpr std::int64_t area() const noexcept { return width * height; }
+  constexpr bool contains(Coord c) const noexcept {
+    return c.x >= 0 && c.x < width && c.y >= 0 && c.y < height;
+  }
+};
+
+/// Row-major linear index of `c` inside `e`. Caller guarantees containment.
+constexpr std::size_t linear_index(Extent e, Coord c) noexcept {
+  return static_cast<std::size_t>(c.y) * static_cast<std::size_t>(e.width) +
+         static_cast<std::size_t>(c.x);
+}
+
+/// Inverse of linear_index.
+constexpr Coord coord_of(Extent e, std::size_t idx) noexcept {
+  const auto w = static_cast<std::size_t>(e.width);
+  return {static_cast<std::int64_t>(idx % w),
+          static_cast<std::int64_t>(idx / w)};
+}
+
+/// Euclidean-free wrap of `v` into [0, m). Works for negative `v`.
+constexpr std::int64_t wrap(std::int64_t v, std::int64_t m) noexcept {
+  const std::int64_t r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Dense row-major 2-D array.
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  explicit Grid(Extent e, T fill = T{})
+      : extent_(e),
+        data_(static_cast<std::size_t>(e.area() > 0 ? e.area() : 0), fill) {
+    LATTICE_REQUIRE(e.width >= 0 && e.height >= 0,
+                    "Grid extent must be non-negative");
+  }
+
+  Extent extent() const noexcept { return extent_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& at(Coord c) {
+    LATTICE_ASSERT(extent_.contains(c), "Grid::at out of range");
+    return data_[linear_index(extent_, c)];
+  }
+  const T& at(Coord c) const {
+    LATTICE_ASSERT(extent_.contains(c), "Grid::at out of range");
+    return data_[linear_index(extent_, c)];
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  Extent extent_{};
+  std::vector<T> data_;
+};
+
+}  // namespace lattice

@@ -1,0 +1,12 @@
+// Intentionally minimal: Grid is header-only; this TU anchors the
+// library target and provides a home for future non-template helpers.
+#include "lattice/common/grid.hpp"
+
+namespace lattice {
+
+static_assert(linear_index({4, 3}, {2, 1}) == 6);
+static_assert(coord_of({4, 3}, 6) == Coord{2, 1});
+static_assert(wrap(-1, 5) == 4);
+static_assert(wrap(5, 5) == 0);
+
+}  // namespace lattice

@@ -1,0 +1,12 @@
+#include "lattice/common/rng.hpp"
+
+namespace lattice {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  SplitMix64 mix(master ^ (0xa0761d6478bd642fULL * (index + 1)));
+  // Burn one output so adjacent indices decorrelate even for small masters.
+  mix.next();
+  return mix.next();
+}
+
+}  // namespace lattice

@@ -1,0 +1,113 @@
+// LatticeEngine — the library's front door.
+//
+// Bundles a lattice state, an update rule, and a choice of execution
+// backend (golden reference, WSA pipeline, SPA machine) behind one
+// `advance()` call, and turns the backend's counters plus a technology
+// point into the performance report the paper's analysis predicts:
+// modeled update rate, memory bandwidth demand, and the Hong–Kung
+// ceiling R ≤ B·τ(2S) the design can never beat (§7).
+//
+//   LatticeEngine engine(LatticeEngine::Config{
+//       .extent = {256, 256},
+//       .gas = lgca::GasKind::FHP_II,
+//       .backend = core::Backend::Wsa,
+//       .wsa_width = 4,
+//       .pipeline_depth = 8,
+//   });
+//   lgca::fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1, seed);
+//   engine.advance(100);
+//   const core::PerformanceReport r = engine.report();
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "lattice/arch/design_space.hpp"
+#include "lattice/arch/spa.hpp"
+#include "lattice/arch/technology.hpp"
+#include "lattice/arch/wsa.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::core {
+
+enum class Backend {
+  Reference,  // golden double-buffered updater
+  Wsa,        // wide-serial pipeline
+  Spa,        // Sternberg partitioned machine
+};
+
+/// What a run cost and what the technology model says about it.
+struct PerformanceReport {
+  Backend backend = Backend::Reference;
+  std::int64_t generations = 0;
+  std::int64_t site_updates = 0;
+  std::int64_t ticks = 0;               // 0 for the reference backend
+  double updates_per_tick = 0;
+  double modeled_rate = 0;              // updates/s at tech.clock_hz
+  double bandwidth_bits_per_tick = 0;   // main memory demand
+  std::int64_t storage_sites = 0;       // S: on-chip site storage
+  /// Hong–Kung ceiling for this (B, S, d=2): R ≤ B·2τ(2S), in
+  /// updates/s. The modeled rate must sit below it.
+  double pebbling_rate_ceiling = 0;
+};
+
+class LatticeEngine {
+ public:
+  struct Config {
+    Extent extent{64, 64};
+    lgca::GasKind gas = lgca::GasKind::FHP_II;
+    /// Override: run an arbitrary rule instead of a gas (the engine
+    /// does not own it; it must outlive the engine).
+    const lgca::Rule* custom_rule = nullptr;
+    lgca::Boundary boundary = lgca::Boundary::Null;
+    Backend backend = Backend::Reference;
+    int pipeline_depth = 1;     // k: generations per pass (WSA & SPA)
+    int wsa_width = 1;          // P
+    std::int64_t spa_slice_width = 0;  // W; 0 = pick a divisor near §6.2
+    arch::Technology tech = arch::Technology::paper1987();
+  };
+
+  explicit LatticeEngine(Config config);
+
+  /// Advance the lattice `generations` steps on the configured backend.
+  void advance(std::int64_t generations);
+
+  /// Current lattice state (mutable, e.g. for initialization).
+  lgca::SiteLattice& state() noexcept { return state_; }
+  const lgca::SiteLattice& state() const noexcept { return state_; }
+
+  const lgca::Rule& rule() const noexcept { return *rule_; }
+  const lgca::GasModel& gas_model() const;
+  const Config& config() const noexcept { return config_; }
+  std::int64_t generation() const noexcept { return generation_; }
+
+  PerformanceReport report() const;
+
+  /// Re-run the whole history on the golden reference and compare —
+  /// the end-to-end correctness check for pipelined backends.
+  bool verify_against_reference() const;
+
+ private:
+  Config config_;
+  std::unique_ptr<lgca::GasRule> owned_rule_;
+  const lgca::Rule* rule_;
+  lgca::SiteLattice initial_;
+  lgca::SiteLattice state_;
+  std::int64_t generation_ = 0;
+  bool initial_captured_ = false;
+
+  // accumulated backend counters
+  std::int64_t ticks_ = 0;
+  std::int64_t site_updates_ = 0;
+  std::int64_t buffer_sites_ = 0;
+};
+
+/// Pick a slice width that divides `width` and is as close as possible
+/// to the §6.2 optimum for the technology.
+std::int64_t pick_spa_slice_width(const arch::Technology& tech,
+                                  std::int64_t width);
+
+}  // namespace lattice::core

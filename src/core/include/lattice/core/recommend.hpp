@@ -1,0 +1,51 @@
+// Architecture recommendation: the paper's §6 analysis turned into a
+// decision procedure. Given a technology, a lattice size, a required
+// update rate and (optionally) a main-memory bandwidth budget, rank the
+// three machine families by chip count and report why the losers lose
+// — "each has its preferred operating regime in different parts of the
+// throughput vs. lattice-size plane" (§8), made executable.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/arch/design_space.hpp"
+
+namespace lattice::core {
+
+struct Requirement {
+  std::int64_t lattice_len = 0;        // L (square lattice side)
+  double min_update_rate = 0;          // site updates per second
+  /// Optional cap on main-memory bandwidth, bits per tick (0 = none).
+  double max_bandwidth_bits_per_tick = 0;
+};
+
+enum class ArchChoice { Wsa, WsaE, Spa };
+
+std::string_view arch_choice_name(ArchChoice a) noexcept;
+
+struct Candidate {
+  ArchChoice arch = ArchChoice::Wsa;
+  bool feasible = false;
+  std::string reason;                  // why infeasible / tradeoff note
+  int pe_per_chip = 0;
+  std::int64_t slice_width = 0;        // SPA only
+  int depth = 0;                       // pipeline stages (generations/pass)
+  double chips = 0;                    // system cost
+  double rate = 0;                     // achieved updates/s
+  double bandwidth_bits_per_tick = 0;  // main-memory demand
+};
+
+/// All three candidates, feasible ones first, cheapest (fewest chips)
+/// first among those.
+std::vector<Candidate> recommend(const arch::Technology& tech,
+                                 const Requirement& req);
+
+/// The winner (first feasible candidate). Throws if nothing can meet
+/// the requirement.
+Candidate best_architecture(const arch::Technology& tech,
+                            const Requirement& req);
+
+}  // namespace lattice::core

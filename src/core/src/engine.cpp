@@ -1,0 +1,140 @@
+#include "lattice/core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lattice/lgca/reference.hpp"
+#include "lattice/pebble/bounds.hpp"
+
+namespace lattice::core {
+
+std::int64_t pick_spa_slice_width(const arch::Technology& tech,
+                                  std::int64_t width) {
+  LATTICE_REQUIRE(width >= 2, "lattice width must be >= 2");
+  const double target = arch::spa::corner(tech).slice_width;
+  std::int64_t best = width;  // single slice always divides
+  double best_gap = std::abs(static_cast<double>(width) - target);
+  for (std::int64_t w = 2; w <= width; ++w) {
+    if (width % w != 0) continue;
+    const double gap = std::abs(static_cast<double>(w) - target);
+    if (gap < best_gap) {
+      best = w;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+LatticeEngine::LatticeEngine(Config config)
+    : config_(config),
+      initial_({config.extent.width, config.extent.height}, config.boundary),
+      state_({config.extent.width, config.extent.height}, config.boundary) {
+  LATTICE_REQUIRE(config_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+  if (config_.custom_rule != nullptr) {
+    rule_ = config_.custom_rule;
+  } else {
+    owned_rule_ = std::make_unique<lgca::GasRule>(config_.gas);
+    rule_ = owned_rule_.get();
+  }
+  if (config_.backend != Backend::Reference) {
+    LATTICE_REQUIRE(config_.boundary == lgca::Boundary::Null,
+                    "pipelined backends require null boundaries");
+  }
+  if (config_.backend == Backend::Spa && config_.spa_slice_width == 0) {
+    config_.spa_slice_width =
+        pick_spa_slice_width(config_.tech, config_.extent.width);
+  }
+}
+
+const lgca::GasModel& LatticeEngine::gas_model() const {
+  LATTICE_REQUIRE(owned_rule_ != nullptr,
+                  "engine was configured with a custom rule, not a gas");
+  return owned_rule_->model();
+}
+
+void LatticeEngine::advance(std::int64_t generations) {
+  LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
+  if (!initial_captured_) {
+    initial_ = state_;
+    initial_captured_ = true;
+  }
+  std::int64_t left = generations;
+  while (left > 0) {
+    const int chunk = static_cast<int>(
+        std::min<std::int64_t>(left, config_.pipeline_depth));
+    switch (config_.backend) {
+      case Backend::Reference: {
+        lgca::reference_run(state_, *rule_, chunk, generation_);
+        site_updates_ += state_.extent().area() * chunk;
+        break;
+      }
+      case Backend::Wsa: {
+        arch::WsaPipeline pipe(state_.extent(), *rule_, chunk,
+                               config_.wsa_width, generation_);
+        state_ = pipe.run(state_);
+        ticks_ += pipe.stats().ticks;
+        site_updates_ += pipe.stats().site_updates;
+        buffer_sites_ = pipe.stats().buffer_sites;
+        break;
+      }
+      case Backend::Spa: {
+        arch::SpaMachine spa(state_.extent(), *rule_,
+                             config_.spa_slice_width, chunk, generation_);
+        state_ = spa.run(state_);
+        ticks_ += spa.stats().ticks;
+        site_updates_ += spa.stats().site_updates;
+        buffer_sites_ = spa.stats().buffer_sites;
+        break;
+      }
+    }
+    generation_ += chunk;
+    left -= chunk;
+  }
+}
+
+PerformanceReport LatticeEngine::report() const {
+  PerformanceReport r;
+  r.backend = config_.backend;
+  r.generations = generation_;
+  r.site_updates = site_updates_;
+  r.ticks = ticks_;
+  r.updates_per_tick =
+      ticks_ > 0 ? static_cast<double>(site_updates_) /
+                       static_cast<double>(ticks_)
+                 : 0.0;
+  r.modeled_rate = r.updates_per_tick * config_.tech.clock_hz;
+  r.storage_sites = buffer_sites_;
+
+  const double d = config_.tech.bits_per_site;
+  switch (config_.backend) {
+    case Backend::Reference:
+      break;
+    case Backend::Wsa:
+      r.bandwidth_bits_per_tick = 2.0 * d * config_.wsa_width;
+      break;
+    case Backend::Spa:
+      r.bandwidth_bits_per_tick =
+          2.0 * d *
+          static_cast<double>(state_.extent().width) /
+          static_cast<double>(config_.spa_slice_width);
+      break;
+  }
+
+  if (r.bandwidth_bits_per_tick > 0 && r.storage_sites > 0) {
+    // B in site values per second; d = 2 lattice.
+    const double bw_sites =
+        r.bandwidth_bits_per_tick / d * config_.tech.clock_hz;
+    r.pebbling_rate_ceiling = pebble::update_rate_upper(
+        2, static_cast<double>(r.storage_sites), bw_sites);
+  }
+  return r;
+}
+
+bool LatticeEngine::verify_against_reference() const {
+  if (!initial_captured_) return true;
+  lgca::SiteLattice replay = initial_;
+  lgca::reference_run(replay, *rule_, generation_, 0);
+  return replay == state_;
+}
+
+}  // namespace lattice::core

@@ -1,0 +1,150 @@
+#include "lattice/core/recommend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lattice::core {
+
+namespace {
+
+using arch::Technology;
+
+Candidate eval_wsa(const Technology& t, const Requirement& req) {
+  Candidate c;
+  c.arch = ArchChoice::Wsa;
+  const arch::WsaDesign base = arch::wsa::paper_design(t);
+  c.pe_per_chip = base.pe_per_chip;
+  if (req.lattice_len > base.lattice_len) {
+    c.reason = "lattice exceeds the on-chip line-buffer limit L = " +
+               std::to_string(base.lattice_len);
+    return c;
+  }
+  const double per_stage = t.clock_hz * base.pe_per_chip;
+  const auto depth = static_cast<std::int64_t>(
+      std::ceil(req.min_update_rate / per_stage));
+  // k_max = L: the pipeline cannot usefully exceed the lattice (§6.1).
+  if (depth > req.lattice_len) {
+    c.reason = "required rate exceeds R_max = (Pi/2D)*F*L";
+    return c;
+  }
+  c.depth = static_cast<int>(std::max<std::int64_t>(1, depth));
+  arch::WsaDesign d = base;
+  d.depth = c.depth;
+  c.chips = c.depth;
+  c.rate = arch::wsa::throughput(t, d);
+  c.bandwidth_bits_per_tick = arch::wsa::bandwidth_bits_per_tick(t, d);
+  c.feasible = true;
+  c.reason = "simple raster stream, minimum bandwidth";
+  return c;
+}
+
+Candidate eval_wsa_e(const Technology& t, const Requirement& req) {
+  Candidate c;
+  c.arch = ArchChoice::WsaE;
+  c.pe_per_chip = arch::wsa_e::max_pe_pins(t);
+  if (c.pe_per_chip < 1) {
+    c.reason = "pin budget cannot host even one PE with external buffers";
+    return c;
+  }
+  const double per_stage = t.clock_hz * c.pe_per_chip;
+  const auto depth = static_cast<std::int64_t>(
+      std::ceil(req.min_update_rate / per_stage));
+  if (depth > req.lattice_len) {
+    c.reason = "required rate exceeds the k = L pipeline ceiling";
+    return c;
+  }
+  c.depth = static_cast<int>(std::max<std::int64_t>(1, depth));
+  // Chip cost: one PE chip per stage plus external shift registers
+  // expressed in chip-area equivalents.
+  c.chips = c.depth * (1.0 + arch::wsa_e::storage_area_per_pe(
+                                 t, req.lattice_len));
+  c.rate = arch::wsa_e::throughput(t, c.depth);
+  c.bandwidth_bits_per_tick = arch::wsa_e::bandwidth_bits_per_tick(t);
+  c.feasible = true;
+  c.reason = "extensible to any lattice, constant bandwidth, slow";
+  return c;
+}
+
+Candidate eval_spa(const Technology& t, const Requirement& req) {
+  Candidate c;
+  c.arch = ArchChoice::Spa;
+  arch::SpaDesign d = arch::spa::paper_design(t, req.lattice_len, 1);
+  c.pe_per_chip = d.slices_per_chip * d.depth_per_chip;
+  c.slice_width = d.slice_width;
+  if (d.slice_width < 2) {
+    c.reason = "area constraint leaves no room for a slice buffer";
+    return c;
+  }
+  const double per_depth =
+      t.clock_hz * static_cast<double>(req.lattice_len) /
+      static_cast<double>(d.slice_width);
+  auto depth = static_cast<std::int64_t>(
+      std::ceil(req.min_update_rate / per_depth));
+  depth = std::max<std::int64_t>(1, depth);
+  c.depth = static_cast<int>(depth);
+  d.depth = c.depth;
+  // Whole chips: a stage-row needs ceil(slices / P_w) chips and the
+  // machine ceil(depth / P_k) such rows.
+  const double slices = std::ceil(static_cast<double>(req.lattice_len) /
+                                  static_cast<double>(d.slice_width));
+  c.chips = std::ceil(slices / d.slices_per_chip) *
+            std::ceil(static_cast<double>(c.depth) / d.depth_per_chip);
+  c.rate = arch::spa::throughput(t, d);
+  c.bandwidth_bits_per_tick = arch::spa::bandwidth_bits_per_tick(t, d);
+  c.feasible = true;
+  c.reason = "highest throughput per chip; pays slice bandwidth";
+  return c;
+}
+
+}  // namespace
+
+std::string_view arch_choice_name(ArchChoice a) noexcept {
+  switch (a) {
+    case ArchChoice::Wsa:
+      return "WSA";
+    case ArchChoice::WsaE:
+      return "WSA-E";
+    case ArchChoice::Spa:
+      return "SPA";
+  }
+  return "?";
+}
+
+std::vector<Candidate> recommend(const Technology& tech,
+                                 const Requirement& req) {
+  tech.validate();
+  LATTICE_REQUIRE(req.lattice_len >= 2, "lattice_len must be >= 2");
+  LATTICE_REQUIRE(req.min_update_rate >= 0, "rate must be >= 0");
+
+  std::vector<Candidate> out = {eval_wsa(tech, req), eval_spa(tech, req),
+                                eval_wsa_e(tech, req)};
+  // Apply the bandwidth budget.
+  if (req.max_bandwidth_bits_per_tick > 0) {
+    for (Candidate& c : out) {
+      if (c.feasible &&
+          c.bandwidth_bits_per_tick > req.max_bandwidth_bits_per_tick) {
+        c.feasible = false;
+        c.reason = "exceeds the main-memory bandwidth budget";
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (!a.feasible) return false;
+                     if (a.chips != b.chips) return a.chips < b.chips;
+                     // Equal silicon: prefer the lighter memory system.
+                     return a.bandwidth_bits_per_tick <
+                            b.bandwidth_bits_per_tick;
+                   });
+  return out;
+}
+
+Candidate best_architecture(const Technology& tech, const Requirement& req) {
+  const auto all = recommend(tech, req);
+  LATTICE_REQUIRE(!all.empty() && all.front().feasible,
+                  "no architecture meets the requirement");
+  return all.front();
+}
+
+}  // namespace lattice::core

@@ -1,0 +1,106 @@
+// Array-into-list embeddings and their spans (§3, Theorem 1).
+//
+// A serial pipeline consumes the lattice as a linear stream, so every
+// PE must buffer all sites between the earliest and latest neighbor of
+// the site it is updating. That buffer size is governed by the *span*
+// of the embedding of the 2-D array into the 1-D stream:
+//
+//   span = max |f(a) - f(b)| over 4-adjacent array cells a, b.
+//
+// Theorem 1 (Supowit & Young, proved in the paper): every embedding of
+// an n×n array has span ≥ n, so the natural row-major order — span
+// exactly n — is optimal, and a pipeline PE cannot buffer fewer than
+// ~2n sites for a full (two-row) neighborhood. This module provides the
+// classic embeddings, span/window evaluators, and an exhaustive
+// verifier for the theorem on small arrays.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "lattice/common/grid.hpp"
+
+namespace lattice::embed {
+
+/// A bijection from array cells onto stream positions 0 .. W*H-1.
+class Embedding {
+ public:
+  virtual ~Embedding() = default;
+
+  /// Stream position of cell `c` in an array of extent `e`.
+  virtual std::size_t position(Extent e, Coord c) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Whether this embedding supports the given extent.
+  virtual bool supports(Extent e) const { return e.area() > 0; }
+};
+
+/// Natural raster order: f(x, y) = y·W + x. Span = W; optimal.
+class RowMajorEmbedding final : public Embedding {
+ public:
+  std::size_t position(Extent e, Coord c) const override;
+  std::string_view name() const override { return "row-major"; }
+};
+
+/// Snake order: odd rows reversed. Span = 2W - 1.
+class BoustrophedonEmbedding final : public Embedding {
+ public:
+  std::size_t position(Extent e, Coord c) const override;
+  std::string_view name() const override { return "boustrophedon"; }
+};
+
+/// Row-major over b×b blocks, row-major inside each block.
+/// Requires extents divisible by the block size.
+class BlockEmbedding final : public Embedding {
+ public:
+  explicit BlockEmbedding(std::int64_t block);
+  std::size_t position(Extent e, Coord c) const override;
+  std::string_view name() const override { return "block"; }
+  bool supports(Extent e) const override;
+  std::int64_t block() const noexcept { return block_; }
+
+ private:
+  std::int64_t block_;
+};
+
+/// Hilbert space-filling curve. Requires a square power-of-two extent.
+/// Excellent *average* locality, but worst-case adjacent distance is
+/// Θ(n²) — a vivid illustration that curve cleverness cannot beat
+/// Theorem 1's lower bound, and can lose badly on the worst case that
+/// sizes a shift register.
+class HilbertEmbedding final : public Embedding {
+ public:
+  std::size_t position(Extent e, Coord c) const override;
+  std::string_view name() const override { return "hilbert"; }
+  bool supports(Extent e) const override;
+};
+
+/// True iff `emb` maps the array one-to-one onto 0..area-1.
+bool is_bijective(const Embedding& emb, Extent e);
+
+/// Theorem 1 span: max |f(a)-f(b)| over 4-adjacent cell pairs.
+std::int64_t adjacency_span(const Embedding& emb, Extent e);
+
+/// Mean |f(a)-f(b)| over 4-adjacent cell pairs (locality measure).
+double mean_adjacency_distance(const Embedding& emb, Extent e);
+
+/// Stream window needed to hold a full 3×3 (Moore) neighborhood:
+/// max over cells of (latest - earliest in-array neighbor position) + 1.
+/// Row-major: 2W + 3 — the paper's two-line shift register.
+std::int64_t moore_window(const Embedding& emb, Extent e);
+
+/// Exhaustively verify Theorem 1 over *all* (n²)! placements of an n×n
+/// array: returns the minimum span achieved by any bijection. n ≤ 3 is
+/// feasible; the theorem asserts the result is ≥ n.
+std::int64_t min_span_over_all_placements(std::int64_t n);
+
+/// The four standard embeddings (block size picked to divide n when
+/// possible); for benchmarking and sweeps.
+std::vector<std::unique_ptr<Embedding>> standard_embeddings(
+    std::int64_t block = 4);
+
+}  // namespace lattice::embed

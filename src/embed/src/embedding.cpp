@@ -1,0 +1,175 @@
+#include "lattice/embed/embedding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <numeric>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::embed {
+
+std::size_t RowMajorEmbedding::position(Extent e, Coord c) const {
+  return linear_index(e, c);
+}
+
+std::size_t BoustrophedonEmbedding::position(Extent e, Coord c) const {
+  const std::int64_t x = (c.y & 1) ? e.width - 1 - c.x : c.x;
+  return static_cast<std::size_t>(c.y * e.width + x);
+}
+
+BlockEmbedding::BlockEmbedding(std::int64_t block) : block_(block) {
+  LATTICE_REQUIRE(block > 0, "block size must be positive");
+}
+
+bool BlockEmbedding::supports(Extent e) const {
+  return e.area() > 0 && e.width % block_ == 0 && e.height % block_ == 0;
+}
+
+std::size_t BlockEmbedding::position(Extent e, Coord c) const {
+  const std::int64_t bx = c.x / block_;
+  const std::int64_t by = c.y / block_;
+  const std::int64_t ix = c.x % block_;
+  const std::int64_t iy = c.y % block_;
+  const std::int64_t blocks_per_row = e.width / block_;
+  const std::int64_t block_index = by * blocks_per_row + bx;
+  return static_cast<std::size_t>(block_index * block_ * block_ +
+                                  iy * block_ + ix);
+}
+
+bool HilbertEmbedding::supports(Extent e) const {
+  return e.width == e.height && e.width > 0 &&
+         std::has_single_bit(static_cast<std::uint64_t>(e.width));
+}
+
+std::size_t HilbertEmbedding::position(Extent e, Coord c) const {
+  LATTICE_ASSERT(supports(e), "Hilbert embedding needs square power-of-two");
+  // Classic xy→d bit-interleave walk.
+  std::int64_t x = c.x;
+  std::int64_t y = c.y;
+  std::int64_t d = 0;
+  for (std::int64_t s = e.width / 2; s > 0; s /= 2) {
+    const std::int64_t rx = (x & s) > 0 ? 1 : 0;
+    const std::int64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return static_cast<std::size_t>(d);
+}
+
+bool is_bijective(const Embedding& emb, Extent e) {
+  if (!emb.supports(e)) return false;
+  std::vector<bool> hit(static_cast<std::size_t>(e.area()), false);
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const std::size_t p = emb.position(e, {x, y});
+      if (p >= hit.size() || hit[p]) return false;
+      hit[p] = true;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Apply `f` to every 4-adjacent cell pair (each pair once).
+template <typename F>
+void for_each_adjacent_pair(Extent e, F&& f) {
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      if (x + 1 < e.width) f(Coord{x, y}, Coord{x + 1, y});
+      if (y + 1 < e.height) f(Coord{x, y}, Coord{x, y + 1});
+    }
+  }
+}
+
+std::int64_t distance(const Embedding& emb, Extent e, Coord a, Coord b) {
+  const auto pa = static_cast<std::int64_t>(emb.position(e, a));
+  const auto pb = static_cast<std::int64_t>(emb.position(e, b));
+  return std::abs(pa - pb);
+}
+
+}  // namespace
+
+std::int64_t adjacency_span(const Embedding& emb, Extent e) {
+  LATTICE_REQUIRE(emb.supports(e), "embedding does not support extent");
+  std::int64_t span = 0;
+  for_each_adjacent_pair(e, [&](Coord a, Coord b) {
+    span = std::max(span, distance(emb, e, a, b));
+  });
+  return span;
+}
+
+double mean_adjacency_distance(const Embedding& emb, Extent e) {
+  LATTICE_REQUIRE(emb.supports(e), "embedding does not support extent");
+  std::int64_t total = 0;
+  std::int64_t pairs = 0;
+  for_each_adjacent_pair(e, [&](Coord a, Coord b) {
+    total += distance(emb, e, a, b);
+    ++pairs;
+  });
+  return pairs > 0 ? static_cast<double>(total) / static_cast<double>(pairs)
+                   : 0.0;
+}
+
+std::int64_t moore_window(const Embedding& emb, Extent e) {
+  LATTICE_REQUIRE(emb.supports(e), "embedding does not support extent");
+  std::int64_t window = 0;
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      std::int64_t lo = static_cast<std::int64_t>(e.area());
+      std::int64_t hi = -1;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const Coord n{x + dx, y + dy};
+          if (!e.contains(n)) continue;
+          const auto p = static_cast<std::int64_t>(emb.position(e, n));
+          lo = std::min(lo, p);
+          hi = std::max(hi, p);
+        }
+      }
+      window = std::max(window, hi - lo + 1);
+    }
+  }
+  return window;
+}
+
+std::int64_t min_span_over_all_placements(std::int64_t n) {
+  LATTICE_REQUIRE(n >= 1 && n <= 3,
+                  "exhaustive search is only feasible for n <= 3");
+  const Extent e{n, n};
+  const auto cells = static_cast<std::size_t>(n * n);
+  std::vector<std::size_t> perm(cells);
+  std::iota(perm.begin(), perm.end(), 0u);
+
+  std::int64_t best = static_cast<std::int64_t>(cells);
+  do {
+    std::int64_t span = 0;
+    for_each_adjacent_pair(e, [&](Coord a, Coord b) {
+      const auto pa = static_cast<std::int64_t>(perm[linear_index(e, a)]);
+      const auto pb = static_cast<std::int64_t>(perm[linear_index(e, b)]);
+      span = std::max(span, std::abs(pa - pb));
+    });
+    best = std::min(best, span);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+std::vector<std::unique_ptr<Embedding>> standard_embeddings(
+    std::int64_t block) {
+  std::vector<std::unique_ptr<Embedding>> out;
+  out.push_back(std::make_unique<RowMajorEmbedding>());
+  out.push_back(std::make_unique<BoustrophedonEmbedding>());
+  out.push_back(std::make_unique<BlockEmbedding>(block));
+  out.push_back(std::make_unique<HilbertEmbedding>());
+  return out;
+}
+
+}  // namespace lattice::embed

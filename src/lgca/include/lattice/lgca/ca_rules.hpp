@@ -1,0 +1,45 @@
+// Non-gas lattice rules.
+//
+// The paper motivates lattice engines with "numerical solution of
+// differential equations, iterative image processing, and cellular
+// automata" (§1). These rules exercise the same engine/architecture
+// machinery on those workloads:
+//
+//   LifeRule         — Conway's Life on the Moore neighborhood (bit 0).
+//   BoxFilterRule    — 3×3 mean filter over 8-bit pixels (linear
+//                      filtering, §1's image-processing example).
+//   MedianFilterRule — 3×3 median filter (the paper's other example).
+//   DiffusionRule    — 4-neighbor discrete heat relaxation on bytes,
+//                      a stand-in for iterative PDE solvers.
+
+#pragma once
+
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::lgca {
+
+class LifeRule final : public Rule {
+ public:
+  Site apply(const Window& w, const SiteContext& ctx) const override;
+  std::string_view name() const override { return "Life"; }
+};
+
+class BoxFilterRule final : public Rule {
+ public:
+  Site apply(const Window& w, const SiteContext& ctx) const override;
+  std::string_view name() const override { return "BoxFilter3x3"; }
+};
+
+class MedianFilterRule final : public Rule {
+ public:
+  Site apply(const Window& w, const SiteContext& ctx) const override;
+  std::string_view name() const override { return "MedianFilter3x3"; }
+};
+
+class DiffusionRule final : public Rule {
+ public:
+  Site apply(const Window& w, const SiteContext& ctx) const override;
+  std::string_view name() const override { return "Diffusion4"; }
+};
+
+}  // namespace lattice::lgca

@@ -1,0 +1,45 @@
+// The lattice-gas update expressed as a local Rule.
+//
+// One application performs the full LGCA step for one site as a gather:
+//   1. propagation — channel i of the new state arrives from the
+//      neighbor in direction opposite(i) (a particle launched there one
+//      tick ago, travelling in direction i, lands here now);
+//   2. collision  — the gathered state is pushed through the model's
+//      collision table (chirality variant chosen deterministically from
+//      (x, y, t)).
+//
+// The rest particle and the obstacle flag are taken from the center
+// site: both are stationary.
+
+#pragma once
+
+#include "lattice/lgca/gas_model.hpp"
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::lgca {
+
+class GasRule final : public Rule {
+ public:
+  explicit GasRule(GasKind kind) : model_(GasModel::get(kind)) {}
+
+  const GasModel& model() const noexcept { return model_; }
+
+  Site apply(const Window& w, const SiteContext& ctx) const override;
+  std::string_view name() const override {
+    return gas_kind_name(model_.kind());
+  }
+
+ private:
+  const GasModel& model_;
+};
+
+/// Undo one gas generation *exactly* — the microscopic reversibility of
+/// lattice gases. Works because every model's chirality variants are
+/// mutual inverses (collide(·,1) ∘ collide(·,0) = id), so the update
+/// factorizes into invertible collide-then-scatter. `t` must be the
+/// time that was passed to the forward step being undone. Requires
+/// periodic boundaries (null boundaries destroy information at the
+/// edges).
+void gas_unstep(SiteLattice& lat, const GasRule& rule, std::int64_t t);
+
+}  // namespace lattice::lgca

@@ -1,0 +1,82 @@
+// Lattice geometry: direction sets and neighbor offsets.
+//
+// The FHP gas lives on a triangular (hexagonally connected) lattice.
+// We store it in an ordinary row-major array using "offset" rows: odd
+// rows are imagined shifted half a cell to the right, so the six
+// neighbors of a site are found at parity-dependent (dx, dy) offsets —
+// all within the 3×3 array window around the site. This is what lets
+// every architecture in the paper stream the lattice with a two-line
+// shift-register window regardless of square vs hex connectivity.
+//
+// Direction numbering (counterclockwise in physical space; grid y grows
+// downward, so "N" offsets have dy = -1):
+//
+//   HPP (square):  0=E, 1=N, 2=W, 3=S               opposite(i) = i+2 mod 4
+//   FHP (hex):     0=E, 1=NE, 2=NW, 3=W, 4=SW, 5=SE opposite(i) = i+3 mod 6
+//
+// Integer momentum units (exact conservation arithmetic):
+//   HPP:  c_i ∈ {(2,0), (0,-2), (-2,0), (0,2)}
+//   FHP:  c_i ∈ {(2,0), (1,-1), (-1,-1), (-2,0), (-1,1), (1,1)}
+// (x doubled; hex y in units of √3/2 · lattice pitch).
+
+#pragma once
+
+#include <array>
+
+#include "lattice/common/grid.hpp"
+
+namespace lattice::lgca {
+
+/// Connectivity of the site lattice.
+enum class Topology { Square4, Hex6 };
+
+/// Small signed offset to a neighboring array cell.
+struct Offset {
+  int dx = 0;
+  int dy = 0;
+  friend constexpr bool operator==(Offset, Offset) = default;
+};
+
+/// Integer momentum carried by one particle in channel `dir`.
+struct Momentum {
+  int px = 0;
+  int py = 0;
+  friend constexpr bool operator==(Momentum, Momentum) = default;
+  constexpr Momentum operator+(Momentum o) const noexcept {
+    return {px + o.px, py + o.py};
+  }
+  constexpr Momentum operator-() const noexcept { return {-px, -py}; }
+};
+
+/// Number of moving channels for a topology.
+constexpr int channel_count(Topology t) noexcept {
+  return t == Topology::Square4 ? 4 : 6;
+}
+
+/// Direction of the channel that points exactly backwards.
+constexpr int opposite_dir(Topology t, int dir) noexcept {
+  return t == Topology::Square4 ? (dir + 2) % 4 : (dir + 3) % 6;
+}
+
+constexpr int common_wrap(int v, int m) noexcept {
+  const int r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Rotate a direction by `steps` 90° (square) or 60° (hex) increments.
+constexpr int rotate_dir(Topology t, int dir, int steps) noexcept {
+  const int n = channel_count(t);
+  return common_wrap(dir + steps, n);
+}
+
+/// Array offset of the neighbor reached by moving one step in `dir`
+/// from a site in a row of the given parity.
+Offset neighbor_offset(Topology t, int dir, bool odd_row) noexcept;
+
+/// Integer momentum unit vector of channel `dir`.
+Momentum momentum_of(Topology t, int dir) noexcept;
+
+/// Absolute array coordinate of the `dir`-neighbor of `c`.
+Coord neighbor_coord(Topology t, Coord c, int dir) noexcept;
+
+}  // namespace lattice::lgca

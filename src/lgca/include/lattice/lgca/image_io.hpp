@@ -1,0 +1,29 @@
+// Minimal image / text output for examples and debugging.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lattice/lgca/gas_model.hpp"
+#include "lattice/lgca/lattice.hpp"
+#include "lattice/lgca/observables.hpp"
+
+namespace lattice::lgca {
+
+/// Write a binary PGM (P5) of per-site particle counts (scaled to 255).
+void write_density_pgm(std::ostream& os, const SiteLattice& lat,
+                       const GasModel& model);
+
+/// Write a binary PGM of the raw site bytes (for image-filter rules).
+void write_raw_pgm(std::ostream& os, const SiteLattice& lat);
+
+/// ASCII rendering of a coarse-grained flow field: one glyph per cell,
+/// arrows by dominant velocity direction, '#' for obstacle-heavy cells.
+std::string render_flow_ascii(const Grid<FlowCell>& cells);
+
+/// ASCII art of raw occupancy (' ' empty … '@' full, '#' obstacle).
+std::string render_density_ascii(const SiteLattice& lat,
+                                 const GasModel& model);
+
+}  // namespace lattice::lgca

@@ -1,0 +1,45 @@
+// Lattice initializers and obstacle geometry.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/lgca/gas_model.hpp"
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::lgca {
+
+/// Fill non-obstacle sites with independent particles: each moving
+/// channel occupied with probability `density`; the rest channel (if the
+/// model has one) with probability `rest_density`.
+void fill_random(SiteLattice& lat, const GasModel& model, double density,
+                 std::uint64_t seed, double rest_density = 0.0);
+
+/// Like fill_random but biased to produce net flow in +x: channels with
+/// positive x-momentum are occupied with `density + bias`, negative with
+/// `density - bias` (clamped to [0,1]).
+void fill_flow(SiteLattice& lat, const GasModel& model, double density,
+               double bias, std::uint64_t seed);
+
+/// Sinusoidal shear profile: like fill_flow but with the x-bias varying
+/// as bias·sin(2πy/H) across rows — the initial condition of the
+/// viscous shear-decay experiment.
+void fill_shear(SiteLattice& lat, const GasModel& model, double density,
+                double bias, std::uint64_t seed);
+
+/// Mark a filled rectangle of sites as obstacles (clears particles).
+void add_obstacle_rect(SiteLattice& lat, Coord lo, Coord hi);
+
+/// Mark a disk of obstacles centered at (cx, cy) with radius r.
+void add_obstacle_disk(SiteLattice& lat, double cx, double cy, double r);
+
+/// Obstacle walls along the top and bottom rows (a channel).
+void add_channel_walls(SiteLattice& lat);
+
+/// Place a tight momentum pulse: a `w`×`w` block around the center of
+/// the lattice with all moving channels occupied (maximum pressure,
+/// zero net momentum). Used for the isotropy experiment.
+void add_pressure_pulse(SiteLattice& lat, const GasModel& model,
+                        std::int64_t w);
+
+}  // namespace lattice::lgca

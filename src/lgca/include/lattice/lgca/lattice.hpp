@@ -1,0 +1,96 @@
+// Site lattice container with boundary handling.
+//
+// The container is deliberately dumb: a row-major byte array plus a
+// boundary policy. All update semantics live in Rule objects so that
+// the golden reference and every architecture simulator consume the
+// same 3×3 windows and must therefore agree bit-for-bit.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "lattice/common/grid.hpp"
+#include "lattice/lgca/site.hpp"
+
+namespace lattice::lgca {
+
+/// How sites outside the array read.
+///   Null     — the paper's pipeline assumption: outside is empty (0).
+///   Periodic — toroidal wrap; used by physics tests (exact global
+///              conservation) but not streamable by a finite-window
+///              pipeline, which is why the paper treats boundaries as
+///              null/deterministic (§7 assumption 2).
+enum class Boundary { Null, Periodic };
+
+/// The 3×3 array window around a site: rows y-1..y+1 × cols x-1..x+1.
+struct Window {
+  std::array<Site, 9> s{};
+
+  /// dx, dy ∈ {-1, 0, +1}.
+  constexpr Site at(int dx, int dy) const noexcept {
+    return s[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))];
+  }
+  constexpr Site& at(int dx, int dy) noexcept {
+    return s[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))];
+  }
+  constexpr Site center() const noexcept { return at(0, 0); }
+};
+
+/// A rectangular field of sites.
+class SiteLattice {
+ public:
+  SiteLattice() = default;
+  SiteLattice(Extent extent, Boundary boundary);
+
+  Extent extent() const noexcept { return grid_.extent(); }
+  Boundary boundary() const noexcept { return boundary_; }
+  std::size_t site_count() const noexcept { return grid_.size(); }
+
+  /// Read a site; coordinates outside the array resolve per boundary.
+  Site get(Coord c) const noexcept;
+
+  /// Direct in-range access.
+  Site& at(Coord c) { return grid_.at(c); }
+  Site at(Coord c) const { return grid_.at(c); }
+
+  Site& operator[](std::size_t i) { return grid_[i]; }
+  Site operator[](std::size_t i) const { return grid_[i]; }
+
+  /// The 3×3 window around `c` (which must be in range).
+  Window window_at(Coord c) const noexcept;
+
+  Grid<Site>& grid() noexcept { return grid_; }
+  const Grid<Site>& grid() const noexcept { return grid_; }
+
+  void fill(Site v) { grid_.fill(v); }
+
+  friend bool operator==(const SiteLattice& a, const SiteLattice& b) {
+    return a.boundary_ == b.boundary_ && a.grid_ == b.grid_;
+  }
+
+ private:
+  Boundary boundary_ = Boundary::Null;
+  Grid<Site> grid_;
+};
+
+/// Per-update context handed to rules: absolute site position and time.
+/// Rules must be pure functions of (window, context) — this is what
+/// makes pipelined replays reproducible.
+struct SiteContext {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t t = 0;
+};
+
+/// A local update rule: new site value from its 3×3 neighborhood.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Compute v(a, t+1) from the window around `a` at time t.
+  virtual Site apply(const Window& w, const SiteContext& ctx) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace lattice::lgca

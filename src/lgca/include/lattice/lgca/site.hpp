@@ -1,0 +1,44 @@
+// Site encoding for lattice-gas cellular automata.
+//
+// A site is one byte — exactly the D = 8 bits/site the paper's design
+// analysis assumes. Bit assignment:
+//
+//   bits 0..5  moving-particle channels (HPP uses only 0..3)
+//   bit  6     rest particle (FHP-II; unused by HPP and FHP-I)
+//   bit  7     obstacle flag (static geometry; collisions bounce back)
+//
+// The same byte doubles as a grayscale pixel for the image-processing
+// rules, which is faithful to the paper's framing: the engines are
+// generic lattice-update machines, the gas is just the test bed.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lattice::lgca {
+
+using Site = std::uint8_t;
+
+inline constexpr Site kRestBit = Site{1u << 6};
+inline constexpr Site kObstacleBit = Site{1u << 7};
+inline constexpr int kSiteBits = 8;
+
+/// Bit mask for moving channel `dir`.
+constexpr Site channel_bit(int dir) noexcept {
+  return static_cast<Site>(1u << dir);
+}
+
+constexpr bool has_channel(Site s, int dir) noexcept {
+  return (s & channel_bit(dir)) != 0;
+}
+
+constexpr bool has_rest(Site s) noexcept { return (s & kRestBit) != 0; }
+constexpr bool is_obstacle(Site s) noexcept { return (s & kObstacleBit) != 0; }
+
+/// Number of particles on the site (moving + rest; obstacle bit excluded).
+constexpr int particle_count(Site s) noexcept {
+  return std::popcount(static_cast<unsigned>(s & ~kObstacleBit));
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,43 @@
+#include "lattice/lgca/ca_rules.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace lattice::lgca {
+
+Site LifeRule::apply(const Window& w, const SiteContext&) const {
+  int live_neighbors = 0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      live_neighbors += w.at(dx, dy) & 1;
+    }
+  }
+  const bool alive = (w.center() & 1) != 0;
+  const bool next = alive ? (live_neighbors == 2 || live_neighbors == 3)
+                          : (live_neighbors == 3);
+  return next ? Site{1} : Site{0};
+}
+
+Site BoxFilterRule::apply(const Window& w, const SiteContext&) const {
+  unsigned sum = 0;
+  for (const Site s : w.s) sum += s;
+  return static_cast<Site>((sum + 4) / 9);  // rounded mean
+}
+
+Site MedianFilterRule::apply(const Window& w, const SiteContext&) const {
+  std::array<Site, 9> v = w.s;
+  std::nth_element(v.begin(), v.begin() + 4, v.end());
+  return v[4];
+}
+
+Site DiffusionRule::apply(const Window& w, const SiteContext&) const {
+  // u' = u + (sum of 4-neighbors - 4u) / 8, clamped to [0, 255].
+  const int u = w.center();
+  const int lap =
+      w.at(1, 0) + w.at(-1, 0) + w.at(0, 1) + w.at(0, -1) - 4 * u;
+  const int next = u + (lap >= 0 ? lap / 8 : -((-lap + 7) / 8));
+  return static_cast<Site>(std::clamp(next, 0, 255));
+}
+
+}  // namespace lattice::lgca

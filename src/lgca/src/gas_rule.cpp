@@ -1,0 +1,61 @@
+#include "lattice/lgca/gas_rule.hpp"
+
+namespace lattice::lgca {
+
+Site GasRule::apply(const Window& w, const SiteContext& ctx) const {
+  const Topology topo = model_.topology();
+  const bool odd_row = (ctx.y & 1) != 0;
+  const Site center = w.center();
+
+  // Gather incoming particles. A particle arriving on channel i left the
+  // neighbor that lies in direction opposite(i), where it occupied
+  // channel i.
+  Site in = 0;
+  for (int i = 0; i < model_.channels(); ++i) {
+    const Offset o = neighbor_offset(topo, opposite_dir(topo, i), odd_row);
+    if (has_channel(w.at(o.dx, o.dy), i)) in |= channel_bit(i);
+  }
+  if (model_.has_rest_particle()) in |= static_cast<Site>(center & kRestBit);
+  in |= static_cast<Site>(center & kObstacleBit);
+
+  return model_.collide(in, GasModel::chirality(ctx.x, ctx.y, ctx.t));
+}
+
+void gas_unstep(SiteLattice& lat, const GasRule& rule, std::int64_t t) {
+  LATTICE_REQUIRE(lat.boundary() == Boundary::Periodic,
+                  "exact reversal needs periodic boundaries");
+  const GasModel& model = rule.model();
+  const Topology topo = model.topology();
+  const Extent e = lat.extent();
+
+  // 1. Invert the collision at every site: the opposite chirality
+  //    variant is the inverse permutation.
+  SiteLattice gathered(e, Boundary::Periodic);
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const int v = GasModel::chirality(x, y, t);
+      gathered.at({x, y}) = model.collide(lat.at({x, y}), 1 - v);
+    }
+  }
+
+  // 2. Un-stream: the particle that was gathered into channel i at
+  //    site a came from a's opposite(i)-neighbor, so send it back.
+  SiteLattice out(e, Boundary::Periodic);
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const Coord b{x, y};
+      Site s = 0;
+      for (int i = 0; i < model.channels(); ++i) {
+        const Coord a = neighbor_coord(topo, b, i);
+        if (has_channel(gathered.get(a), i)) s |= channel_bit(i);
+      }
+      const Site center = gathered.at(b);
+      if (model.has_rest_particle()) s |= static_cast<Site>(center & kRestBit);
+      s |= static_cast<Site>(center & kObstacleBit);
+      out.at(b) = s;
+    }
+  }
+  lat = out;
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,69 @@
+#include "lattice/lgca/geometry.hpp"
+
+namespace lattice::lgca {
+
+namespace {
+
+// Square-lattice neighbor offsets, indexed by direction (E, N, W, S).
+constexpr std::array<Offset, 4> kSquareOffsets = {{
+    {+1, 0},   // E
+    {0, -1},   // N
+    {-1, 0},   // W
+    {0, +1},   // S
+}};
+
+// Hex-lattice neighbor offsets for even rows ([dir]) and odd rows
+// ([dir]). Odd rows are shifted half a cell right, so their NE/SE
+// neighbors sit one column further right than an even row's.
+constexpr std::array<Offset, 6> kHexEven = {{
+    {+1, 0},    // E
+    {0, -1},    // NE
+    {-1, -1},   // NW
+    {-1, 0},    // W
+    {-1, +1},   // SW
+    {0, +1},    // SE
+}};
+constexpr std::array<Offset, 6> kHexOdd = {{
+    {+1, 0},    // E
+    {+1, -1},   // NE
+    {0, -1},    // NW
+    {-1, 0},    // W
+    {0, +1},    // SW
+    {+1, +1},   // SE
+}};
+
+constexpr std::array<Momentum, 4> kSquareMomentum = {{
+    {2, 0},
+    {0, -2},
+    {-2, 0},
+    {0, 2},
+}};
+
+constexpr std::array<Momentum, 6> kHexMomentum = {{
+    {2, 0},
+    {1, -1},
+    {-1, -1},
+    {-2, 0},
+    {-1, 1},
+    {1, 1},
+}};
+
+}  // namespace
+
+Offset neighbor_offset(Topology t, int dir, bool odd_row) noexcept {
+  if (t == Topology::Square4) return kSquareOffsets[static_cast<std::size_t>(dir)];
+  return odd_row ? kHexOdd[static_cast<std::size_t>(dir)]
+                 : kHexEven[static_cast<std::size_t>(dir)];
+}
+
+Momentum momentum_of(Topology t, int dir) noexcept {
+  if (t == Topology::Square4) return kSquareMomentum[static_cast<std::size_t>(dir)];
+  return kHexMomentum[static_cast<std::size_t>(dir)];
+}
+
+Coord neighbor_coord(Topology t, Coord c, int dir) noexcept {
+  const Offset o = neighbor_offset(t, dir, (c.y & 1) != 0);
+  return {c.x + o.dx, c.y + o.dy};
+}
+
+}  // namespace lattice::lgca

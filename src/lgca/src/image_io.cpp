@@ -1,0 +1,81 @@
+#include "lattice/lgca/image_io.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lattice::lgca {
+
+void write_density_pgm(std::ostream& os, const SiteLattice& lat,
+                       const GasModel& model) {
+  const Extent e = lat.extent();
+  const int max_mass = model.channels() + (model.has_rest_particle() ? 1 : 0);
+  os << "P5\n" << e.width << ' ' << e.height << "\n255\n";
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const Site s = lat.at({x, y});
+      const int v = is_obstacle(s) ? 255 : model.mass(s) * 255 / max_mass;
+      os.put(static_cast<char>(v));
+    }
+  }
+}
+
+void write_raw_pgm(std::ostream& os, const SiteLattice& lat) {
+  const Extent e = lat.extent();
+  os << "P5\n" << e.width << ' ' << e.height << "\n255\n";
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      os.put(static_cast<char>(lat.at({x, y})));
+    }
+  }
+}
+
+std::string render_flow_ascii(const Grid<FlowCell>& cells) {
+  std::ostringstream out;
+  const Extent e = cells.extent();
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const FlowCell& fc = cells.at({x, y});
+      const double mag = std::hypot(fc.ux, fc.uy);
+      char glyph = '.';
+      if (fc.density <= 1e-9) {
+        glyph = ' ';
+      } else if (mag > 0.05) {
+        // Eight-way arrow by angle.
+        static constexpr char kArrows[8] = {'>', '/', '^', '\\',
+                                            '<', '/', 'v', '\\'};
+        const double ang = std::atan2(-fc.uy, fc.ux);  // grid y is down
+        int oct = static_cast<int>(std::lround(ang / (3.14159265358979 / 4)));
+        oct = ((oct % 8) + 8) % 8;
+        glyph = kArrows[oct];
+      }
+      out << glyph;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_density_ascii(const SiteLattice& lat,
+                                 const GasModel& model) {
+  static constexpr std::string_view kRamp = " .:-=+*%@";
+  std::ostringstream out;
+  const Extent e = lat.extent();
+  const int max_mass = model.channels() + (model.has_rest_particle() ? 1 : 0);
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const Site s = lat.at({x, y});
+      if (is_obstacle(s)) {
+        out << '#';
+      } else {
+        const int idx = model.mass(s) * (static_cast<int>(kRamp.size()) - 1) /
+                        max_mass;
+        out << kRamp[static_cast<std::size_t>(idx)];
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,121 @@
+#include "lattice/lgca/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lattice/common/rng.hpp"
+
+namespace lattice::lgca {
+
+void fill_random(SiteLattice& lat, const GasModel& model, double density,
+                 std::uint64_t seed, double rest_density) {
+  Pcg32 rng(seed);
+  const Extent e = lat.extent();
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      Site& s = lat.at({x, y});
+      if (is_obstacle(s)) continue;
+      Site v = 0;
+      for (int d = 0; d < model.channels(); ++d) {
+        if (rng.next_bool(density)) v |= channel_bit(d);
+      }
+      if (model.has_rest_particle() && rng.next_bool(rest_density)) {
+        v |= kRestBit;
+      }
+      s = v;
+    }
+  }
+}
+
+void fill_flow(SiteLattice& lat, const GasModel& model, double density,
+               double bias, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  const Extent e = lat.extent();
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      Site& s = lat.at({x, y});
+      if (is_obstacle(s)) continue;
+      Site v = 0;
+      for (int d = 0; d < model.channels(); ++d) {
+        const int px = momentum_of(model.topology(), d).px;
+        double p = density;
+        if (px > 0) p += bias;
+        if (px < 0) p -= bias;
+        p = std::clamp(p, 0.0, 1.0);
+        if (rng.next_bool(p)) v |= channel_bit(d);
+      }
+      s = v;
+    }
+  }
+}
+
+void fill_shear(SiteLattice& lat, const GasModel& model, double density,
+                double bias, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  const Extent e = lat.extent();
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    const double row_bias =
+        bias * std::sin(2.0 * 3.141592653589793 * static_cast<double>(y) /
+                        static_cast<double>(e.height));
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      Site& s = lat.at({x, y});
+      if (is_obstacle(s)) continue;
+      Site v = 0;
+      for (int d = 0; d < model.channels(); ++d) {
+        const int px = momentum_of(model.topology(), d).px;
+        double p = density;
+        if (px > 0) p += row_bias;
+        if (px < 0) p -= row_bias;
+        p = std::clamp(p, 0.0, 1.0);
+        if (rng.next_bool(p)) v |= channel_bit(d);
+      }
+      s = v;
+    }
+  }
+}
+
+void add_obstacle_rect(SiteLattice& lat, Coord lo, Coord hi) {
+  const Extent e = lat.extent();
+  for (std::int64_t y = std::max<std::int64_t>(lo.y, 0);
+       y <= std::min(hi.y, e.height - 1); ++y) {
+    for (std::int64_t x = std::max<std::int64_t>(lo.x, 0);
+         x <= std::min(hi.x, e.width - 1); ++x) {
+      lat.at({x, y}) = kObstacleBit;
+    }
+  }
+}
+
+void add_obstacle_disk(SiteLattice& lat, double cx, double cy, double r) {
+  const Extent e = lat.extent();
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      if (dx * dx + dy * dy <= r * r) lat.at({x, y}) = kObstacleBit;
+    }
+  }
+}
+
+void add_channel_walls(SiteLattice& lat) {
+  const Extent e = lat.extent();
+  add_obstacle_rect(lat, {0, 0}, {e.width - 1, 0});
+  add_obstacle_rect(lat, {0, e.height - 1}, {e.width - 1, e.height - 1});
+}
+
+void add_pressure_pulse(SiteLattice& lat, const GasModel& model,
+                        std::int64_t w) {
+  const Extent e = lat.extent();
+  const std::int64_t x0 = e.width / 2 - w / 2;
+  const std::int64_t y0 = e.height / 2 - w / 2;
+  Site all = 0;
+  for (int d = 0; d < model.channels(); ++d) all |= channel_bit(d);
+  for (std::int64_t y = y0; y < y0 + w; ++y) {
+    for (std::int64_t x = x0; x < x0 + w; ++x) {
+      if (lat.extent().contains({x, y}) && !is_obstacle(lat.at({x, y}))) {
+        lat.at({x, y}) = all;
+      }
+    }
+  }
+}
+
+}  // namespace lattice::lgca

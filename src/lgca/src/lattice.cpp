@@ -1,0 +1,28 @@
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::lgca {
+
+SiteLattice::SiteLattice(Extent extent, Boundary boundary)
+    : boundary_(boundary), grid_(extent) {
+  LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
+                  "SiteLattice extent must be positive");
+}
+
+Site SiteLattice::get(Coord c) const noexcept {
+  const Extent e = grid_.extent();
+  if (e.contains(c)) return grid_.at(c);
+  if (boundary_ == Boundary::Null) return 0;
+  return grid_.at({wrap(c.x, e.width), wrap(c.y, e.height)});
+}
+
+Window SiteLattice::window_at(Coord c) const noexcept {
+  Window w;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      w.at(dx, dy) = get({c.x + dx, c.y + dy});
+    }
+  }
+  return w;
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,72 @@
+#include "lattice/lgca/reference.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lattice::lgca {
+
+SiteLattice reference_next(const SiteLattice& lat, const Rule& rule,
+                           std::int64_t t) {
+  const Extent e = lat.extent();
+  SiteLattice out(e, lat.boundary());
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const Coord c{x, y};
+      out.at(c) = rule.apply(lat.window_at(c), SiteContext{x, y, t});
+    }
+  }
+  return out;
+}
+
+void reference_step(SiteLattice& lat, const Rule& rule, std::int64_t t) {
+  lat = reference_next(lat, rule, t);
+}
+
+void reference_run(SiteLattice& lat, const Rule& rule,
+                   std::int64_t generations, std::int64_t t0) {
+  for (std::int64_t g = 0; g < generations; ++g) {
+    reference_step(lat, rule, t0 + g);
+  }
+}
+
+void reference_run_parallel(SiteLattice& lat, const Rule& rule,
+                            std::int64_t generations, unsigned threads,
+                            std::int64_t t0) {
+  LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
+  const Extent e = lat.extent();
+  const auto workers =
+      std::min<std::int64_t>(threads, e.height);  // ≤ one band per row
+
+  SiteLattice next(e, lat.boundary());
+  for (std::int64_t g = 0; g < generations; ++g) {
+    const std::int64_t t = t0 + g;
+    const SiteLattice& cur = lat;
+    auto band = [&](std::int64_t y0, std::int64_t y1) {
+      for (std::int64_t y = y0; y < y1; ++y) {
+        for (std::int64_t x = 0; x < e.width; ++x) {
+          const Coord c{x, y};
+          next.at(c) = rule.apply(cur.window_at(c), SiteContext{x, y, t});
+        }
+      }
+    };
+    if (workers == 1) {
+      band(0, e.height);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      const std::int64_t rows_per = (e.height + workers - 1) / workers;
+      for (std::int64_t w = 0; w < workers; ++w) {
+        const std::int64_t y0 = w * rows_per;
+        const std::int64_t y1 = std::min(e.height, y0 + rows_per);
+        if (y0 >= y1) break;
+        pool.emplace_back(band, y0, y1);
+      }
+      for (std::thread& th : pool) th.join();
+    }
+    std::swap(lat, next);
+  }
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,55 @@
+// Serial raster pipeline for the 3-D gas.
+//
+// The 2-D engines buffer two lattice *lines* (≈2L sites); a 3-D raster
+// pipeline must buffer two lattice *planes* (≈2·nx·ny sites) to hold a
+// site's 6-neighborhood between first and last use. This is §6.4's
+// warning made executable: "as we increase the dimensionality of the
+// problems... this effect will become even more dramatic" — on the 1987
+// technology the on-chip WSA that handled L = 785 in 2-D can hold only
+// L ≈ 29 in 3-D (see bench_dimensionality).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lgca3d/lattice3.hpp"
+
+namespace lattice::lgca3d {
+
+struct Pipeline3Stats {
+  std::int64_t ticks = 0;
+  std::int64_t site_updates = 0;
+  std::int64_t buffer_sites = 0;  // the 2-plane window
+
+  double updates_per_tick() const {
+    return ticks > 0 ? static_cast<double>(site_updates) /
+                           static_cast<double>(ticks)
+                     : 0.0;
+  }
+};
+
+/// A chain of `depth` serial PEs streaming the volume in raster order
+/// (x fastest, then y, then z), one site per tick per stage.
+class Pipeline3 {
+ public:
+  Pipeline3(Extent3 extent, int depth, std::int64_t t0 = 0);
+
+  /// Stream `in` (null boundary) through the chain: `depth` generations.
+  Lattice3 run(const Lattice3& in);
+
+  const Pipeline3Stats& stats() const noexcept { return stats_; }
+
+  /// Shift-register sites one serial 3-D PE needs (two planes + a row).
+  static std::int64_t window_sites(Extent3 e) noexcept {
+    return 2 * e.nx * e.ny + e.nx + 3;
+  }
+
+ private:
+  Extent3 extent_;
+  int depth_;
+  std::int64_t t0_;
+  Pipeline3Stats stats_;
+};
+
+}  // namespace lattice::lgca3d

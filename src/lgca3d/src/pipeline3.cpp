@@ -1,0 +1,103 @@
+#include "lattice/lgca3d/pipeline3.hpp"
+
+namespace lattice::lgca3d {
+
+namespace {
+
+/// One serial stage: ring buffer holding the trailing two planes of the
+/// input stream, emitting updated sites delayed by one plane + one row
+/// + one site.
+class Stage3 {
+ public:
+  Stage3(Extent3 e, std::int64_t t, std::int64_t lead)
+      : extent_(e),
+        t_(t),
+        plane_(e.nx * e.ny),
+        delay_(plane_ + e.nx + 2),
+        next_in_(-lead),
+        ring_(static_cast<std::size_t>(2 * plane_ + 2 * e.nx + 8), 0) {}
+
+  std::int64_t delay() const noexcept { return delay_; }
+  std::int64_t buffer_sites() const noexcept {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+
+  Site tick(Site in) {
+    ring_[index(next_in_)] = in;
+    ++next_in_;
+    const std::int64_t pos = next_in_ - 1 - delay_;
+    if (pos < 0 || pos >= extent_.volume()) return 0;
+    return update_at(pos);
+  }
+
+ private:
+  std::size_t index(std::int64_t pos) const noexcept {
+    const auto cap = static_cast<std::int64_t>(ring_.size());
+    return static_cast<std::size_t>(((pos % cap) + cap) % cap);
+  }
+
+  Site update_at(std::int64_t pos) const {
+    const Gas3Model& m = Gas3Model::get();
+    const std::int64_t x = pos % extent_.nx;
+    const std::int64_t y = (pos / extent_.nx) % extent_.ny;
+    const std::int64_t z = pos / plane_;
+    Site in = 0;
+    for (int d = 0; d < kChannels; ++d) {
+      const Vec3 v = velocity_of(d);
+      const Vec3 src{x - v.x, y - v.y, z - v.z};
+      if (!extent_.contains(src)) continue;  // null boundary mask
+      const std::int64_t spos =
+          (src.z * extent_.ny + src.y) * extent_.nx + src.x;
+      if ((ring_[index(spos)] & channel_bit(d)) != 0) in |= channel_bit(d);
+    }
+    in |= static_cast<Site>(ring_[index(pos)] & kObstacleBit);
+    return m.collide(in, Gas3Model::chirality(x, y, z, t_));
+  }
+
+  Extent3 extent_;
+  std::int64_t t_;
+  std::int64_t plane_;
+  std::int64_t delay_;
+  std::int64_t next_in_;
+  std::vector<Site> ring_;
+};
+
+}  // namespace
+
+Pipeline3::Pipeline3(Extent3 extent, int depth, std::int64_t t0)
+    : extent_(extent), depth_(depth), t0_(t0) {
+  LATTICE_REQUIRE(extent.volume() > 0, "Pipeline3 extent must be positive");
+  LATTICE_REQUIRE(depth >= 1, "Pipeline3 depth must be >= 1");
+}
+
+Lattice3 Pipeline3::run(const Lattice3& in) {
+  LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
+  LATTICE_REQUIRE(in.boundary() == Boundary3::Null,
+                  "3-D pipeline streams null-boundary lattices only");
+
+  std::vector<Stage3> stages;
+  stages.reserve(static_cast<std::size_t>(depth_));
+  std::int64_t lead = 0;
+  for (int s = 0; s < depth_; ++s) {
+    stages.emplace_back(extent_, t0_ + s, lead);
+    lead += stages.back().delay();
+  }
+
+  const std::int64_t volume = extent_.volume();
+  Lattice3 out(extent_, Boundary3::Null);
+  for (std::int64_t pos = 0; pos < volume + lead; ++pos) {
+    Site v = pos < volume ? in[static_cast<std::size_t>(pos)] : Site{0};
+    for (Stage3& st : stages) v = st.tick(v);
+    ++stats_.ticks;
+    const std::int64_t out_pos = pos - lead;
+    if (out_pos >= 0 && out_pos < volume) {
+      out[static_cast<std::size_t>(out_pos)] = v;
+    }
+  }
+  stats_.site_updates += volume * depth_;
+  stats_.buffer_sites = 0;
+  for (const Stage3& st : stages) stats_.buffer_sites += st.buffer_sites();
+  return out;
+}
+
+}  // namespace lattice::lgca3d

@@ -1,0 +1,46 @@
+// Analytic I/O bounds for lattice computations (§7, Theorems 2–4).
+//
+// Chain of results reproduced here:
+//   Lemma 8    T_d(j) > j^d / d!        (line-spread of C_d)
+//   Theorem 4  τ(2S) < 2·(d!·2S)^(1/d)  (line-time of any 2S-partition)
+//   Lemma 1/2  Q ≥ S·(g−1),  g ≥ |X| / (2S·τ(2S))
+//   ⇒          R = O(B·S^(1/d))         (the headline bound)
+//
+// R is the site-update rate, B the main-memory bandwidth in site values
+// per unit time, S the processor storage in site values, d the lattice
+// dimension.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::pebble {
+
+/// d! as a double (d small).
+double factorial(int d);
+
+/// Lemma 8 lower bound on the number of lines covered within j steps.
+double line_spread_lower(int d, double j);
+
+/// Theorem 4 upper bound on the line-time: τ(2S) < 2·(d!·2S)^(1/d).
+double tau_upper(int d, double storage);
+
+/// Hong–Kung lower bound on the I/O of any complete computation of a
+/// C_d with `vertices` total vertices, given storage S:
+/// Q ≥ S·(g−1) with g ≥ vertices / (2S·τ(2S)).
+/// Using the τ *upper* bound keeps this a valid (conservative) lower
+/// bound on Q.
+double min_io_lower_bound(int d, double storage, double vertices);
+
+/// Asymptotic ceiling on useful updates per I/O word:
+/// R/B ≤ 2·τ(2S) < 4·(d!·2S)^(1/d). Any legal pebbling must sit below
+/// this; the tiled schedules approach it within a constant.
+double updates_per_io_upper(int d, double storage);
+
+/// The headline form: maximum update rate for bandwidth `bw` (site
+/// values per second) and storage S: R ≤ bw · updates_per_io_upper.
+double update_rate_upper(int d, double storage, double bw_sites_per_sec);
+
+}  // namespace lattice::pebble

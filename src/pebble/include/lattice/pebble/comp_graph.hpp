@@ -1,0 +1,68 @@
+// Layered computation graphs C_d of lattice CA evolutions (§7).
+//
+// The lattice G is the d-dimensional orthogonal grid on the integer
+// points of a box (the paper's worst-case assumption 1: von Neumann
+// connectivity, the minimum any isotropic gas needs). The computation
+// graph C has T+1 copies of G's vertex set; (u, t) → (v, t+1) iff
+// u ∈ N(v) = neighbors(v) ∪ {v}. Boundary vertices keep truncated
+// neighborhoods (assumption 2).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/pebble/dag.hpp"
+
+namespace lattice::pebble {
+
+/// A d-dimensional box of lattice points.
+struct LatticeBox {
+  std::vector<std::int64_t> extent;  // points per dimension (size d)
+
+  int dim() const noexcept { return static_cast<int>(extent.size()); }
+
+  std::int64_t points() const noexcept {
+    std::int64_t n = 1;
+    for (const std::int64_t e : extent) n *= e;
+    return n;
+  }
+
+  /// Mixed-radix cell index of a coordinate vector.
+  std::int64_t index(const std::vector<std::int64_t>& x) const;
+
+  /// Inverse of index().
+  std::vector<std::int64_t> coords(std::int64_t idx) const;
+};
+
+/// Identify (cell, layer) with a Dag vertex.
+struct LayeredId {
+  const LatticeBox& box;
+  std::int64_t layers;  // T+1 total
+
+  Vertex vertex(std::int64_t cell, std::int64_t layer) const {
+    return layer * box.points() + cell;
+  }
+  std::int64_t cell_of(Vertex v) const { return v % box.points(); }
+  std::int64_t layer_of(Vertex v) const { return v / box.points(); }
+};
+
+/// Build C_d for `steps` evolution steps (layers 0..steps).
+Dag computation_graph(const LatticeBox& box, std::int64_t steps);
+
+/// Orthogonal lattice neighbors of a cell (von Neumann, truncated at
+/// the box boundary), *excluding* the cell itself.
+std::vector<std::int64_t> lattice_neighbors(const LatticeBox& box,
+                                            std::int64_t cell);
+
+/// Number of cells reachable from a corner in ≤ j steps: the integer
+/// points of the simplex x₁+…+x_d ≤ j, i.e. C(j+d, d) for boxes with
+/// every extent > j. This is the combinatorial heart of Lemma 8.
+std::int64_t simplex_points(int dim, std::int64_t j);
+
+/// Empirical line-spread seed: count cells within graph distance j of
+/// `cell` in the box (BFS).
+std::int64_t cells_within(const LatticeBox& box, std::int64_t cell,
+                          std::int64_t j);
+
+}  // namespace lattice::pebble

@@ -1,0 +1,82 @@
+// Directed acyclic graphs for pebble games (§7).
+//
+// Small and explicit: vertices are dense integer ids, predecessor and
+// successor lists are materialized. Fine for the graphs the games are
+// actually played on (lattice computation graphs up to a few hundred
+// thousand vertices); the asymptotic experiments use schedules that
+// walk the graph implicitly and only consult the game engine for
+// legality.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::pebble {
+
+using Vertex = std::int64_t;
+
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(Vertex n) { resize(n); }
+
+  void resize(Vertex n) {
+    LATTICE_REQUIRE(n >= 0, "Dag size must be non-negative");
+    preds_.resize(static_cast<std::size_t>(n));
+    succs_.resize(static_cast<std::size_t>(n));
+  }
+
+  Vertex add_vertex() {
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return static_cast<Vertex>(preds_.size()) - 1;
+  }
+
+  /// Add edge u → v (u computed before v; v depends on u).
+  void add_edge(Vertex u, Vertex v) {
+    LATTICE_REQUIRE(valid(u) && valid(v), "Dag edge endpoint out of range");
+    preds_[static_cast<std::size_t>(v)].push_back(u);
+    succs_[static_cast<std::size_t>(u)].push_back(v);
+  }
+
+  Vertex size() const noexcept { return static_cast<Vertex>(preds_.size()); }
+  bool valid(Vertex v) const noexcept { return v >= 0 && v < size(); }
+
+  const std::vector<Vertex>& preds(Vertex v) const {
+    return preds_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<Vertex>& succs(Vertex v) const {
+    return succs_[static_cast<std::size_t>(v)];
+  }
+
+  bool is_input(Vertex v) const { return preds(v).empty(); }
+  bool is_output(Vertex v) const { return succs(v).empty(); }
+
+  std::vector<Vertex> inputs() const {
+    std::vector<Vertex> out;
+    for (Vertex v = 0; v < size(); ++v)
+      if (is_input(v)) out.push_back(v);
+    return out;
+  }
+  std::vector<Vertex> outputs() const {
+    std::vector<Vertex> out;
+    for (Vertex v = 0; v < size(); ++v)
+      if (is_output(v)) out.push_back(v);
+    return out;
+  }
+
+  std::int64_t edge_count() const {
+    std::int64_t n = 0;
+    for (const auto& p : preds_) n += static_cast<std::int64_t>(p.size());
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<Vertex>> preds_;
+  std::vector<std::vector<Vertex>> succs_;
+};
+
+}  // namespace lattice::pebble

@@ -1,0 +1,142 @@
+// The red-blue pebble game (Hong & Kung, §7 rules 1–4) and the paper's
+// parallel-red-blue extension (§7, rule 5 with pink place-holders).
+//
+// The engine *referees*: schedules submit moves, the engine checks
+// legality, tracks pebble placement, and counts I/O. Every schedule in
+// this library is replayed through an engine, so its reported I/O
+// count is enforced, not self-declared.
+//
+// Rules (sequential game):
+//   1. a pebble may be removed from a vertex at any time;
+//   2. a red pebble may be placed on any vertex with a blue pebble  (read);
+//   3. a blue pebble may be placed on any vertex with a red pebble  (write);
+//   4. if all immediate predecessors of v are red, v may be red-pebbled
+//      (compute).
+// Start: inputs blue. Goal: outputs blue. At most S red pebbles.
+//
+// Parallel game: moves happen in cyclic phases — write, calculate,
+// read — with the calculate phase placing pink pebbles first (rule 4),
+// then turning them red, so a value may fan out to many simultaneous
+// calculations without the sequential game's slide blocking.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/pebble/dag.hpp"
+
+namespace lattice::pebble {
+
+/// Sequential red-blue pebble game referee.
+class RedBlueGame {
+ public:
+  /// `red_limit` is S, the processor storage in site values.
+  RedBlueGame(const Dag& dag, std::int64_t red_limit);
+
+  // --- moves (throw lattice::Error when illegal) ---
+  void remove_red(Vertex v);    // rule 1 (red half)
+  void remove_blue(Vertex v);   // rule 1 (blue half)
+  void read(Vertex v);          // rule 2: blue → +red      (1 I/O)
+  void write(Vertex v);         // rule 3: red → +blue      (1 I/O)
+  void compute(Vertex v);       // rule 4
+
+  // --- state ---
+  bool red(Vertex v) const { return red_[static_cast<std::size_t>(v)]; }
+  bool blue(Vertex v) const { return blue_[static_cast<std::size_t>(v)]; }
+  std::int64_t red_count() const noexcept { return red_count_; }
+  std::int64_t peak_red() const noexcept { return peak_red_; }
+  std::int64_t io_moves() const noexcept { return io_moves_; }
+  std::int64_t computes() const noexcept { return computes_; }
+  std::int64_t red_limit() const noexcept { return red_limit_; }
+
+  /// True once every output vertex carries a blue pebble — a complete
+  /// computation in the paper's sense.
+  bool complete() const;
+
+  const Dag& dag() const noexcept { return *dag_; }
+
+ private:
+  void place_red(Vertex v);
+
+  const Dag* dag_;
+  std::int64_t red_limit_;
+  std::vector<bool> red_;
+  std::vector<bool> blue_;
+  std::int64_t red_count_ = 0;
+  std::int64_t peak_red_ = 0;
+  std::int64_t io_moves_ = 0;
+  std::int64_t computes_ = 0;
+};
+
+/// Block-red-blue game (Savage & Vitter, cited as [15] in §7): like the
+/// sequential game, but a read or write may move up to `block_size`
+/// values in one I/O operation — the model of a memory system that
+/// transfers lines, not words. Lower-bound arguments divide by the
+/// block size; this referee lets schedules measure the win directly.
+class BlockRedBlueGame {
+ public:
+  BlockRedBlueGame(const Dag& dag, std::int64_t red_limit,
+                   std::int64_t block_size);
+
+  void remove_red(Vertex v) { inner_.remove_red(v); }
+  void compute(Vertex v) { inner_.compute(v); }
+
+  /// One block transfer from main memory: every vertex must be blue.
+  void read_block(const std::vector<Vertex>& vs);
+  /// One block transfer to main memory: every vertex must be red.
+  void write_block(const std::vector<Vertex>& vs);
+
+  bool red(Vertex v) const { return inner_.red(v); }
+  bool blue(Vertex v) const { return inner_.blue(v); }
+  std::int64_t block_ios() const noexcept { return block_ios_; }
+  std::int64_t word_ios() const noexcept { return inner_.io_moves(); }
+  std::int64_t computes() const noexcept { return inner_.computes(); }
+  std::int64_t peak_red() const noexcept { return inner_.peak_red(); }
+  bool complete() const { return inner_.complete(); }
+
+ private:
+  RedBlueGame inner_;
+  std::int64_t block_size_;
+  std::int64_t block_ios_ = 0;
+};
+
+/// Parallel red-blue game referee: phase-structured moves.
+class ParallelRedBlueGame {
+ public:
+  ParallelRedBlueGame(const Dag& dag, std::int64_t red_limit);
+
+  /// One full cycle: writes (rule 3), then simultaneous calculations
+  /// (rule 4 via pink pebbles; every calculation's supports must be red
+  /// *before* the phase), then reads (rule 2), then evictions.
+  /// I/O accrues |writes| + |reads|.
+  void step(const std::vector<Vertex>& writes,
+            const std::vector<Vertex>& calcs,
+            const std::vector<Vertex>& reads,
+            const std::vector<Vertex>& evictions);
+
+  bool red(Vertex v) const { return red_[static_cast<std::size_t>(v)]; }
+  bool blue(Vertex v) const { return blue_[static_cast<std::size_t>(v)]; }
+  std::int64_t io_moves() const noexcept { return io_moves_; }
+  std::int64_t computes() const noexcept { return computes_; }
+  std::int64_t peak_red() const noexcept { return peak_red_; }
+  std::int64_t phases() const noexcept { return phases_; }
+  bool complete() const;
+
+  /// Size h of the S-I/O-division: phases counted in blocks of ≤ S I/O
+  /// moves (the quantity Theorem 2 bounds below via 2S-partitions).
+  std::int64_t io_division_size() const;
+
+ private:
+  const Dag* dag_;
+  std::int64_t red_limit_;
+  std::vector<bool> red_;
+  std::vector<bool> blue_;
+  std::int64_t red_count_ = 0;
+  std::int64_t peak_red_ = 0;
+  std::int64_t io_moves_ = 0;
+  std::int64_t computes_ = 0;
+  std::int64_t phases_ = 0;
+};
+
+}  // namespace lattice::pebble

@@ -1,0 +1,33 @@
+// Exact minimum-I/O pebbling for small DAGs.
+//
+// The paper closes with: "A further goal would be to discover an
+// optimal pebbling for any problem in this class, and thereby discover
+// an architecture which is optimal with regard to input/output
+// complexity." For graphs small enough to enumerate (≤ ~12 vertices)
+// this module finds the true optimum Q by 0/1-BFS over game states
+// (red set × blue set), with compute/evict moves free and read/write
+// moves costing one I/O each. It serves as ground truth: the analytic
+// lower bounds must sit at or below it, and the constructive schedules
+// at or above it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/pebble/dag.hpp"
+
+namespace lattice::pebble {
+
+struct OptimalResult {
+  bool feasible = false;      // can the outputs be blue-pebbled at all?
+  std::int64_t min_io = 0;    // Q: minimum read+write moves
+  std::int64_t states = 0;    // search states expanded (diagnostics)
+};
+
+/// Exact minimum I/O over all legal red-blue pebblings with at most
+/// `red_limit` red pebbles. Throws for graphs with more than
+/// `max_vertices` vertices (state space is 4^n).
+OptimalResult min_io_pebbling(const Dag& dag, std::int64_t red_limit,
+                              int max_vertices = 12);
+
+}  // namespace lattice::pebble

@@ -1,0 +1,131 @@
+// Constructive pebbling schedules for lattice computation graphs (§7).
+//
+// Two families, both replayed through the RedBlueGame referee so their
+// I/O counts are enforced:
+//
+//   Sweep    — the naive streaming order: every generation reads the
+//              whole lattice from main memory and writes it back.
+//              I/O per useful update ≈ 2, *independent of S*: adding
+//              on-chip storage buys nothing.
+//
+//   Tiled    — space-time blocks with halos: read a (b+2h)^d input
+//              region once, advance it h generations entirely in
+//              processor storage (recomputing halo cells), write back
+//              the b^d core. Updates per I/O grow as Θ(S^(1/d)) —
+//              meeting Hong & Kung's upper bound R = O(B·S^(1/d))
+//              (Theorem 4) up to a constant, which shows the bound is
+//              asymptotically tight.
+//
+// The schedules pick their block parameters from the red-pebble budget
+// S; the game aborts the run if they ever overdraw it.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lattice/pebble/comp_graph.hpp"
+#include "lattice/pebble/game.hpp"
+
+namespace lattice::pebble {
+
+struct ScheduleResult {
+  std::int64_t io_moves = 0;       // q, counted by the referee
+  std::int64_t computes = 0;       // rule-4 moves (includes halo recompute)
+  std::int64_t useful_updates = 0; // lattice sites × generations
+  std::int64_t peak_red = 0;       // max red pebbles in flight
+  std::int64_t red_limit = 0;      // S
+  std::int64_t vertices = 0;       // |X| of the computation graph
+
+  /// Measured R/B in site-values per I/O word — the quantity Theorem 4
+  /// bounds by O(S^(1/d)).
+  double updates_per_io() const {
+    return io_moves > 0 ? static_cast<double>(useful_updates) /
+                              static_cast<double>(io_moves)
+                        : 0.0;
+  }
+  /// Redundant work fraction paid for the I/O savings.
+  double recompute_overhead() const {
+    return useful_updates > 0
+               ? static_cast<double>(computes - useful_updates) /
+                     static_cast<double>(useful_updates)
+               : 0.0;
+  }
+};
+
+/// Naive generation-by-generation sweep of a 1-D lattice of n cells
+/// over `steps` generations. Needs only S ≥ 5.
+ScheduleResult run_sweep_1d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit);
+
+/// Raster sweep of an nx×ny lattice; needs S ≥ 2·nx + 5 (two lines).
+ScheduleResult run_sweep_2d(std::int64_t nx, std::int64_t ny,
+                            std::int64_t steps, std::int64_t red_limit);
+
+/// Halo-tiled schedule on a 1-D lattice; block size chosen from S.
+ScheduleResult run_tiled_1d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit);
+
+/// Same, with an explicit (block, height) tile shape — the ablation
+/// handle for studying the b-vs-h tradeoff at fixed S. Throws if the
+/// shape overruns the red-pebble budget.
+ScheduleResult run_tiled_1d_shaped(std::int64_t n, std::int64_t steps,
+                                   std::int64_t red_limit,
+                                   std::int64_t block, std::int64_t height);
+
+/// Halo-tiled schedule on an nx×ny lattice; tile side chosen from S.
+ScheduleResult run_tiled_2d(std::int64_t nx, std::int64_t ny,
+                            std::int64_t steps, std::int64_t red_limit);
+
+/// Plane-raster sweep of an n×n×n lattice; needs S ≥ 2·n² + 7
+/// (two stream planes — the d = 3 window blow-up).
+ScheduleResult run_sweep_3d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit);
+
+/// Halo-tiled schedule on an n×n×n lattice; tile side chosen from S.
+/// R/B grows as Θ(S^(1/3)).
+ScheduleResult run_tiled_3d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit);
+
+/// A run of the paper's *parallel* red-blue game (§7): a CRCW-style
+/// machine that holds two whole layers in storage and advances one
+/// generation per calculate phase — every site of a layer computed
+/// simultaneously off the pink place-holders. Total I/O collapses to
+/// one read and one write of the lattice regardless of T.
+struct ParallelScheduleResult {
+  std::int64_t io_moves = 0;
+  std::int64_t phases = 0;
+  std::int64_t division_size = 0;  // h of the S-I/O-division
+  std::int64_t useful_updates = 0;
+  std::int64_t peak_red = 0;
+};
+
+/// Requires S ≥ 2·box.points() (two live layers).
+ParallelScheduleResult run_parallel_layer_sweep(const LatticeBox& box,
+                                                std::int64_t steps,
+                                                std::int64_t red_limit);
+
+/// The 1-D sweep replayed under the block-red-blue game ([15]): block
+/// transfers of `block_size` values count as one I/O operation.
+struct BlockScheduleResult {
+  std::int64_t block_ios = 0;  // I/O operations (block-granular)
+  std::int64_t word_ios = 0;   // values moved
+  std::int64_t useful_updates = 0;
+};
+BlockScheduleResult run_block_sweep_1d(std::int64_t n, std::int64_t steps,
+                                       std::int64_t red_limit,
+                                       std::int64_t block_size);
+
+/// Tile parameters the tiled schedules derive from S (exposed for the
+/// ablation bench).
+struct TileShape {
+  std::int64_t block = 0;   // b: output cells per tile per dimension
+  std::int64_t height = 0;  // h: generations per slab
+};
+TileShape tile_shape_1d(std::int64_t red_limit, std::int64_t n,
+                        std::int64_t steps);
+TileShape tile_shape_2d(std::int64_t red_limit, std::int64_t nx,
+                        std::int64_t steps);
+TileShape tile_shape_3d(std::int64_t red_limit, std::int64_t n,
+                        std::int64_t steps);
+
+}  // namespace lattice::pebble

@@ -1,0 +1,40 @@
+#include "lattice/pebble/bounds.hpp"
+
+#include <cmath>
+
+namespace lattice::pebble {
+
+double factorial(int d) {
+  LATTICE_REQUIRE(d >= 0 && d <= 20, "factorial: d out of range");
+  double f = 1;
+  for (int i = 2; i <= d; ++i) f *= i;
+  return f;
+}
+
+double line_spread_lower(int d, double j) {
+  LATTICE_REQUIRE(d >= 1, "dimension must be >= 1");
+  return std::pow(j, d) / factorial(d);
+}
+
+double tau_upper(int d, double storage) {
+  LATTICE_REQUIRE(d >= 1 && storage > 0, "need d >= 1, S > 0");
+  return 2.0 * std::pow(factorial(d) * 2.0 * storage, 1.0 / d);
+}
+
+double min_io_lower_bound(int d, double storage, double vertices) {
+  LATTICE_REQUIRE(storage > 0 && vertices > 0, "need S, |X| > 0");
+  const double g = vertices / (2.0 * storage * tau_upper(d, storage));
+  const double q = storage * (g - 1.0);
+  return q > 0 ? q : 0.0;
+}
+
+double updates_per_io_upper(int d, double storage) {
+  return 2.0 * tau_upper(d, storage);
+}
+
+double update_rate_upper(int d, double storage, double bw_sites_per_sec) {
+  LATTICE_REQUIRE(bw_sites_per_sec > 0, "bandwidth must be positive");
+  return bw_sites_per_sec * updates_per_io_upper(d, storage);
+}
+
+}  // namespace lattice::pebble

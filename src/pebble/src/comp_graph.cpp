@@ -1,0 +1,98 @@
+#include "lattice/pebble/comp_graph.hpp"
+
+#include <deque>
+
+namespace lattice::pebble {
+
+std::int64_t LatticeBox::index(const std::vector<std::int64_t>& x) const {
+  LATTICE_ASSERT(x.size() == extent.size(), "coordinate dimension mismatch");
+  std::int64_t idx = 0;
+  for (std::size_t i = 0; i < extent.size(); ++i) {
+    LATTICE_ASSERT(x[i] >= 0 && x[i] < extent[i], "coordinate out of box");
+    idx = idx * extent[i] + x[i];
+  }
+  return idx;
+}
+
+std::vector<std::int64_t> LatticeBox::coords(std::int64_t idx) const {
+  std::vector<std::int64_t> x(extent.size());
+  for (std::size_t i = extent.size(); i-- > 0;) {
+    x[i] = idx % extent[i];
+    idx /= extent[i];
+  }
+  return x;
+}
+
+std::vector<std::int64_t> lattice_neighbors(const LatticeBox& box,
+                                            std::int64_t cell) {
+  std::vector<std::int64_t> out;
+  const auto x = box.coords(cell);
+  auto y = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (const std::int64_t d : {std::int64_t{-1}, std::int64_t{1}}) {
+      const std::int64_t v = x[i] + d;
+      if (v >= 0 && v < box.extent[i]) {
+        y[i] = v;
+        out.push_back(box.index(y));
+      }
+    }
+    y[i] = x[i];
+  }
+  return out;
+}
+
+Dag computation_graph(const LatticeBox& box, std::int64_t steps) {
+  LATTICE_REQUIRE(box.dim() >= 1, "computation graph needs dimension >= 1");
+  for (const std::int64_t e : box.extent)
+    LATTICE_REQUIRE(e >= 1, "box extents must be positive");
+  LATTICE_REQUIRE(steps >= 0, "steps must be non-negative");
+
+  const std::int64_t p = box.points();
+  Dag dag((steps + 1) * p);
+  const LayeredId id{box, steps + 1};
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t c = 0; c < p; ++c) {
+      dag.add_edge(id.vertex(c, t), id.vertex(c, t + 1));  // self
+      for (const std::int64_t n : lattice_neighbors(box, c)) {
+        dag.add_edge(id.vertex(n, t), id.vertex(c, t + 1));
+      }
+    }
+  }
+  return dag;
+}
+
+std::int64_t simplex_points(int dim, std::int64_t j) {
+  LATTICE_REQUIRE(dim >= 1, "dimension must be >= 1");
+  if (j < 0) return 0;
+  // C(j+dim, dim) computed without overflow for the ranges we use.
+  std::int64_t num = 1;
+  for (int i = 1; i <= dim; ++i) {
+    num = num * (j + i) / i;  // exact: product of i consecutive ints / i!
+  }
+  return num;
+}
+
+std::int64_t cells_within(const LatticeBox& box, std::int64_t cell,
+                          std::int64_t j) {
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(box.points()), -1);
+  std::deque<std::int64_t> queue;
+  dist[static_cast<std::size_t>(cell)] = 0;
+  queue.push_back(cell);
+  std::int64_t count = 0;
+  while (!queue.empty()) {
+    const std::int64_t c = queue.front();
+    queue.pop_front();
+    const std::int64_t d = dist[static_cast<std::size_t>(c)];
+    if (d > j) break;
+    ++count;
+    for (const std::int64_t n : lattice_neighbors(box, c)) {
+      if (dist[static_cast<std::size_t>(n)] < 0) {
+        dist[static_cast<std::size_t>(n)] = d + 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace lattice::pebble

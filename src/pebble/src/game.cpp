@@ -1,0 +1,194 @@
+#include "lattice/pebble/game.hpp"
+
+#include <string>
+
+namespace lattice::pebble {
+
+namespace {
+std::string at(Vertex v) { return " at vertex " + std::to_string(v); }
+}  // namespace
+
+RedBlueGame::RedBlueGame(const Dag& dag, std::int64_t red_limit)
+    : dag_(&dag),
+      red_limit_(red_limit),
+      red_(static_cast<std::size_t>(dag.size()), false),
+      blue_(static_cast<std::size_t>(dag.size()), false) {
+  LATTICE_REQUIRE(red_limit >= 1, "need at least one red pebble");
+  for (Vertex v = 0; v < dag.size(); ++v) {
+    if (dag.is_input(v)) blue_[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+void RedBlueGame::place_red(Vertex v) {
+  if (!red_[static_cast<std::size_t>(v)]) {
+    LATTICE_REQUIRE(red_count_ < red_limit_,
+                    "red pebble limit S exceeded" + at(v));
+    red_[static_cast<std::size_t>(v)] = true;
+    ++red_count_;
+    if (red_count_ > peak_red_) peak_red_ = red_count_;
+  }
+}
+
+void RedBlueGame::remove_red(Vertex v) {
+  LATTICE_REQUIRE(dag_->valid(v) && red_[static_cast<std::size_t>(v)],
+                  "remove_red: no red pebble" + at(v));
+  red_[static_cast<std::size_t>(v)] = false;
+  --red_count_;
+}
+
+void RedBlueGame::remove_blue(Vertex v) {
+  LATTICE_REQUIRE(dag_->valid(v) && blue_[static_cast<std::size_t>(v)],
+                  "remove_blue: no blue pebble" + at(v));
+  blue_[static_cast<std::size_t>(v)] = false;
+}
+
+void RedBlueGame::read(Vertex v) {
+  LATTICE_REQUIRE(dag_->valid(v) && blue_[static_cast<std::size_t>(v)],
+                  "read (rule 2) requires a blue pebble" + at(v));
+  place_red(v);
+  ++io_moves_;
+}
+
+void RedBlueGame::write(Vertex v) {
+  LATTICE_REQUIRE(dag_->valid(v) && red_[static_cast<std::size_t>(v)],
+                  "write (rule 3) requires a red pebble" + at(v));
+  blue_[static_cast<std::size_t>(v)] = true;
+  ++io_moves_;
+}
+
+void RedBlueGame::compute(Vertex v) {
+  LATTICE_REQUIRE(dag_->valid(v), "compute: bad vertex" + at(v));
+  LATTICE_REQUIRE(!dag_->is_input(v),
+                  "compute (rule 4) cannot derive an input" + at(v));
+  for (const Vertex u : dag_->preds(v)) {
+    LATTICE_REQUIRE(red_[static_cast<std::size_t>(u)],
+                    "compute (rule 4) requires all predecessors red" + at(v));
+  }
+  place_red(v);
+  ++computes_;
+}
+
+bool RedBlueGame::complete() const {
+  for (Vertex v = 0; v < dag_->size(); ++v) {
+    if (dag_->is_output(v) && !blue_[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------
+
+BlockRedBlueGame::BlockRedBlueGame(const Dag& dag, std::int64_t red_limit,
+                                   std::int64_t block_size)
+    : inner_(dag, red_limit), block_size_(block_size) {
+  LATTICE_REQUIRE(block_size >= 1, "block size must be >= 1");
+}
+
+void BlockRedBlueGame::read_block(const std::vector<Vertex>& vs) {
+  LATTICE_REQUIRE(!vs.empty() &&
+                      static_cast<std::int64_t>(vs.size()) <= block_size_,
+                  "block read must move 1..block_size values");
+  for (const Vertex v : vs) inner_.read(v);
+  ++block_ios_;
+}
+
+void BlockRedBlueGame::write_block(const std::vector<Vertex>& vs) {
+  LATTICE_REQUIRE(!vs.empty() &&
+                      static_cast<std::int64_t>(vs.size()) <= block_size_,
+                  "block write must move 1..block_size values");
+  for (const Vertex v : vs) inner_.write(v);
+  ++block_ios_;
+}
+
+// --------------------------------------------------------------------
+
+ParallelRedBlueGame::ParallelRedBlueGame(const Dag& dag,
+                                         std::int64_t red_limit)
+    : dag_(&dag),
+      red_limit_(red_limit),
+      red_(static_cast<std::size_t>(dag.size()), false),
+      blue_(static_cast<std::size_t>(dag.size()), false) {
+  LATTICE_REQUIRE(red_limit >= 1, "need at least one red pebble");
+  for (Vertex v = 0; v < dag.size(); ++v) {
+    if (dag.is_input(v)) blue_[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+void ParallelRedBlueGame::step(const std::vector<Vertex>& writes,
+                               const std::vector<Vertex>& calcs,
+                               const std::vector<Vertex>& reads,
+                               const std::vector<Vertex>& evictions) {
+  // Write phase: rule 3 against the pre-phase red configuration.
+  for (const Vertex v : writes) {
+    LATTICE_REQUIRE(dag_->valid(v) && red_[static_cast<std::size_t>(v)],
+                    "parallel write requires a red pebble" + at(v));
+    blue_[static_cast<std::size_t>(v)] = true;
+    ++io_moves_;
+  }
+
+  // Calculate phase: all supports must be red *before* the phase —
+  // that is exactly what the pink place-holder buys. Mark new values
+  // pink, then promote together.
+  std::vector<Vertex> pink;
+  pink.reserve(calcs.size());
+  for (const Vertex v : calcs) {
+    LATTICE_REQUIRE(dag_->valid(v), "parallel compute: bad vertex" + at(v));
+    LATTICE_REQUIRE(!dag_->is_input(v),
+                    "parallel compute cannot derive an input" + at(v));
+    for (const Vertex u : dag_->preds(v)) {
+      LATTICE_REQUIRE(red_[static_cast<std::size_t>(u)],
+                      "parallel compute requires supports red" + at(v));
+    }
+    pink.push_back(v);
+    ++computes_;
+  }
+  for (const Vertex v : pink) {
+    if (!red_[static_cast<std::size_t>(v)]) {
+      red_[static_cast<std::size_t>(v)] = true;
+      ++red_count_;
+    }
+  }
+
+  // Read phase: rule 2.
+  for (const Vertex v : reads) {
+    LATTICE_REQUIRE(dag_->valid(v) && blue_[static_cast<std::size_t>(v)],
+                    "parallel read requires a blue pebble" + at(v));
+    if (!red_[static_cast<std::size_t>(v)]) {
+      red_[static_cast<std::size_t>(v)] = true;
+      ++red_count_;
+    }
+    ++io_moves_;
+  }
+
+  if (red_count_ > peak_red_) peak_red_ = red_count_;
+
+  // Evictions (rule 1), then enforce the storage bound at phase end.
+  for (const Vertex v : evictions) {
+    LATTICE_REQUIRE(dag_->valid(v) && red_[static_cast<std::size_t>(v)],
+                    "eviction requires a red pebble" + at(v));
+    red_[static_cast<std::size_t>(v)] = false;
+    --red_count_;
+  }
+  LATTICE_REQUIRE(red_count_ <= red_limit_,
+                  "red pebble limit S exceeded at end of phase");
+  ++phases_;
+}
+
+bool ParallelRedBlueGame::complete() const {
+  for (Vertex v = 0; v < dag_->size(); ++v) {
+    if (dag_->is_output(v) && !blue_[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::int64_t ParallelRedBlueGame::io_division_size() const {
+  // Pack the q I/O moves into consecutive blocks of exactly S (§7,
+  // definition of an S-I/O-division): h = ⌈q / S⌉, at least 1.
+  if (io_moves_ == 0) return 1;
+  return (io_moves_ + red_limit_ - 1) / red_limit_;
+}
+
+}  // namespace lattice::pebble

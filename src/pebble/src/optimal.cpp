@@ -1,0 +1,108 @@
+#include "lattice/pebble/optimal.hpp"
+
+#include <bit>
+#include <deque>
+#include <vector>
+
+namespace lattice::pebble {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+struct Graph {
+  int n = 0;
+  Mask inputs = 0;
+  Mask outputs = 0;
+  std::vector<Mask> preds;
+};
+
+Graph lower(const Dag& dag) {
+  Graph g;
+  g.n = static_cast<int>(dag.size());
+  g.preds.resize(static_cast<std::size_t>(g.n), 0);
+  for (Vertex v = 0; v < dag.size(); ++v) {
+    if (dag.is_input(v)) g.inputs |= Mask{1} << v;
+    if (dag.is_output(v)) g.outputs |= Mask{1} << v;
+    for (const Vertex u : dag.preds(v)) {
+      g.preds[static_cast<std::size_t>(v)] |= Mask{1} << u;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+OptimalResult min_io_pebbling(const Dag& dag, std::int64_t red_limit,
+                              int max_vertices) {
+  LATTICE_REQUIRE(red_limit >= 1, "need at least one red pebble");
+  LATTICE_REQUIRE(dag.size() >= 1, "empty graph");
+  LATTICE_REQUIRE(dag.size() <= max_vertices && max_vertices <= 14,
+                  "graph too large for exact pebbling search");
+
+  const Graph g = lower(dag);
+  const int n = g.n;
+  const auto state_of = [n](Mask red, Mask blue) -> std::size_t {
+    return (static_cast<std::size_t>(blue) << n) | red;
+  };
+
+  const std::size_t space = std::size_t{1} << (2 * n);
+  std::vector<std::int16_t> dist(space, -1);
+  std::deque<std::size_t> queue;
+
+  const std::size_t start = state_of(0, g.inputs);
+  dist[start] = 0;
+  queue.push_back(start);
+
+  OptimalResult result;
+  const Mask all = (n == 32) ? ~Mask{0} : ((Mask{1} << n) - 1);
+
+  while (!queue.empty()) {
+    const std::size_t s = queue.front();
+    queue.pop_front();
+    const Mask red = static_cast<Mask>(s) & all;
+    const Mask blue = static_cast<Mask>(s >> n) & all;
+    const std::int16_t d = dist[s];
+    ++result.states;
+
+    if ((blue & g.outputs) == g.outputs) {
+      result.feasible = true;
+      result.min_io = d;
+      return result;
+    }
+
+    const bool has_room =
+        std::popcount(red) < static_cast<int>(red_limit);
+
+    const auto relax = [&](Mask nred, Mask nblue, int cost) {
+      const std::size_t t = state_of(nred, nblue);
+      const std::int16_t nd = static_cast<std::int16_t>(d + cost);
+      if (dist[t] == -1 || nd < dist[t]) {
+        dist[t] = nd;
+        if (cost == 0) {
+          queue.push_front(t);
+        } else {
+          queue.push_back(t);
+        }
+      }
+    };
+
+    for (int v = 0; v < n; ++v) {
+      const Mask bit = Mask{1} << v;
+      if ((red & bit) != 0) {
+        relax(red & ~bit, blue, 0);                       // rule 1: evict
+        if ((blue & bit) == 0) relax(red, blue | bit, 1); // rule 3: write
+      } else {
+        // Rule 4 never applies to inputs: underived data can only be
+        // obtained by reading it (rule 2).
+        const Mask pv = g.preds[static_cast<std::size_t>(v)];
+        const bool computable = pv != 0 && (pv & ~red) == 0;
+        if (has_room && computable) relax(red | bit, blue, 0);  // rule 4
+        if (has_room && (blue & bit) != 0) relax(red | bit, blue, 1);  // 2
+      }
+    }
+  }
+  return result;  // infeasible (red_limit too small for some in-degree)
+}
+
+}  // namespace lattice::pebble

@@ -1,0 +1,457 @@
+#include "lattice/pebble/schedules.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lattice/pebble/comp_graph.hpp"
+
+namespace lattice::pebble {
+
+namespace {
+
+ScheduleResult finish(const RedBlueGame& game, std::int64_t useful) {
+  LATTICE_ASSERT(game.complete(), "schedule did not complete the pebbling");
+  ScheduleResult r;
+  r.io_moves = game.io_moves();
+  r.computes = game.computes();
+  r.useful_updates = useful;
+  r.peak_red = game.peak_red();
+  r.red_limit = game.red_limit();
+  r.vertices = game.dag().size();
+  return r;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- sweeps
+
+ScheduleResult run_sweep_1d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit) {
+  LATTICE_REQUIRE(n >= 2 && steps >= 1, "need n >= 2, steps >= 1");
+  LATTICE_REQUIRE(red_limit >= 5, "1-D sweep needs S >= 5");
+  const LatticeBox box{{n}};
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  for (std::int64_t t = 0; t < steps; ++t) {
+    game.read(id.vertex(0, t));
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (i + 1 < n) game.read(id.vertex(i + 1, t));
+      const Vertex v = id.vertex(i, t + 1);
+      game.compute(v);
+      game.write(v);
+      game.remove_red(v);
+      if (i > 0) game.remove_red(id.vertex(i - 1, t));
+    }
+    game.remove_red(id.vertex(n - 1, t));  // last straggler of layer t
+  }
+  return finish(game, n * steps);
+}
+
+ScheduleResult run_sweep_2d(std::int64_t nx, std::int64_t ny,
+                            std::int64_t steps, std::int64_t red_limit) {
+  LATTICE_REQUIRE(nx >= 2 && ny >= 2 && steps >= 1,
+                  "need nx, ny >= 2 and steps >= 1");
+  LATTICE_REQUIRE(red_limit >= 2 * ny + 5,
+                  "2-D sweep needs S >= two stream rows (2·ny + 5)");
+  const LatticeBox box{{nx, ny}};  // index = x·ny + y (y fastest)
+  const std::int64_t area = nx * ny;
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  // box.index({ix, iy}) with extent {nx, ny} = ix*ny + iy; we want a
+  // raster over (x outer? ) — walk cells in box index order, which is a
+  // raster with the *last* coordinate fastest. The window logic below
+  // is symmetric, so treat index = x·ny + y with y fastest: rows of
+  // length ny, nx of them.
+  const std::int64_t row = ny;
+
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t p = 0; p < area + row; ++p) {
+      if (p < area) game.read(id.vertex(p, t));
+      const std::int64_t q = p - row;
+      if (q >= 0) {
+        const Vertex v = id.vertex(q, t + 1);
+        game.compute(v);
+        game.write(v);
+        game.remove_red(v);
+        if (q - row >= 0) game.remove_red(id.vertex(q - row, t));
+      }
+    }
+    // Drain the trailing window of layer-t reds.
+    for (std::int64_t q = area - row; q < area; ++q) {
+      if (q >= 0) game.remove_red(id.vertex(q, t));
+    }
+  }
+  return finish(game, area * steps);
+}
+
+// ------------------------------------------------------------ tiles
+
+TileShape tile_shape_1d(std::int64_t red_limit, std::int64_t n,
+                        std::int64_t steps) {
+  // Peak red ≈ 2·(b + 2h); with h = b/2 that is 4b. Keep slack for the
+  // freshly computed row before evictions.
+  TileShape s;
+  s.block = std::max<std::int64_t>(2, (red_limit - 6) / 4);
+  s.block = std::min(s.block, n);
+  s.height = std::clamp<std::int64_t>(s.block / 2, 1, steps);
+  return s;
+}
+
+TileShape tile_shape_2d(std::int64_t red_limit, std::int64_t nx,
+                        std::int64_t steps) {
+  // Peak red ≈ 2·(b+2h)²; with h = side/4 the side b+2h = √(S/2).
+  TileShape s;
+  const auto side = static_cast<std::int64_t>(
+      std::floor(std::sqrt(static_cast<double>(red_limit - 8) / 2.0)));
+  const std::int64_t h = std::max<std::int64_t>(1, side / 4);
+  s.block = std::max<std::int64_t>(1, side - 2 * h);
+  s.block = std::min(s.block, nx);
+  s.height = std::clamp<std::int64_t>(h, 1, steps);
+  return s;
+}
+
+ScheduleResult run_tiled_1d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit) {
+  LATTICE_REQUIRE(red_limit >= 14, "1-D tiling needs S >= 14");
+  const TileShape shape = tile_shape_1d(red_limit, n, steps);
+  return run_tiled_1d_shaped(n, steps, red_limit, shape.block, shape.height);
+}
+
+ScheduleResult run_tiled_1d_shaped(std::int64_t n, std::int64_t steps,
+                                   std::int64_t red_limit,
+                                   std::int64_t block,
+                                   std::int64_t height) {
+  LATTICE_REQUIRE(n >= 2 && steps >= 1, "need n >= 2, steps >= 1");
+  LATTICE_REQUIRE(block >= 1 && height >= 1, "tile shape must be positive");
+  const LatticeBox box{{n}};
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  const std::int64_t b = std::min(block, n);
+
+  for (std::int64_t t0 = 0; t0 < steps;) {
+    const std::int64_t h = std::min<std::int64_t>(height, steps - t0);
+    for (std::int64_t k0 = 0; k0 < n; k0 += b) {
+      const std::int64_t k1 = std::min(k0 + b, n);  // output core [k0, k1)
+      const std::int64_t in_lo = std::max<std::int64_t>(0, k0 - h);
+      const std::int64_t in_hi = std::min(n, k1 + h);
+
+      // Valid trapezoid range at slab layer s: interior cuts shrink by
+      // one per layer; lattice edges do not (truncated neighborhoods
+      // keep edge cells computable).
+      const auto vlo = [&](std::int64_t s) {
+        return std::max<std::int64_t>(0, k0 - h + s);
+      };
+      const auto vhi = [&](std::int64_t s) {
+        return std::min<std::int64_t>(n, k1 + h - s);
+      };
+      LATTICE_ASSERT(vlo(0) == in_lo && vhi(0) == in_hi,
+                     "trapezoid base mismatch");
+
+      // Read the input span of the slab base layer.
+      for (std::int64_t i = in_lo; i < in_hi; ++i)
+        game.read(id.vertex(i, t0));
+
+      // March the shrinking trapezoid upward, two layers live at once.
+      for (std::int64_t s = 0; s < h; ++s) {
+        for (std::int64_t i = vlo(s + 1); i < vhi(s + 1); ++i)
+          game.compute(id.vertex(i, t0 + s + 1));
+        for (std::int64_t i = vlo(s); i < vhi(s); ++i)
+          game.remove_red(id.vertex(i, t0 + s));
+      }
+
+      // Write back the core of the top layer, then clear the chip.
+      for (std::int64_t i = k0; i < k1; ++i)
+        game.write(id.vertex(i, t0 + h));
+      for (std::int64_t i = vlo(h); i < vhi(h); ++i)
+        game.remove_red(id.vertex(i, t0 + h));
+    }
+    t0 += h;
+  }
+  return finish(game, n * steps);
+}
+
+ScheduleResult run_tiled_2d(std::int64_t nx, std::int64_t ny,
+                            std::int64_t steps, std::int64_t red_limit) {
+  LATTICE_REQUIRE(nx >= 2 && ny >= 2 && steps >= 1,
+                  "need nx, ny >= 2 and steps >= 1");
+  LATTICE_REQUIRE(red_limit >= 60, "2-D tiling needs S >= 60");
+  const LatticeBox box{{nx, ny}};
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  const TileShape shape = tile_shape_2d(red_limit, nx, steps);
+  const std::int64_t b = shape.block;
+
+  const auto cell = [&](std::int64_t x, std::int64_t y) {
+    return x * ny + y;  // box index order: extent {nx, ny}
+  };
+
+  for (std::int64_t t0 = 0; t0 < steps;) {
+    const std::int64_t h = std::min<std::int64_t>(shape.height, steps - t0);
+    for (std::int64_t kx = 0; kx < nx; kx += b) {
+      for (std::int64_t ky = 0; ky < ny; ky += b) {
+        const std::int64_t x1 = std::min(kx + b, nx);
+        const std::int64_t y1 = std::min(ky + b, ny);
+
+        // Valid pyramid rectangle at slab layer s per axis: interior
+        // cuts shrink one per layer; lattice edges stay put.
+        const auto vlx = [&](std::int64_t s) {
+          return std::max<std::int64_t>(0, kx - h + s);
+        };
+        const auto vhx = [&](std::int64_t s) {
+          return std::min<std::int64_t>(nx, x1 + h - s);
+        };
+        const auto vly = [&](std::int64_t s) {
+          return std::max<std::int64_t>(0, ky - h + s);
+        };
+        const auto vhy = [&](std::int64_t s) {
+          return std::min<std::int64_t>(ny, y1 + h - s);
+        };
+
+        for (std::int64_t x = vlx(0); x < vhx(0); ++x)
+          for (std::int64_t y = vly(0); y < vhy(0); ++y)
+            game.read(id.vertex(cell(x, y), t0));
+
+        for (std::int64_t s = 0; s < h; ++s) {
+          for (std::int64_t x = vlx(s + 1); x < vhx(s + 1); ++x)
+            for (std::int64_t y = vly(s + 1); y < vhy(s + 1); ++y)
+              game.compute(id.vertex(cell(x, y), t0 + s + 1));
+          for (std::int64_t x = vlx(s); x < vhx(s); ++x)
+            for (std::int64_t y = vly(s); y < vhy(s); ++y)
+              game.remove_red(id.vertex(cell(x, y), t0 + s));
+        }
+
+        for (std::int64_t x = kx; x < x1; ++x)
+          for (std::int64_t y = ky; y < y1; ++y)
+            game.write(id.vertex(cell(x, y), t0 + h));
+        for (std::int64_t x = vlx(h); x < vhx(h); ++x)
+          for (std::int64_t y = vly(h); y < vhy(h); ++y)
+            game.remove_red(id.vertex(cell(x, y), t0 + h));
+      }
+    }
+    t0 += h;
+  }
+  return finish(game, nx * ny * steps);
+}
+
+BlockScheduleResult run_block_sweep_1d(std::int64_t n, std::int64_t steps,
+                                       std::int64_t red_limit,
+                                       std::int64_t block_size) {
+  LATTICE_REQUIRE(n >= 2 && steps >= 1, "need n >= 2, steps >= 1");
+  LATTICE_REQUIRE(block_size >= 1, "block size must be >= 1");
+  LATTICE_REQUIRE(red_limit >= 2 * block_size + 6,
+                  "need S >= two blocks plus the sweep window");
+  const LatticeBox box{{n}};
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  BlockRedBlueGame game(dag, red_limit, block_size);
+
+  // Sweep one layer at a time; transfers move `block_size` consecutive
+  // cells per I/O operation, so the window holds a whole block plus
+  // the trailing neighborhood.
+  for (std::int64_t t = 0; t < steps; ++t) {
+    std::vector<Vertex> pending_writes;
+    for (std::int64_t base = 0; base < n; base += block_size) {
+      const std::int64_t hi = std::min(n, base + block_size);
+      std::vector<Vertex> block;
+      for (std::int64_t i = base; i < hi; ++i) {
+        block.push_back(id.vertex(i, t));
+      }
+      game.read_block(block);
+      // Compute every new-layer cell whose full neighborhood is now red:
+      // up to (hi - 2), or everything when the row is complete.
+      const std::int64_t limit = hi == n ? n : hi - 1;
+      for (std::int64_t i = base == 0 ? 0 : base - 1; i < limit; ++i) {
+        const Vertex v = id.vertex(i, t + 1);
+        game.compute(v);
+        pending_writes.push_back(v);
+        if (static_cast<std::int64_t>(pending_writes.size()) ==
+            block_size) {
+          game.write_block(pending_writes);
+          for (const Vertex w : pending_writes) game.remove_red(w);
+          pending_writes.clear();
+        }
+      }
+      // Retire layer-t cells no longer needed. The next block's first
+      // compute (at hi-1) still needs cells hi-2 and hi-1, so keep the
+      // trailing two; on the final block retire everything.
+      const std::int64_t retire_lo = std::max<std::int64_t>(0, base - 2);
+      const std::int64_t retire_hi = hi == n ? n : hi - 2;
+      for (std::int64_t i = retire_lo; i < retire_hi; ++i) {
+        game.remove_red(id.vertex(i, t));
+      }
+    }
+    if (!pending_writes.empty()) {
+      game.write_block(pending_writes);
+      for (const Vertex w : pending_writes) game.remove_red(w);
+    }
+  }
+
+  LATTICE_ASSERT(game.complete(), "block sweep did not complete");
+  BlockScheduleResult r;
+  r.block_ios = game.block_ios();
+  r.word_ios = game.word_ios();
+  r.useful_updates = n * steps;
+  return r;
+}
+
+// ------------------------------------------------------ parallel game
+
+ParallelScheduleResult run_parallel_layer_sweep(const LatticeBox& box,
+                                                std::int64_t steps,
+                                                std::int64_t red_limit) {
+  LATTICE_REQUIRE(steps >= 1, "need steps >= 1");
+  const std::int64_t points = box.points();
+  LATTICE_REQUIRE(red_limit >= 2 * points,
+                  "parallel layer sweep needs S >= two full layers");
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  ParallelRedBlueGame game(dag, red_limit);
+
+  auto layer = [&](std::int64_t t) {
+    std::vector<Vertex> v;
+    v.reserve(static_cast<std::size_t>(points));
+    for (std::int64_t c = 0; c < points; ++c) v.push_back(id.vertex(c, t));
+    return v;
+  };
+
+  // Read phase: pull the whole input layer on chip.
+  game.step({}, {}, layer(0), {});
+  // One calculate phase per generation: every site of layer t+1 fans
+  // out from the (pre-phase red) layer t, then layer t retires.
+  for (std::int64_t t = 0; t < steps; ++t) {
+    game.step({}, layer(t + 1), {}, layer(t));
+  }
+  // Write phase: commit the output layer.
+  game.step(layer(steps), {}, {}, {});
+
+  LATTICE_ASSERT(game.complete(), "parallel sweep did not complete");
+  ParallelScheduleResult r;
+  r.io_moves = game.io_moves();
+  r.phases = game.phases();
+  r.division_size = game.io_division_size();
+  r.useful_updates = points * steps;
+  r.peak_red = game.peak_red();
+  return r;
+}
+
+// -------------------------------------------------------------- d = 3
+
+ScheduleResult run_sweep_3d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit) {
+  LATTICE_REQUIRE(n >= 2 && steps >= 1, "need n >= 2, steps >= 1");
+  const std::int64_t plane = n * n;
+  LATTICE_REQUIRE(red_limit >= 2 * plane + 7,
+                  "3-D sweep needs S >= two stream planes (2·n² + 7)");
+  const LatticeBox box{{n, n, n}};
+  const std::int64_t volume = box.points();
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  // Box index order has the last coordinate fastest; "planes" of size
+  // n² stream consecutively, so the window spans two planes.
+  for (std::int64_t t = 0; t < steps; ++t) {
+    for (std::int64_t p = 0; p < volume + plane; ++p) {
+      if (p < volume) game.read(id.vertex(p, t));
+      const std::int64_t q = p - plane;
+      if (q >= 0) {
+        const Vertex v = id.vertex(q, t + 1);
+        game.compute(v);
+        game.write(v);
+        game.remove_red(v);
+        if (q - plane >= 0) game.remove_red(id.vertex(q - plane, t));
+      }
+    }
+    for (std::int64_t q = volume - plane; q < volume; ++q) {
+      game.remove_red(id.vertex(q, t));
+    }
+  }
+  return finish(game, volume * steps);
+}
+
+TileShape tile_shape_3d(std::int64_t red_limit, std::int64_t n,
+                        std::int64_t steps) {
+  // Peak red ≈ 2·(b+2h)³; with h = side/4 the side b+2h = (S/2)^(1/3).
+  TileShape s;
+  const auto side = static_cast<std::int64_t>(
+      std::floor(std::cbrt(static_cast<double>(red_limit - 10) / 2.0)));
+  const std::int64_t h = std::max<std::int64_t>(1, side / 4);
+  s.block = std::max<std::int64_t>(1, side - 2 * h);
+  s.block = std::min(s.block, n);
+  s.height = std::clamp<std::int64_t>(h, 1, steps);
+  return s;
+}
+
+ScheduleResult run_tiled_3d(std::int64_t n, std::int64_t steps,
+                            std::int64_t red_limit) {
+  LATTICE_REQUIRE(n >= 2 && steps >= 1, "need n >= 2, steps >= 1");
+  LATTICE_REQUIRE(red_limit >= 300, "3-D tiling needs S >= 300");
+  const LatticeBox box{{n, n, n}};
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  RedBlueGame game(dag, red_limit);
+
+  const TileShape shape = tile_shape_3d(red_limit, n, steps);
+  const std::int64_t b = shape.block;
+
+  const auto cell = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+    return (x * n + y) * n + z;
+  };
+
+  for (std::int64_t t0 = 0; t0 < steps;) {
+    const std::int64_t h = std::min<std::int64_t>(shape.height, steps - t0);
+    for (std::int64_t kx = 0; kx < n; kx += b) {
+      for (std::int64_t ky = 0; ky < n; ky += b) {
+        for (std::int64_t kz = 0; kz < n; kz += b) {
+          const std::int64_t x1 = std::min(kx + b, n);
+          const std::int64_t y1 = std::min(ky + b, n);
+          const std::int64_t z1 = std::min(kz + b, n);
+          // Valid shrinking box per axis at slab layer s.
+          const auto lo = [&](std::int64_t k0, std::int64_t s) {
+            return std::max<std::int64_t>(0, k0 - h + s);
+          };
+          const auto hi = [&](std::int64_t k1, std::int64_t s) {
+            return std::min<std::int64_t>(n, k1 + h - s);
+          };
+
+          for (std::int64_t x = lo(kx, 0); x < hi(x1, 0); ++x)
+            for (std::int64_t y = lo(ky, 0); y < hi(y1, 0); ++y)
+              for (std::int64_t z = lo(kz, 0); z < hi(z1, 0); ++z)
+                game.read(id.vertex(cell(x, y, z), t0));
+
+          for (std::int64_t s = 0; s < h; ++s) {
+            for (std::int64_t x = lo(kx, s + 1); x < hi(x1, s + 1); ++x)
+              for (std::int64_t y = lo(ky, s + 1); y < hi(y1, s + 1); ++y)
+                for (std::int64_t z = lo(kz, s + 1); z < hi(z1, s + 1); ++z)
+                  game.compute(id.vertex(cell(x, y, z), t0 + s + 1));
+            for (std::int64_t x = lo(kx, s); x < hi(x1, s); ++x)
+              for (std::int64_t y = lo(ky, s); y < hi(y1, s); ++y)
+                for (std::int64_t z = lo(kz, s); z < hi(z1, s); ++z)
+                  game.remove_red(id.vertex(cell(x, y, z), t0 + s));
+          }
+
+          for (std::int64_t x = kx; x < x1; ++x)
+            for (std::int64_t y = ky; y < y1; ++y)
+              for (std::int64_t z = kz; z < z1; ++z)
+                game.write(id.vertex(cell(x, y, z), t0 + h));
+          for (std::int64_t x = lo(kx, h); x < hi(x1, h); ++x)
+            for (std::int64_t y = lo(ky, h); y < hi(y1, h); ++y)
+              for (std::int64_t z = lo(kz, h); z < hi(z1, h); ++z)
+                game.remove_red(id.vertex(cell(x, y, z), t0 + h));
+        }
+      }
+    }
+    t0 += h;
+  }
+  return finish(game, n * n * n * steps);
+}
+
+}  // namespace lattice::pebble

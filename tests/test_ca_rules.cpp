@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lattice/common/rng.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+SiteLattice life_from(std::initializer_list<Coord> cells, Extent e,
+                      Boundary b = Boundary::Periodic) {
+  SiteLattice lat(e, b);
+  for (const Coord c : cells) lat.at(c) = 1;
+  return lat;
+}
+
+int live_count(const SiteLattice& lat) {
+  int n = 0;
+  for (std::size_t i = 0; i < lat.site_count(); ++i) n += lat[i] & 1;
+  return n;
+}
+
+TEST(LifeRule, BlockIsStill) {
+  SiteLattice lat = life_from({{2, 2}, {3, 2}, {2, 3}, {3, 3}}, {8, 8});
+  const SiteLattice before = lat;
+  reference_run(lat, LifeRule{}, 4);
+  EXPECT_TRUE(lat == before);
+}
+
+TEST(LifeRule, BlinkerOscillatesWithPeriodTwo) {
+  SiteLattice lat = life_from({{2, 3}, {3, 3}, {4, 3}}, {8, 8});
+  const SiteLattice horizontal = lat;
+  const LifeRule rule;
+  reference_step(lat, rule, 0);
+  EXPECT_EQ(lat.at({3, 2}), 1);
+  EXPECT_EQ(lat.at({3, 3}), 1);
+  EXPECT_EQ(lat.at({3, 4}), 1);
+  EXPECT_EQ(live_count(lat), 3);
+  reference_step(lat, rule, 1);
+  EXPECT_TRUE(lat == horizontal);
+}
+
+TEST(LifeRule, GliderTranslatesByOneCellPerFourGenerations) {
+  // Standard glider; after 4 generations it is the same shape shifted
+  // by (+1, +1).
+  SiteLattice lat =
+      life_from({{1, 0}, {2, 1}, {0, 2}, {1, 2}, {2, 2}}, {12, 12});
+  SiteLattice expected =
+      life_from({{2, 1}, {3, 2}, {1, 3}, {2, 3}, {3, 3}}, {12, 12});
+  reference_run(lat, LifeRule{}, 4);
+  EXPECT_TRUE(lat == expected);
+}
+
+TEST(LifeRule, LonelyCellDies) {
+  SiteLattice lat = life_from({{4, 4}}, {8, 8});
+  reference_step(lat, LifeRule{}, 0);
+  EXPECT_EQ(live_count(lat), 0);
+}
+
+TEST(BoxFilter, UniformImageIsFixedPoint) {
+  SiteLattice lat({10, 10}, Boundary::Periodic);
+  lat.fill(Site{100});
+  reference_step(lat, BoxFilterRule{}, 0);
+  for (std::size_t i = 0; i < lat.site_count(); ++i) EXPECT_EQ(lat[i], 100);
+}
+
+TEST(BoxFilter, SmoothsAnImpulse) {
+  SiteLattice lat({9, 9}, Boundary::Null);
+  lat.at({4, 4}) = 90;
+  reference_step(lat, BoxFilterRule{}, 0);
+  EXPECT_EQ(lat.at({4, 4}), 10);  // 90/9
+  EXPECT_EQ(lat.at({3, 4}), 10);
+  EXPECT_EQ(lat.at({3, 3}), 10);
+  EXPECT_EQ(lat.at({2, 2}), 0);
+}
+
+TEST(BoxFilter, PreservesTotalBrightnessApproximately) {
+  SiteLattice lat({16, 16}, Boundary::Periodic);
+  Pcg32 rng(4);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<Site>(rng.next_below(256));
+  long before = 0;
+  for (std::size_t i = 0; i < lat.site_count(); ++i) before += lat[i];
+  reference_step(lat, BoxFilterRule{}, 0);
+  long after = 0;
+  for (std::size_t i = 0; i < lat.site_count(); ++i) after += lat[i];
+  // Rounding loses at most half a level per site.
+  EXPECT_NEAR(static_cast<double>(after), static_cast<double>(before),
+              0.5 * static_cast<double>(lat.site_count()));
+}
+
+TEST(MedianFilter, RemovesSaltNoiseFromFlatField) {
+  SiteLattice lat({9, 9}, Boundary::Periodic);
+  lat.fill(Site{50});
+  lat.at({4, 4}) = 255;  // single hot pixel
+  reference_step(lat, MedianFilterRule{}, 0);
+  for (std::size_t i = 0; i < lat.site_count(); ++i) EXPECT_EQ(lat[i], 50);
+}
+
+TEST(MedianFilter, PreservesStepEdge) {
+  // A vertical step edge survives a median filter (unlike a box filter).
+  SiteLattice lat({10, 10}, Boundary::Periodic);
+  for (std::int64_t y = 0; y < 10; ++y)
+    for (std::int64_t x = 5; x < 10; ++x) lat.at({x, y}) = 200;
+  const SiteLattice before = lat;
+  reference_step(lat, MedianFilterRule{}, 0);
+  EXPECT_TRUE(lat == before);
+}
+
+TEST(Diffusion, RelaxesTowardUniform) {
+  SiteLattice lat({16, 16}, Boundary::Periodic);
+  lat.at({8, 8}) = 255;
+  const DiffusionRule rule;
+  int prev_max = 255;
+  for (int t = 0; t < 30; ++t) {
+    reference_step(lat, rule, t);
+    int mx = 0;
+    for (std::size_t i = 0; i < lat.site_count(); ++i)
+      mx = std::max<int>(mx, lat[i]);
+    EXPECT_LE(mx, prev_max);
+    prev_max = mx;
+  }
+  EXPECT_LT(prev_max, 64);
+}
+
+TEST(Diffusion, UniformFieldIsFixedPoint) {
+  SiteLattice lat({8, 8}, Boundary::Periodic);
+  lat.fill(Site{77});
+  reference_step(lat, DiffusionRule{}, 0);
+  for (std::size_t i = 0; i < lat.site_count(); ++i) EXPECT_EQ(lat[i], 77);
+}
+
+TEST(RuleNames, AreDistinct) {
+  EXPECT_EQ(LifeRule{}.name(), "Life");
+  EXPECT_EQ(BoxFilterRule{}.name(), "BoxFilter3x3");
+  EXPECT_EQ(MedianFilterRule{}.name(), "MedianFilter3x3");
+  EXPECT_EQ(DiffusionRule{}.name(), "Diffusion4");
+}
+
+}  // namespace
+}  // namespace lattice::lgca

@@ -1,0 +1,136 @@
+// Structure of the layered computation graphs C_d — the combinatorial
+// facts §7's lemmas rest on.
+
+#include <gtest/gtest.h>
+
+#include "lattice/pebble/comp_graph.hpp"
+
+namespace lattice::pebble {
+namespace {
+
+TEST(LatticeBox, IndexRoundTrips) {
+  const LatticeBox box{{3, 4, 5}};
+  EXPECT_EQ(box.points(), 60);
+  for (std::int64_t i = 0; i < box.points(); ++i) {
+    EXPECT_EQ(box.index(box.coords(i)), i);
+  }
+}
+
+TEST(LatticeNeighbors, InteriorHasTwoPerDimension) {
+  const LatticeBox box{{5, 5}};
+  const auto n = lattice_neighbors(box, box.index({2, 2}));
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(LatticeNeighbors, CornerTruncated) {
+  const LatticeBox box{{5, 5}};
+  EXPECT_EQ(lattice_neighbors(box, box.index({0, 0})).size(), 2u);
+  EXPECT_EQ(lattice_neighbors(box, box.index({0, 2})).size(), 3u);
+}
+
+TEST(LatticeNeighbors, OneDimensionalEnds) {
+  const LatticeBox box{{4}};
+  EXPECT_EQ(lattice_neighbors(box, 0).size(), 1u);
+  EXPECT_EQ(lattice_neighbors(box, 2).size(), 2u);
+}
+
+TEST(ComputationGraph, LayerSizesAndInputsOutputs) {
+  const LatticeBox box{{4, 4}};
+  const std::int64_t steps = 3;
+  const Dag dag = computation_graph(box, steps);
+  EXPECT_EQ(dag.size(), 16 * 4);
+  EXPECT_EQ(dag.inputs().size(), 16u);   // layer 0
+  EXPECT_EQ(dag.outputs().size(), 16u);  // layer `steps`
+}
+
+TEST(ComputationGraph, DependenciesAreNeighborhoodPlusSelf) {
+  const LatticeBox box{{4, 4}};
+  const Dag dag = computation_graph(box, 1);
+  const LayeredId id{box, 2};
+  const std::int64_t c = box.index({1, 1});
+  const auto& preds = dag.preds(id.vertex(c, 1));
+  EXPECT_EQ(preds.size(), 5u);  // self + 4 von Neumann neighbors
+  bool has_self = false;
+  for (const Vertex p : preds) {
+    EXPECT_EQ(id.layer_of(p), 0);
+    if (id.cell_of(p) == c) has_self = true;
+  }
+  EXPECT_TRUE(has_self);
+}
+
+TEST(ComputationGraph, ArcsOnlySpanOneLayer) {
+  // Lemma 3: every (u,v)-path has length = layer difference, which is
+  // guaranteed by arcs only connecting consecutive layers.
+  const LatticeBox box{{3, 3}};
+  const std::int64_t steps = 2;
+  const Dag dag = computation_graph(box, steps);
+  const LayeredId id{box, steps + 1};
+  for (Vertex v = 0; v < dag.size(); ++v) {
+    for (const Vertex u : dag.preds(v)) {
+      EXPECT_EQ(id.layer_of(v), id.layer_of(u) + 1);
+    }
+  }
+}
+
+TEST(ComputationGraph, EdgeCountMatchesNeighborSum) {
+  const LatticeBox box{{3, 4}};
+  const std::int64_t steps = 2;
+  const Dag dag = computation_graph(box, steps);
+  std::int64_t per_layer = 0;
+  for (std::int64_t c = 0; c < box.points(); ++c) {
+    per_layer +=
+        1 + static_cast<std::int64_t>(lattice_neighbors(box, c).size());
+  }
+  EXPECT_EQ(dag.edge_count(), per_layer * steps);
+}
+
+// ---- Lemma 8's counting: cells within distance j ----
+
+class SimplexTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Dims, SimplexTest, ::testing::Values(1, 2, 3));
+
+TEST_P(SimplexTest, CornerBallMatchesBinomial) {
+  // From a corner of a large box, exactly C(j+d, d) cells lie within
+  // distance j — the φ-region count in the proof of Lemma 8.
+  const int d = GetParam();
+  const std::int64_t r = 9;
+  LatticeBox box;
+  box.extent.assign(static_cast<std::size_t>(d), r + 1);
+  const std::int64_t corner = 0;
+  for (std::int64_t j = 0; j <= r; ++j) {
+    EXPECT_EQ(cells_within(box, corner, j), simplex_points(d, j))
+        << "d=" << d << " j=" << j;
+  }
+}
+
+TEST_P(SimplexTest, CornerIsTheWorstCase) {
+  // The proof of Lemma 8 picks the corner as the minimizer of the
+  // reachable-cell count; interior points reach at least as many.
+  const int d = GetParam();
+  const std::int64_t r = 6;
+  LatticeBox box;
+  box.extent.assign(static_cast<std::size_t>(d), 2 * r + 1);
+  std::vector<std::int64_t> mid(static_cast<std::size_t>(d), r);
+  const std::int64_t center = box.index(mid);
+  for (std::int64_t j = 1; j <= r; ++j) {
+    EXPECT_GE(cells_within(box, center, j), simplex_points(d, j));
+  }
+}
+
+TEST(SimplexPoints, KnownValues) {
+  EXPECT_EQ(simplex_points(1, 5), 6);    // 0..5
+  EXPECT_EQ(simplex_points(2, 2), 6);    // C(4,2)
+  EXPECT_EQ(simplex_points(3, 3), 20);   // C(6,3)
+  EXPECT_EQ(simplex_points(2, 0), 1);
+  EXPECT_EQ(simplex_points(2, -1), 0);
+}
+
+TEST(ComputationGraph, RejectsBadSpecs) {
+  EXPECT_THROW(computation_graph(LatticeBox{{}}, 1), Error);
+  EXPECT_THROW(computation_graph(LatticeBox{{0}}, 1), Error);
+  EXPECT_THROW(computation_graph(LatticeBox{{4}}, -1), Error);
+}
+
+}  // namespace
+}  // namespace lattice::pebble

@@ -1,0 +1,102 @@
+// Degenerate lattice shapes: single rows, single columns, minimum
+// sizes — the places where window masking, stream delays and slice
+// stagger logic are most likely to be off by one.
+
+#include <gtest/gtest.h>
+
+#include "lattice/arch/spa.hpp"
+#include "lattice/arch/wsa.hpp"
+#include "lattice/common/rng.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::arch {
+namespace {
+
+using lgca::Boundary;
+using lgca::SiteLattice;
+
+SiteLattice random_sites(Extent e, std::uint64_t seed) {
+  SiteLattice lat(e, Boundary::Null);
+  Pcg32 rng(seed);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<lgca::Site>(rng.next_below(64));
+  return lat;
+}
+
+SiteLattice golden(const SiteLattice& in, const lgca::Rule& rule, int g) {
+  SiteLattice lat = in;
+  lgca::reference_run(lat, rule, g);
+  return lat;
+}
+
+struct Shape {
+  std::int64_t w;
+  std::int64_t h;
+};
+
+class ExtremeShapeTest : public ::testing::TestWithParam<Shape> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExtremeShapeTest,
+                         ::testing::Values(Shape{16, 1}, Shape{1, 16},
+                                           Shape{2, 2}, Shape{1, 1},
+                                           Shape{2, 20}, Shape{20, 2},
+                                           Shape{3, 1}, Shape{1, 3}),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param.w) + "h" +
+                                  std::to_string(info.param.h);
+                         });
+
+TEST_P(ExtremeShapeTest, GoldenUpdaterHandlesDegenerateLattices) {
+  const Shape s = GetParam();
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  SiteLattice lat = random_sites({s.w, s.h}, 3);
+  // Must not crash and must conserve determinism.
+  SiteLattice again = lat;
+  lgca::reference_run(lat, rule, 4);
+  lgca::reference_run(again, rule, 4);
+  EXPECT_TRUE(lat == again);
+}
+
+TEST_P(ExtremeShapeTest, WsaPipelineMatchesGolden) {
+  const Shape s = GetParam();
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  const SiteLattice in = random_sites({s.w, s.h}, 7);
+  WsaPipeline pipe({s.w, s.h}, rule, /*depth=*/2, /*width=*/1);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 2));
+}
+
+TEST(ExtremeShapes, WsaFullWidthBatch) {
+  // P equal to the lattice width: a whole row per tick.
+  const lgca::LifeRule rule;
+  const SiteLattice in = random_sites({6, 9}, 11);
+  WsaPipeline pipe({6, 9}, rule, 2, 6);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 2));
+}
+
+TEST(ExtremeShapes, SpaMinimumSliceOnSingleRow) {
+  const lgca::GasRule rule(lgca::GasKind::HPP);
+  const SiteLattice in = random_sites({12, 1}, 13);
+  SpaMachine spa({12, 1}, rule, /*slice=*/2, /*depth=*/2);
+  EXPECT_TRUE(spa.run(in) == golden(in, rule, 2));
+}
+
+TEST(ExtremeShapes, SpaTallThinSlices) {
+  const lgca::GasRule rule(lgca::GasKind::FHP_I);
+  const SiteLattice in = random_sites({6, 40}, 17);
+  SpaMachine spa({6, 40}, rule, 2, 3);
+  EXPECT_TRUE(spa.run(in) == golden(in, rule, 3));
+}
+
+TEST(ExtremeShapes, DeepPipelineOnTinyLattice) {
+  // Pipeline depth far exceeding the lattice area: mostly latency.
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  const SiteLattice in = random_sites({3, 3}, 19);
+  WsaPipeline pipe({3, 3}, rule, 12, 1);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 12));
+}
+
+}  // namespace
+}  // namespace lattice::arch

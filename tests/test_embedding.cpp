@@ -1,0 +1,179 @@
+// Theorem 1 and embedding properties (experiment E4).
+
+#include <gtest/gtest.h>
+
+#include "lattice/embed/embedding.hpp"
+
+namespace lattice::embed {
+namespace {
+
+// ---------- bijectivity across embeddings and sizes ----------
+
+struct EmbeddingCase {
+  const char* label;
+  std::int64_t n;
+};
+
+class EveryEmbeddingTest
+    : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EveryEmbeddingTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST_P(EveryEmbeddingTest, AllStandardEmbeddingsAreBijective) {
+  const std::int64_t n = GetParam();
+  for (const auto& emb : standard_embeddings()) {
+    if (!emb->supports({n, n})) continue;
+    EXPECT_TRUE(is_bijective(*emb, {n, n})) << emb->name() << " n=" << n;
+  }
+}
+
+TEST_P(EveryEmbeddingTest, TheoremOneLowerBoundHolds) {
+  // span >= n for every embedding of an n×n array.
+  const std::int64_t n = GetParam();
+  for (const auto& emb : standard_embeddings()) {
+    if (!emb->supports({n, n})) continue;
+    EXPECT_GE(adjacency_span(*emb, {n, n}), n) << emb->name();
+  }
+}
+
+TEST_P(EveryEmbeddingTest, RowMajorAchievesTheLowerBound) {
+  const std::int64_t n = GetParam();
+  EXPECT_EQ(adjacency_span(RowMajorEmbedding{}, {n, n}), n);
+}
+
+TEST_P(EveryEmbeddingTest, RowMajorMooreWindowIsTwoLinesPlusThree) {
+  // The two-line shift register of §3/§6: a full 3×3 neighborhood spans
+  // 2n+3 consecutive stream slots in raster order.
+  const std::int64_t n = GetParam();
+  EXPECT_EQ(moore_window(RowMajorEmbedding{}, {n, n}), 2 * n + 3);
+}
+
+// ---------- specific embeddings ----------
+
+TEST(RowMajor, PositionsMatchRasterScan) {
+  const RowMajorEmbedding emb;
+  EXPECT_EQ(emb.position({4, 4}, {0, 0}), 0u);
+  EXPECT_EQ(emb.position({4, 4}, {3, 0}), 3u);
+  EXPECT_EQ(emb.position({4, 4}, {0, 1}), 4u);
+  EXPECT_EQ(emb.position({4, 4}, {3, 3}), 15u);
+}
+
+TEST(RowMajor, RectangularSpanEqualsWidth) {
+  // Span is set by vertical adjacency: one full row.
+  EXPECT_EQ(adjacency_span(RowMajorEmbedding{}, {10, 4}), 10);
+  EXPECT_EQ(adjacency_span(RowMajorEmbedding{}, {4, 10}), 4);
+}
+
+TEST(Boustrophedon, ReversesOddRows) {
+  const BoustrophedonEmbedding emb;
+  EXPECT_EQ(emb.position({4, 2}, {0, 0}), 0u);
+  EXPECT_EQ(emb.position({4, 2}, {3, 0}), 3u);
+  EXPECT_EQ(emb.position({4, 2}, {3, 1}), 4u);  // snake turns
+  EXPECT_EQ(emb.position({4, 2}, {0, 1}), 7u);
+}
+
+TEST(Boustrophedon, SpanIsNearlyTwoRows) {
+  // Vertical pairs at the far end of a snake turn are 2n-1 apart.
+  EXPECT_EQ(adjacency_span(BoustrophedonEmbedding{}, {8, 8}), 15);
+  EXPECT_EQ(adjacency_span(BoustrophedonEmbedding{}, {16, 16}), 31);
+}
+
+TEST(Block, RequiresDivisibleExtent) {
+  const BlockEmbedding emb(4);
+  EXPECT_TRUE(emb.supports({8, 8}));
+  EXPECT_FALSE(emb.supports({9, 8}));
+  EXPECT_FALSE(emb.supports({8, 9}));
+}
+
+TEST(Block, RejectsNonPositiveBlock) {
+  EXPECT_THROW(BlockEmbedding(0), Error);
+  EXPECT_THROW(BlockEmbedding(-2), Error);
+}
+
+TEST(Block, InteriorOfBlockIsRowMajor) {
+  const BlockEmbedding emb(4);
+  EXPECT_EQ(emb.position({8, 8}, {0, 0}), 0u);
+  EXPECT_EQ(emb.position({8, 8}, {3, 0}), 3u);
+  EXPECT_EQ(emb.position({8, 8}, {0, 1}), 4u);
+  EXPECT_EQ(emb.position({8, 8}, {4, 0}), 16u);  // next block
+  EXPECT_EQ(emb.position({8, 8}, {0, 4}), 32u);  // next block row
+}
+
+TEST(Block, SpanExceedsRowMajor) {
+  // Cross-block vertical adjacency pays a whole block row.
+  const BlockEmbedding emb(4);
+  EXPECT_GT(adjacency_span(emb, {16, 16}), 16);
+}
+
+TEST(Hilbert, RequiresSquarePowerOfTwo) {
+  const HilbertEmbedding emb;
+  EXPECT_TRUE(emb.supports({8, 8}));
+  EXPECT_FALSE(emb.supports({8, 16}));
+  EXPECT_FALSE(emb.supports({12, 12}));
+}
+
+TEST(Hilbert, FirstOrderCurveVisitsQuadrantsInU) {
+  const HilbertEmbedding emb;
+  // 2×2: (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(emb.position({2, 2}, {0, 0}), 0u);
+  EXPECT_EQ(emb.position({2, 2}, {0, 1}), 1u);
+  EXPECT_EQ(emb.position({2, 2}, {1, 1}), 2u);
+  EXPECT_EQ(emb.position({2, 2}, {1, 0}), 3u);
+}
+
+TEST(Hilbert, ConsecutivePositionsAreLatticeNeighbors) {
+  // The defining property of the Hilbert curve.
+  const HilbertEmbedding emb;
+  const Extent e{16, 16};
+  std::vector<Coord> by_pos(static_cast<std::size_t>(e.area()));
+  for (std::int64_t y = 0; y < e.height; ++y)
+    for (std::int64_t x = 0; x < e.width; ++x)
+      by_pos[emb.position(e, {x, y})] = {x, y};
+  for (std::size_t p = 1; p < by_pos.size(); ++p) {
+    const auto dx = std::abs(by_pos[p].x - by_pos[p - 1].x);
+    const auto dy = std::abs(by_pos[p].y - by_pos[p - 1].y);
+    EXPECT_EQ(dx + dy, 1) << "positions " << p - 1 << "," << p;
+  }
+}
+
+TEST(Hilbert, CurveClevernessCannotBeatTheoremOne) {
+  // Hilbert's worst-case adjacent distance (which is what sizes a shift
+  // register) is Θ(n²): cells facing each other across the top-level
+  // quadrant split are half a curve apart. Row-major's n is optimal.
+  const HilbertEmbedding hilbert;
+  const RowMajorEmbedding row;
+  const Extent e{32, 32};
+  EXPECT_EQ(adjacency_span(row, e), 32);
+  EXPECT_GE(adjacency_span(hilbert, e), 32 * 32 / 4);
+}
+
+// ---------- Theorem 1, exhaustively ----------
+
+TEST(TheoremOne, ExhaustiveMinimumSpanN2) {
+  // All 24 placements of a 2×2 array: best possible span is exactly 2.
+  EXPECT_EQ(min_span_over_all_placements(2), 2);
+}
+
+TEST(TheoremOne, ExhaustiveMinimumSpanN3) {
+  // All 362,880 placements of a 3×3 array: best possible span is 3 —
+  // achieved by row-major, as the theorem predicts.
+  EXPECT_EQ(min_span_over_all_placements(3), 3);
+}
+
+TEST(TheoremOne, ExhaustiveRejectsLargeN) {
+  EXPECT_THROW(min_span_over_all_placements(4), Error);
+}
+
+// ---------- misc ----------
+
+TEST(AdjacencySpan, RejectsUnsupportedExtent) {
+  EXPECT_THROW(adjacency_span(HilbertEmbedding{}, {12, 12}), Error);
+}
+
+TEST(MeanDistance, SingleCellHasNoPairs) {
+  EXPECT_DOUBLE_EQ(mean_adjacency_distance(RowMajorEmbedding{}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace lattice::embed

@@ -1,0 +1,210 @@
+// End-to-end facade tests: every backend produces the same physics,
+// and the performance report is consistent with the §6/§7 models.
+
+#include <gtest/gtest.h>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/observables.hpp"
+
+namespace lattice::core {
+namespace {
+
+LatticeEngine::Config base_config(Backend b) {
+  LatticeEngine::Config c;
+  c.extent = {32, 24};
+  c.gas = lgca::GasKind::FHP_II;
+  c.backend = b;
+  c.pipeline_depth = 3;
+  c.wsa_width = 2;
+  c.spa_slice_width = 8;
+  return c;
+}
+
+void seed(LatticeEngine& e) {
+  lgca::fill_random(e.state(), e.gas_model(), 0.3, 77, 0.15);
+}
+
+class BackendTest : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(All, BackendTest,
+                         ::testing::Values(Backend::Reference, Backend::Wsa,
+                                           Backend::Spa),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Backend::Reference: return "Reference";
+                             case Backend::Wsa: return "Wsa";
+                             case Backend::Spa: return "Spa";
+                           }
+                           return "unknown";
+                         });
+
+TEST_P(BackendTest, VerifiesAgainstReference) {
+  LatticeEngine e(base_config(GetParam()));
+  seed(e);
+  e.advance(10);
+  EXPECT_EQ(e.generation(), 10);
+  EXPECT_TRUE(e.verify_against_reference());
+}
+
+TEST_P(BackendTest, AllBackendsAgreeExactly) {
+  LatticeEngine ref(base_config(Backend::Reference));
+  LatticeEngine other(base_config(GetParam()));
+  seed(ref);
+  seed(other);
+  ref.advance(7);
+  other.advance(7);
+  EXPECT_TRUE(ref.state() == other.state());
+}
+
+TEST_P(BackendTest, PartialPassesHandleRaggedGenerations) {
+  // 10 generations at depth 3 = three full passes + one short pass.
+  LatticeEngine e(base_config(GetParam()));
+  seed(e);
+  e.advance(4);
+  e.advance(6);
+  EXPECT_EQ(e.generation(), 10);
+  EXPECT_TRUE(e.verify_against_reference());
+}
+
+TEST_P(BackendTest, ConservesMassAndReportsUpdates) {
+  LatticeEngine e(base_config(GetParam()));
+  seed(e);
+  const auto before = lgca::measure_invariants(e.state(), e.gas_model());
+  e.advance(5);
+  // Null boundaries drain mass, so only check monotone non-increase.
+  const auto after = lgca::measure_invariants(e.state(), e.gas_model());
+  EXPECT_LE(after.mass, before.mass);
+  EXPECT_EQ(e.report().site_updates, 32 * 24 * 5);
+}
+
+TEST(Engine, CustomRuleBackendEquivalence) {
+  const lgca::LifeRule life;
+  LatticeEngine::Config c = base_config(Backend::Wsa);
+  c.custom_rule = &life;
+  LatticeEngine wsa(c);
+  c.backend = Backend::Reference;
+  LatticeEngine ref(c);
+  for (std::size_t i = 0; i < wsa.state().site_count(); ++i) {
+    const auto v = static_cast<lgca::Site>((i * 2654435761u >> 7) & 1);
+    wsa.state()[i] = v;
+    ref.state()[i] = v;
+  }
+  wsa.advance(6);
+  ref.advance(6);
+  EXPECT_TRUE(wsa.state() == ref.state());
+  EXPECT_THROW((void)wsa.gas_model(), Error);  // no gas configured
+}
+
+TEST(Engine, WsaReportMatchesDesignModel) {
+  LatticeEngine e(base_config(Backend::Wsa));
+  seed(e);
+  e.advance(6);
+  const PerformanceReport r = e.report();
+  EXPECT_EQ(r.backend, Backend::Wsa);
+  EXPECT_DOUBLE_EQ(r.bandwidth_bits_per_tick, 2.0 * 8 * 2);  // 2DP
+  EXPECT_GT(r.updates_per_tick, 0);
+  EXPECT_DOUBLE_EQ(r.modeled_rate, r.updates_per_tick * 10e6);
+  EXPECT_GT(r.storage_sites, 0);
+}
+
+TEST(Engine, SpaReportUsesSliceBandwidth) {
+  LatticeEngine e(base_config(Backend::Spa));
+  seed(e);
+  e.advance(3);
+  const PerformanceReport r = e.report();
+  EXPECT_DOUBLE_EQ(r.bandwidth_bits_per_tick, 2.0 * 8 * (32.0 / 8.0));
+}
+
+TEST(Engine, ModeledRateRespectsPebblingCeiling) {
+  // The §7 punchline as an executable assertion: no simulated design
+  // exceeds R = B·O(S^(1/d)).
+  for (const Backend b : {Backend::Wsa, Backend::Spa}) {
+    LatticeEngine e(base_config(b));
+    seed(e);
+    e.advance(6);
+    const PerformanceReport r = e.report();
+    ASSERT_GT(r.pebbling_rate_ceiling, 0);
+    EXPECT_LT(r.modeled_rate, r.pebbling_rate_ceiling);
+  }
+}
+
+TEST(Engine, ReferenceBackendReportsNoTicks) {
+  LatticeEngine e(base_config(Backend::Reference));
+  seed(e);
+  e.advance(2);
+  const PerformanceReport r = e.report();
+  EXPECT_EQ(r.ticks, 0);
+  EXPECT_DOUBLE_EQ(r.bandwidth_bits_per_tick, 0);
+}
+
+TEST(Engine, RejectsPeriodicPipelines) {
+  LatticeEngine::Config c = base_config(Backend::Wsa);
+  c.boundary = lgca::Boundary::Periodic;
+  EXPECT_THROW(LatticeEngine{c}, Error);
+}
+
+TEST(PickSpaSliceWidth, PrefersDivisorNearPaperOptimum) {
+  const arch::Technology t = arch::Technology::paper1987();
+  // Corner is W ≈ 43: for a 256-wide lattice the best divisor is 32.
+  EXPECT_EQ(pick_spa_slice_width(t, 256), 32);
+  // 86 = 2·43: exact-ish divisor available.
+  EXPECT_EQ(pick_spa_slice_width(t, 86), 43);
+  // Prime width: only the trivial single slice divides.
+  EXPECT_EQ(pick_spa_slice_width(t, 97), 97);
+}
+
+TEST(Engine, StatsAccumulateAcrossAdvances) {
+  LatticeEngine e(base_config(Backend::Wsa));
+  seed(e);
+  e.advance(3);
+  const auto first = e.report();
+  e.advance(3);
+  const auto second = e.report();
+  EXPECT_EQ(second.site_updates, 2 * first.site_updates);
+  EXPECT_EQ(second.ticks, 2 * first.ticks);
+  EXPECT_EQ(second.generations, 6);
+}
+
+TEST(Engine, SaturatedGasBackendEquivalence) {
+  LatticeEngine::Config c = base_config(Backend::Spa);
+  c.gas = lgca::GasKind::FHP_III;
+  LatticeEngine spa(c);
+  c.backend = Backend::Reference;
+  LatticeEngine ref(c);
+  lgca::fill_random(spa.state(), spa.gas_model(), 0.3, 55, 0.2);
+  lgca::fill_random(ref.state(), ref.gas_model(), 0.3, 55, 0.2);
+  spa.advance(9);
+  ref.advance(9);
+  EXPECT_TRUE(spa.state() == ref.state());
+}
+
+TEST(Engine, DiffusionRuleThroughSpaBackend) {
+  const lgca::DiffusionRule diffusion;
+  LatticeEngine::Config c = base_config(Backend::Spa);
+  c.custom_rule = &diffusion;
+  LatticeEngine spa(c);
+  c.backend = Backend::Reference;
+  LatticeEngine ref(c);
+  for (std::size_t i = 0; i < spa.state().site_count(); ++i) {
+    const auto v = static_cast<lgca::Site>((i * 97) & 0xff);
+    spa.state()[i] = v;
+    ref.state()[i] = v;
+  }
+  spa.advance(5);
+  ref.advance(5);
+  EXPECT_TRUE(spa.state() == ref.state());
+}
+
+TEST(Engine, AdvanceZeroIsNoOp) {
+  LatticeEngine e(base_config(Backend::Wsa));
+  seed(e);
+  const auto before = e.state();
+  e.advance(0);
+  EXPECT_TRUE(e.state() == before);
+  EXPECT_EQ(e.generation(), 0);
+}
+
+}  // namespace
+}  // namespace lattice::core

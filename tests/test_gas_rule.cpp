@@ -1,0 +1,261 @@
+// Dynamics tests for the gas rule driven through the golden reference
+// updater: free streaming, collisions in situ, bounce-back, and exact
+// global conservation over long runs.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "lattice/common/rng.hpp"
+
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/observables.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+SiteLattice make(Extent e, Boundary b = Boundary::Periodic) {
+  return SiteLattice(e, b);
+}
+
+/// Locate the single occupied site (fails the test if not exactly one).
+Coord find_single_particle(const SiteLattice& lat) {
+  Coord found{-1, -1};
+  int count = 0;
+  const Extent e = lat.extent();
+  for (std::int64_t y = 0; y < e.height; ++y)
+    for (std::int64_t x = 0; x < e.width; ++x)
+      if (lat.at({x, y}) != 0) {
+        found = {x, y};
+        ++count;
+      }
+  EXPECT_EQ(count, 1);
+  return found;
+}
+
+class StreamingTest
+    : public ::testing::TestWithParam<std::tuple<GasKind, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDirections, StreamingTest,
+    ::testing::Combine(::testing::Values(GasKind::HPP, GasKind::FHP_I,
+                                         GasKind::FHP_II, GasKind::FHP_III),
+                       ::testing::Range(0, 6)),
+    [](const auto& info) {
+      std::string name{gas_kind_name(std::get<0>(info.param))};
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + "_dir" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(StreamingTest, LoneParticleAdvectsAlongItsChannel) {
+  const auto [kind, dir] = GetParam();
+  const GasModel& model = GasModel::get(kind);
+  if (dir >= model.channels()) GTEST_SKIP() << "direction not in model";
+  const GasRule rule(kind);
+
+  // Start from both row parities to exercise the offset-grid streaming.
+  for (const Coord start : {Coord{8, 8}, Coord{8, 9}}) {
+    SiteLattice lat = make({17, 17});
+    lat.at(start) = channel_bit(dir);
+
+    Coord expected = start;
+    for (int t = 0; t < 5; ++t) {
+      reference_step(lat, rule, t);
+      expected = neighbor_coord(model.topology(), expected, dir);
+      const Coord at = find_single_particle(lat);
+      EXPECT_EQ(at, expected) << "t=" << t;
+      EXPECT_EQ(lat.at(at), channel_bit(dir));
+    }
+  }
+}
+
+TEST(GasRuleHpp, HeadOnCollisionScattersPerpendicular) {
+  // E-mover and W-mover meet at (2,1): gathered state {E,W} → {N,S}.
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat = make({5, 3});
+  lat.at({1, 1}) = channel_bit(0);  // E-bound
+  lat.at({3, 1}) = channel_bit(2);  // W-bound
+  reference_step(lat, rule, 0);
+  EXPECT_EQ(lat.at({2, 1}),
+            static_cast<Site>(channel_bit(1) | channel_bit(3)));
+  EXPECT_EQ(lat.at({1, 1}), 0);
+  EXPECT_EQ(lat.at({3, 1}), 0);
+}
+
+TEST(GasRuleFhp, HeadOnCollisionRotatesPair) {
+  const GasRule rule(GasKind::FHP_I);
+  SiteLattice lat = make({7, 3});
+  lat.at({2, 1}) = channel_bit(0);  // E-bound
+  lat.at({4, 1}) = channel_bit(3);  // W-bound
+  reference_step(lat, rule, 0);
+  const Site out = lat.at({3, 1});
+  const Site rot_plus = static_cast<Site>(channel_bit(1) | channel_bit(4));
+  const Site rot_minus = static_cast<Site>(channel_bit(2) | channel_bit(5));
+  EXPECT_TRUE(out == rot_plus || out == rot_minus) << int(out);
+}
+
+TEST(GasRule, BounceBackReversesParticle) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat = make({7, 3}, Boundary::Null);
+  lat.at({3, 1}) = kObstacleBit;
+  lat.at({1, 1}) = channel_bit(0);  // heading E toward the obstacle
+
+  reference_step(lat, rule, 0);  // particle reaches (2,1)
+  EXPECT_EQ(lat.at({2, 1}), channel_bit(0));
+  reference_step(lat, rule, 1);  // enters obstacle, reflected to W
+  EXPECT_EQ(lat.at({3, 1}), static_cast<Site>(kObstacleBit | channel_bit(2)));
+  reference_step(lat, rule, 2);  // leaves obstacle heading W
+  EXPECT_EQ(lat.at({2, 1}), channel_bit(2));
+  EXPECT_EQ(lat.at({3, 1}), kObstacleBit);
+}
+
+class ConservationTest : public ::testing::TestWithParam<GasKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ConservationTest,
+                         ::testing::Values(GasKind::HPP, GasKind::FHP_I,
+                                           GasKind::FHP_II, GasKind::FHP_III),
+                         [](const auto& info) {
+                           std::string name{gas_kind_name(info.param)};
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST_P(ConservationTest, MassAndMomentumExactOverFiftyGenerations) {
+  const GasKind kind = GetParam();
+  const GasModel& model = GasModel::get(kind);
+  const GasRule rule(kind);
+
+  SiteLattice lat = make({32, 32}, Boundary::Periodic);
+  fill_random(lat, model, 0.3, /*seed=*/2026, /*rest_density=*/0.2);
+  const Invariants before = measure_invariants(lat, model);
+  ASSERT_GT(before.mass, 0);
+
+  reference_run(lat, rule, 50);
+  const Invariants after = measure_invariants(lat, model);
+  EXPECT_EQ(after.mass, before.mass);
+  EXPECT_EQ(after.px, before.px);
+  EXPECT_EQ(after.py, before.py);
+}
+
+TEST_P(ConservationTest, MassConservedWithObstaclesPresent) {
+  const GasKind kind = GetParam();
+  const GasModel& model = GasModel::get(kind);
+  const GasRule rule(kind);
+
+  SiteLattice lat = make({32, 32}, Boundary::Periodic);
+  add_obstacle_disk(lat, 16, 16, 5);
+  fill_random(lat, model, 0.25, 99);
+  const Invariants before = measure_invariants(lat, model);
+
+  reference_run(lat, rule, 40);
+  const Invariants after = measure_invariants(lat, model);
+  EXPECT_EQ(after.mass, before.mass);
+  EXPECT_EQ(after.obstacles, before.obstacles);
+}
+
+TEST_P(ConservationTest, EvolutionIsDeterministic) {
+  const GasKind kind = GetParam();
+  const GasRule rule(kind);
+
+  SiteLattice a = make({24, 24});
+  fill_random(a, GasModel::get(kind), 0.4, 7);
+  SiteLattice b = a;
+  reference_run(a, rule, 20);
+  reference_run(b, rule, 20);
+  EXPECT_TRUE(a == b);
+}
+
+TEST_P(ConservationTest, EvolutionIsExactlyReversible) {
+  // Microscopic reversibility: run forward 15 generations, then unstep
+  // 15 times — the initial configuration must return bit-for-bit.
+  const GasKind kind = GetParam();
+  const GasRule rule(kind);
+  SiteLattice lat = make({24, 18}, Boundary::Periodic);
+  fill_random(lat, GasModel::get(kind), 0.35, 61, 0.25);
+  const SiteLattice original = lat;
+
+  const std::int64_t steps = 15;
+  reference_run(lat, rule, steps);
+  EXPECT_FALSE(lat == original);  // it really evolved
+  for (std::int64_t t = steps; t-- > 0;) {
+    gas_unstep(lat, rule, t);
+  }
+  EXPECT_TRUE(lat == original);
+}
+
+TEST_P(ConservationTest, ReversibilityHoldsWithObstacles) {
+  const GasKind kind = GetParam();
+  const GasRule rule(kind);
+  SiteLattice lat = make({20, 20}, Boundary::Periodic);
+  add_obstacle_disk(lat, 10, 10, 3);
+  fill_random(lat, GasModel::get(kind), 0.3, 17);
+  const SiteLattice original = lat;
+  reference_run(lat, rule, 8);
+  for (std::int64_t t = 8; t-- > 0;) gas_unstep(lat, rule, t);
+  EXPECT_TRUE(lat == original);
+}
+
+TEST(GasUnstep, RequiresPeriodicBoundaries) {
+  const GasRule rule(GasKind::FHP_I);
+  SiteLattice lat({8, 8}, Boundary::Null);
+  EXPECT_THROW(gas_unstep(lat, rule, 0), Error);
+}
+
+TEST(GasRule, EmptyLatticeStaysEmpty) {
+  const GasRule rule(GasKind::FHP_II);
+  SiteLattice lat = make({16, 16});
+  reference_run(lat, rule, 10);
+  EXPECT_EQ(measure_invariants(lat, GasModel::get(GasKind::FHP_II)).mass, 0);
+}
+
+TEST(GasRule, NullBoundaryDrainsParticles) {
+  // With null boundaries, an E-bound particle walks off the edge.
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat = make({5, 3}, Boundary::Null);
+  lat.at({4, 1}) = channel_bit(0);
+  reference_step(lat, rule, 0);
+  EXPECT_EQ(measure_invariants(lat, GasModel::get(GasKind::HPP)).mass, 0);
+}
+
+TEST(GasRule, AxisGasEquilibratesIntoAllChannels) {
+  // Ergodicity: particles seeded only on the E/W axis must scatter
+  // into the diagonal channels; transverse pairs end up balanced.
+  const GasRule rule(GasKind::FHP_III);
+  SiteLattice lat = make({32, 32}, Boundary::Periodic);
+  Pcg32 rng(13);
+  for (std::size_t i = 0; i < lat.site_count(); ++i) {
+    Site s = 0;
+    if (rng.next_bool(0.5)) s |= channel_bit(0);
+    if (rng.next_bool(0.5)) s |= channel_bit(3);
+    lat[i] = s;
+  }
+  reference_run(lat, rule, 80);
+  std::array<std::int64_t, 6> occ{};
+  for (std::size_t i = 0; i < lat.site_count(); ++i) {
+    for (int d = 0; d < 6; ++d) {
+      if (has_channel(lat[i], d)) ++occ[static_cast<std::size_t>(d)];
+    }
+  }
+  std::int64_t total = 0;
+  for (const auto n : occ) total += n;
+  // Every channel should hold a substantial share, with opposite
+  // channels roughly balanced (net momentum started near zero).
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_GT(occ[static_cast<std::size_t>(d)], total / 12) << "dir " << d;
+  }
+}
+
+TEST(GasRule, RestParticleStaysPut) {
+  const GasRule rule(GasKind::FHP_II);
+  SiteLattice lat = make({9, 9});
+  lat.at({4, 4}) = kRestBit;
+  reference_run(lat, rule, 5);
+  EXPECT_EQ(lat.at({4, 4}), kRestBit);
+}
+
+}  // namespace
+}  // namespace lattice::lgca

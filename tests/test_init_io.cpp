@@ -1,0 +1,160 @@
+// Initializer geometry and image output details not covered by the
+// physics suites.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "lattice/lgca/image_io.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/observables.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+const GasModel& fhp() { return GasModel::get(GasKind::FHP_II); }
+
+TEST(InitGeometry, DiskRadiusIsInclusive) {
+  SiteLattice lat({21, 21}, Boundary::Null);
+  add_obstacle_disk(lat, 10, 10, 3);
+  EXPECT_TRUE(is_obstacle(lat.at({10, 10})));
+  EXPECT_TRUE(is_obstacle(lat.at({13, 10})));   // exactly r
+  EXPECT_FALSE(is_obstacle(lat.at({14, 10})));  // r+1
+  EXPECT_TRUE(is_obstacle(lat.at({12, 12})));   // inside diagonally
+  EXPECT_FALSE(is_obstacle(lat.at({13, 13})));
+}
+
+TEST(InitGeometry, RectClampsToLattice) {
+  SiteLattice lat({8, 8}, Boundary::Null);
+  add_obstacle_rect(lat, {-5, -5}, {2, 1});
+  const Invariants inv = measure_invariants(lat, fhp());
+  EXPECT_EQ(inv.obstacles, 3 * 2);
+}
+
+TEST(InitGeometry, ChannelWallsCoverTopAndBottomOnly) {
+  SiteLattice lat({10, 6}, Boundary::Null);
+  add_channel_walls(lat);
+  for (std::int64_t x = 0; x < 10; ++x) {
+    EXPECT_TRUE(is_obstacle(lat.at({x, 0})));
+    EXPECT_TRUE(is_obstacle(lat.at({x, 5})));
+  }
+  for (std::int64_t y = 1; y < 5; ++y) {
+    EXPECT_FALSE(is_obstacle(lat.at({3, y})));
+  }
+}
+
+TEST(InitGeometry, PulseRespectsObstacles) {
+  SiteLattice lat({17, 17}, Boundary::Null);
+  add_obstacle_disk(lat, 8, 8, 1.2);
+  add_pressure_pulse(lat, fhp(), 5);
+  // The obstacle core must stay an obstacle, not become gas.
+  EXPECT_TRUE(is_obstacle(lat.at({8, 8})));
+  // But the pulse ring around it is populated.
+  EXPECT_GT(measure_invariants(lat, fhp()).mass, 0);
+}
+
+TEST(FillShear, ZeroBiasMatchesUnbiasedStatistics) {
+  SiteLattice lat({64, 64}, Boundary::Periodic);
+  fill_shear(lat, fhp(), 0.3, 0.0, 31);
+  const Invariants inv = measure_invariants(lat, fhp());
+  // Net momentum should be small (no bias): |px| well under 5% of the
+  // total particle count scale.
+  EXPECT_LT(std::abs(inv.px), inv.mass / 10);
+}
+
+TEST(FillShear, OppositeRowsCarryOppositeMomentum) {
+  SiteLattice lat({128, 64}, Boundary::Periodic);
+  fill_shear(lat, fhp(), 0.3, 0.2, 41);
+  const auto profile = momentum_profile_x(lat, fhp());
+  // Row 16 is the +peak of the sine, row 48 the −peak.
+  EXPECT_GT(profile[16], 0);
+  EXPECT_LT(profile[48], 0);
+  EXPECT_GT(profile[16], -profile[48] / 2);
+}
+
+TEST(FillShear, PreservesObstacles) {
+  SiteLattice lat({32, 32}, Boundary::Periodic);
+  add_obstacle_disk(lat, 16, 16, 4);
+  const auto before = measure_invariants(lat, fhp()).obstacles;
+  fill_shear(lat, fhp(), 0.4, 0.1, 3);
+  EXPECT_EQ(measure_invariants(lat, fhp()).obstacles, before);
+}
+
+TEST(FillRandom, RestDensityControlsRestPopulation) {
+  SiteLattice none({64, 64}, Boundary::Periodic);
+  SiteLattice lots({64, 64}, Boundary::Periodic);
+  fill_random(none, fhp(), 0.2, 5, 0.0);
+  fill_random(lots, fhp(), 0.2, 5, 0.9);
+  auto rest_count = [](const SiteLattice& lat) {
+    int n = 0;
+    for (std::size_t i = 0; i < lat.site_count(); ++i)
+      n += has_rest(lat[i]);
+    return n;
+  };
+  EXPECT_EQ(rest_count(none), 0);
+  EXPECT_GT(rest_count(lots), 64 * 64 / 2);
+}
+
+// ---- image output ----
+
+TEST(ImageIo, RawPgmDumpsBytesVerbatim) {
+  SiteLattice lat({3, 2}, Boundary::Null);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<Site>(40 + i);
+  std::ostringstream os;
+  write_raw_pgm(os, lat);
+  const std::string s = os.str();
+  const std::string header = "P5\n3 2\n255\n";
+  ASSERT_EQ(s.size(), header.size() + 6);
+  EXPECT_EQ(s.compare(0, header.size(), header), 0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(s[header.size() +
+                                           static_cast<std::size_t>(i)]),
+              40 + i);
+  }
+}
+
+TEST(ImageIo, DensityPgmScalesObstaclesToWhite) {
+  SiteLattice lat({2, 1}, Boundary::Null);
+  lat.at({0, 0}) = kObstacleBit;
+  lat.at({1, 0}) = 0;
+  std::ostringstream os;
+  write_density_pgm(os, lat, fhp());
+  const std::string s = os.str();
+  EXPECT_EQ(static_cast<unsigned char>(s[s.size() - 2]), 255);  // obstacle
+  EXPECT_EQ(static_cast<unsigned char>(s[s.size() - 1]), 0);    // vacuum
+}
+
+TEST(ImageIo, FlowArrowsCoverAllOctants) {
+  Grid<FlowCell> cells({8, 1});
+  const double d = 0.7071;
+  const FlowCell dirs[8] = {
+      {1, 1, 0},    {1, d, -d},  {1, 0, -1},  {1, -d, -d},
+      {1, -1, 0},   {1, -d, d},  {1, 0, 1},   {1, d, d}};
+  for (int i = 0; i < 8; ++i) cells.at({i, 0}) = dirs[i];
+  const std::string art = render_flow_ascii(cells);
+  EXPECT_EQ(art, ">/^\\</v\\\n");
+}
+
+TEST(ImageIo, DensityRampIsMonotone) {
+  SiteLattice lat({7, 1}, Boundary::Null);
+  Site acc = 0;
+  for (int d = 0; d < 6; ++d) {
+    acc |= channel_bit(d);
+    lat.at({d + 1, 0}) = acc;
+  }
+  const std::string art = render_density_ascii(lat, fhp());
+  // Strictly non-decreasing glyph "darkness" along the ramp.
+  static constexpr std::string_view kRamp = " .:-=+*%@";
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i + 1 < art.size(); ++i) {  // skip trailing \n
+    const std::size_t level = kRamp.find(art[i]);
+    ASSERT_NE(level, std::string_view::npos);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+}  // namespace
+}  // namespace lattice::lgca

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "lattice/lgca/lattice.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+TEST(SiteLattice, RejectsEmptyExtent) {
+  EXPECT_THROW(SiteLattice({0, 4}, Boundary::Null), Error);
+  EXPECT_THROW(SiteLattice({4, 0}, Boundary::Periodic), Error);
+}
+
+TEST(SiteLattice, NullBoundaryReadsZeroOutside) {
+  SiteLattice lat({3, 3}, Boundary::Null);
+  lat.fill(Site{0xff});
+  EXPECT_EQ(lat.get({-1, 0}), 0);
+  EXPECT_EQ(lat.get({0, -1}), 0);
+  EXPECT_EQ(lat.get({3, 0}), 0);
+  EXPECT_EQ(lat.get({0, 3}), 0);
+  EXPECT_EQ(lat.get({1, 1}), 0xff);
+}
+
+TEST(SiteLattice, PeriodicBoundaryWraps) {
+  SiteLattice lat({4, 3}, Boundary::Periodic);
+  lat.at({0, 0}) = 1;
+  lat.at({3, 2}) = 2;
+  EXPECT_EQ(lat.get({4, 0}), 1);
+  EXPECT_EQ(lat.get({0, 3}), 1);
+  EXPECT_EQ(lat.get({-4, -3}), 1);
+  EXPECT_EQ(lat.get({-1, -1}), 2);
+  EXPECT_EQ(lat.get({7, 5}), 2);
+}
+
+TEST(SiteLattice, WindowAtInterior) {
+  SiteLattice lat({4, 4}, Boundary::Null);
+  // Number sites 0..15 row-major.
+  for (std::int64_t y = 0; y < 4; ++y)
+    for (std::int64_t x = 0; x < 4; ++x)
+      lat.at({x, y}) = static_cast<Site>(y * 4 + x);
+  const Window w = lat.window_at({1, 1});
+  EXPECT_EQ(w.at(-1, -1), 0);
+  EXPECT_EQ(w.at(0, -1), 1);
+  EXPECT_EQ(w.at(1, -1), 2);
+  EXPECT_EQ(w.at(-1, 0), 4);
+  EXPECT_EQ(w.center(), 5);
+  EXPECT_EQ(w.at(1, 0), 6);
+  EXPECT_EQ(w.at(-1, 1), 8);
+  EXPECT_EQ(w.at(0, 1), 9);
+  EXPECT_EQ(w.at(1, 1), 10);
+}
+
+TEST(SiteLattice, WindowAtCornerRespectsBoundary) {
+  SiteLattice nul({3, 3}, Boundary::Null);
+  nul.fill(Site{7});
+  const Window wn = nul.window_at({0, 0});
+  EXPECT_EQ(wn.at(-1, -1), 0);
+  EXPECT_EQ(wn.at(-1, 0), 0);
+  EXPECT_EQ(wn.at(0, -1), 0);
+  EXPECT_EQ(wn.center(), 7);
+
+  SiteLattice per({3, 3}, Boundary::Periodic);
+  per.fill(Site{7});
+  per.at({2, 2}) = 9;
+  const Window wp = per.window_at({0, 0});
+  EXPECT_EQ(wp.at(-1, -1), 9);  // wraps to (2,2)
+}
+
+TEST(SiteLattice, EqualityIncludesBoundaryPolicy) {
+  SiteLattice a({2, 2}, Boundary::Null);
+  SiteLattice b({2, 2}, Boundary::Periodic);
+  EXPECT_FALSE(a == b);
+  SiteLattice c({2, 2}, Boundary::Null);
+  EXPECT_TRUE(a == c);
+  c.at({0, 0}) = 1;
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SiteLattice, SiteCountMatchesExtent) {
+  SiteLattice lat({5, 7}, Boundary::Null);
+  EXPECT_EQ(lat.site_count(), 35u);
+}
+
+}  // namespace
+}  // namespace lattice::lgca

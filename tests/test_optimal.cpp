@@ -1,0 +1,122 @@
+// Exact minimum-I/O pebbling on small graphs: ground truth between the
+// analytic lower bounds and the constructive schedules.
+
+#include <gtest/gtest.h>
+
+#include "lattice/pebble/bounds.hpp"
+#include "lattice/pebble/comp_graph.hpp"
+#include "lattice/pebble/optimal.hpp"
+#include "lattice/pebble/schedules.hpp"
+
+namespace lattice::pebble {
+namespace {
+
+TEST(OptimalPebbling, ChainNeedsOneReadOneWrite) {
+  Dag dag(6);
+  for (Vertex v = 0; v + 1 < 6; ++v) dag.add_edge(v, v + 1);
+  const OptimalResult r = min_io_pebbling(dag, 2);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.min_io, 2);
+}
+
+TEST(OptimalPebbling, InfeasibleWhenInDegreeExceedsStorage) {
+  // Computing a join vertex needs both predecessors red *plus* room for
+  // the result: S = 2 cannot pebble in-degree-2 graphs.
+  Dag dag(3);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  EXPECT_FALSE(min_io_pebbling(dag, 2).feasible);
+  const OptimalResult r = min_io_pebbling(dag, 3);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.min_io, 3);  // two reads + one write
+}
+
+TEST(OptimalPebbling, EveryUsedInputIsReadAndOutputWritten) {
+  // Two independent chains: 2 reads + 2 writes.
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 3);
+  const OptimalResult r = min_io_pebbling(dag, 2);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.min_io, 4);
+}
+
+TEST(OptimalPebbling, TinyLatticeOneStepMatchesSweep) {
+  // C_1 with n = 3, T = 1: the sweep's 2nT = 6 I/O is already optimal.
+  const LatticeBox box{{3}};
+  const Dag dag = computation_graph(box, 1);
+  const OptimalResult opt = min_io_pebbling(dag, 6);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_EQ(opt.min_io, 6);
+  const auto sweep = run_sweep_1d(3, 1, 6);
+  EXPECT_EQ(sweep.io_moves, opt.min_io);
+}
+
+TEST(OptimalPebbling, DeepGraphBeatsTheSweepWhenStorageFits) {
+  // C_1 with n = 3, T = 3 (12 vertices): with S = 6 the whole working
+  // set fits, so the optimum is 3 reads + 3 writes = 6, while the sweep
+  // pays 2nT = 18. Pipelining/tiling wins exactly as §3 argues.
+  const LatticeBox box{{3}};
+  const Dag dag = computation_graph(box, 3);
+  const OptimalResult opt = min_io_pebbling(dag, 6);
+  ASSERT_TRUE(opt.feasible);
+  EXPECT_EQ(opt.min_io, 6);
+  const auto sweep = run_sweep_1d(3, 3, 6);
+  EXPECT_EQ(sweep.io_moves, 18);
+}
+
+TEST(OptimalPebbling, TightStorageForcesExtraIo) {
+  // Same graph, minimal storage: spilling becomes unavoidable, so the
+  // optimum strictly exceeds inputs+outputs.
+  const LatticeBox box{{3}};
+  const Dag dag = computation_graph(box, 3);
+  const OptimalResult tight = min_io_pebbling(dag, 4);
+  const OptimalResult roomy = min_io_pebbling(dag, 8);
+  ASSERT_TRUE(tight.feasible);
+  ASSERT_TRUE(roomy.feasible);
+  EXPECT_GT(tight.min_io, roomy.min_io);
+  EXPECT_EQ(roomy.min_io, 6);
+}
+
+TEST(OptimalPebbling, RespectsAnalyticLowerBound) {
+  const LatticeBox box{{4}};
+  const Dag dag = computation_graph(box, 2);
+  for (const std::int64_t s : {std::int64_t{4}, std::int64_t{6},
+                               std::int64_t{12}}) {
+    const OptimalResult opt = min_io_pebbling(dag, s);
+    ASSERT_TRUE(opt.feasible) << "S=" << s;
+    EXPECT_GE(opt.min_io,
+              static_cast<std::int64_t>(min_io_lower_bound(
+                  1, static_cast<double>(s), static_cast<double>(dag.size()))))
+        << "S=" << s;
+  }
+}
+
+TEST(OptimalPebbling, MonotoneNonIncreasingInStorage) {
+  const LatticeBox box{{2, 2}};
+  const Dag dag = computation_graph(box, 1);  // 8 vertices
+  std::int64_t prev = 1 << 20;
+  for (std::int64_t s = 4; s <= 8; ++s) {
+    const OptimalResult r = min_io_pebbling(dag, s);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.min_io, prev) << "S=" << s;
+    prev = r.min_io;
+  }
+}
+
+TEST(OptimalPebbling, RejectsOversizedGraphs) {
+  Dag dag(20);
+  EXPECT_THROW(min_io_pebbling(dag, 4), Error);
+}
+
+TEST(OptimalPebbling, SingleVertexGraph) {
+  // One isolated vertex is both input and output: starts blue, done —
+  // zero I/O.
+  Dag dag(1);
+  const OptimalResult r = min_io_pebbling(dag, 1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.min_io, 0);
+}
+
+}  // namespace
+}  // namespace lattice::pebble

@@ -1,0 +1,84 @@
+// Threaded reference updater: bit-identical to the serial updater for
+// any worker count — the determinism contract makes row-band
+// parallelism safe.
+
+#include <gtest/gtest.h>
+
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/observables.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+class ThreadCountTest : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Workers, ThreadCountTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u));
+
+TEST_P(ThreadCountTest, MatchesSerialForFhpGas) {
+  const unsigned threads = GetParam();
+  const GasRule rule(GasKind::FHP_II);
+  SiteLattice serial({31, 23}, Boundary::Periodic);
+  fill_random(serial, rule.model(), 0.35, 5, 0.2);
+  SiteLattice parallel = serial;
+
+  reference_run(serial, rule, 12);
+  reference_run_parallel(parallel, rule, 12, threads);
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST_P(ThreadCountTest, MatchesSerialForLife) {
+  const unsigned threads = GetParam();
+  const LifeRule rule;
+  SiteLattice serial({40, 17}, Boundary::Null);
+  for (std::size_t i = 0; i < serial.site_count(); ++i)
+    serial[i] = static_cast<Site>((i * 2654435761u >> 9) & 1);
+  SiteLattice parallel = serial;
+
+  reference_run(serial, rule, 8);
+  reference_run_parallel(parallel, rule, 8, threads);
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST(ParallelReference, MoreThreadsThanRowsIsFine) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice serial({16, 3}, Boundary::Periodic);
+  fill_random(serial, rule.model(), 0.4, 9);
+  SiteLattice parallel = serial;
+  reference_run(serial, rule, 6);
+  reference_run_parallel(parallel, rule, 6, 64);
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST(ParallelReference, ConservesExactly) {
+  const GasRule rule(GasKind::FHP_III);
+  SiteLattice lat({48, 32}, Boundary::Periodic);
+  fill_random(lat, rule.model(), 0.3, 21, 0.1);
+  const Invariants before = measure_invariants(lat, rule.model());
+  reference_run_parallel(lat, rule, 25, 4);
+  const Invariants after = measure_invariants(lat, rule.model());
+  EXPECT_EQ(after.mass, before.mass);
+  EXPECT_EQ(after.px, before.px);
+  EXPECT_EQ(after.py, before.py);
+}
+
+TEST(ParallelReference, RejectsZeroThreads) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat({8, 8}, Boundary::Periodic);
+  EXPECT_THROW(reference_run_parallel(lat, rule, 1, 0), Error);
+}
+
+TEST(ParallelReference, ZeroGenerationsIsNoOp) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat({8, 8}, Boundary::Periodic);
+  fill_random(lat, rule.model(), 0.3, 2);
+  const SiteLattice before = lat;
+  reference_run_parallel(lat, rule, 0, 4);
+  EXPECT_TRUE(lat == before);
+}
+
+}  // namespace
+}  // namespace lattice::lgca

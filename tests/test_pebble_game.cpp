@@ -1,0 +1,229 @@
+// Referee correctness: the games must accept exactly the legal moves.
+
+#include <gtest/gtest.h>
+
+#include "lattice/pebble/game.hpp"
+
+namespace lattice::pebble {
+namespace {
+
+/// a → c, b → c, c → d : a diamond-free mini pipeline.
+Dag chain_dag() {
+  Dag dag(4);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 3);
+  return dag;
+}
+
+TEST(RedBlueGame, InputsStartBlue) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  EXPECT_TRUE(game.blue(0));
+  EXPECT_TRUE(game.blue(1));
+  EXPECT_FALSE(game.blue(2));
+  EXPECT_FALSE(game.red(0));
+}
+
+TEST(RedBlueGame, FullLegalPlayCompletes) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 3);
+  game.read(0);
+  game.read(1);
+  game.compute(2);
+  game.remove_red(0);
+  game.remove_red(1);
+  game.compute(3);
+  game.write(3);
+  EXPECT_TRUE(game.complete());
+  EXPECT_EQ(game.io_moves(), 3);  // 2 reads + 1 write
+  EXPECT_EQ(game.computes(), 2);
+  EXPECT_EQ(game.peak_red(), 3);
+}
+
+TEST(RedBlueGame, ReadRequiresBlue) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  EXPECT_THROW(game.read(2), Error);  // no blue pebble yet
+}
+
+TEST(RedBlueGame, WriteRequiresRed) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  EXPECT_THROW(game.write(0), Error);  // blue but not red
+}
+
+TEST(RedBlueGame, ComputeRequiresAllPredecessorsRed) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  game.read(0);
+  EXPECT_THROW(game.compute(2), Error);  // vertex 1 not red
+  game.read(1);
+  EXPECT_NO_THROW(game.compute(2));
+}
+
+TEST(RedBlueGame, CannotComputeAnInput) {
+  // Rule 4 is vacuously satisfiable on inputs (no predecessors), but
+  // underived data may only enter the chip by reading (rule 2).
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  EXPECT_THROW(game.compute(0), Error);
+}
+
+TEST(RedBlueGame, RedLimitEnforced) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 1);
+  game.read(0);
+  EXPECT_THROW(game.read(1), Error);  // second red exceeds S = 1
+}
+
+TEST(RedBlueGame, RemoveRequiresPresence) {
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  EXPECT_THROW(game.remove_red(0), Error);
+  EXPECT_THROW(game.remove_blue(2), Error);
+  game.read(0);
+  EXPECT_NO_THROW(game.remove_red(0));
+  EXPECT_NO_THROW(game.remove_blue(0));
+}
+
+TEST(RedBlueGame, RecomputeAfterEvictionIsLegal) {
+  // Rule 4 can re-derive a discarded value — recomputation is what the
+  // tiled schedules trade for I/O.
+  const Dag dag = chain_dag();
+  RedBlueGame game(dag, 4);
+  game.read(0);
+  game.read(1);
+  game.compute(2);
+  game.remove_red(2);
+  EXPECT_NO_THROW(game.compute(2));
+  EXPECT_EQ(game.computes(), 2);
+}
+
+TEST(RedBlueGame, SlidingWindowStaysWithinLimit) {
+  // A long chain is pebbleable with S = 2.
+  Dag dag(10);
+  for (Vertex v = 0; v + 1 < 10; ++v) dag.add_edge(v, v + 1);
+  RedBlueGame game(dag, 2);
+  game.read(0);
+  for (Vertex v = 1; v < 10; ++v) {
+    game.compute(v);
+    game.remove_red(v - 1);
+  }
+  game.write(9);
+  EXPECT_TRUE(game.complete());
+  EXPECT_EQ(game.peak_red(), 2);
+  EXPECT_EQ(game.io_moves(), 2);
+}
+
+TEST(RedBlueGame, CompleteNeedsAllOutputsBlue) {
+  Dag dag(3);  // two independent outputs fed by one input
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  RedBlueGame game(dag, 3);
+  game.read(0);
+  game.compute(1);
+  game.write(1);
+  EXPECT_FALSE(game.complete());
+  game.compute(2);
+  game.write(2);
+  EXPECT_TRUE(game.complete());
+}
+
+// ------------------------------------------------ parallel game
+
+TEST(ParallelGame, FanOutInOnePhase) {
+  // One red input supports two simultaneous calculations — the move the
+  // sequential game would block and the pink pebble unblocks.
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  ParallelRedBlueGame game(dag, 3);
+  game.step(/*writes=*/{}, /*calcs=*/{}, /*reads=*/{0}, /*evict=*/{});
+  game.step({}, {1, 2}, {}, {0});
+  game.step({1, 2}, {}, {}, {1, 2});
+  EXPECT_TRUE(game.complete());
+  EXPECT_EQ(game.io_moves(), 3);
+  EXPECT_EQ(game.phases(), 3);
+}
+
+TEST(ParallelGame, CalculationsUsePrePhaseSupports) {
+  // v=2 depends on v=1; both cannot be calculated in one phase because
+  // 1 is not red before the phase starts.
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  ParallelRedBlueGame game(dag, 3);
+  game.step({}, {}, {0}, {});
+  EXPECT_THROW(game.step({}, {1, 2}, {}, {}), Error);
+}
+
+TEST(ParallelGame, WritesSeePrePhaseReds) {
+  Dag dag(2);
+  dag.add_edge(0, 1);
+  ParallelRedBlueGame game(dag, 2);
+  // Cannot write 1 in the same phase that computes it.
+  game.step({}, {}, {0}, {});
+  EXPECT_THROW(game.step({1}, {1}, {}, {}), Error);
+}
+
+TEST(ParallelGame, RedLimitCheckedAtPhaseEnd) {
+  Dag dag(4);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  ParallelRedBlueGame game(dag, 2);
+  game.step({}, {}, {0, 1}, {});
+  // Computing both children would end the phase with 4 red pebbles.
+  EXPECT_THROW(game.step({}, {2, 3}, {}, {}), Error);
+}
+
+TEST(ParallelGame, EvictionsRestoreHeadroom) {
+  Dag dag(4);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  ParallelRedBlueGame game(dag, 2);
+  game.step({}, {}, {0}, {});
+  game.step({}, {2}, {}, {0});
+  game.step({2}, {}, {1}, {2});
+  game.step({}, {3}, {}, {1});
+  game.step({3}, {}, {}, {3});
+  EXPECT_TRUE(game.complete());
+  EXPECT_LE(game.peak_red(), 2);
+}
+
+TEST(ParallelGame, IoDivisionSizeCeils) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  ParallelRedBlueGame game(dag, 2);
+  game.step({}, {}, {0}, {});
+  game.step({}, {1}, {}, {0});
+  game.step({}, {2}, {}, {1});
+  game.step({2}, {}, {}, {});
+  EXPECT_TRUE(game.complete());
+  EXPECT_EQ(game.io_moves(), 2);
+  EXPECT_EQ(game.io_division_size(), 1);  // ⌈2/2⌉
+}
+
+TEST(Dag, InputsOutputsAndEdges) {
+  const Dag dag = chain_dag();
+  EXPECT_EQ(dag.inputs(), (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(dag.outputs(), (std::vector<Vertex>{3}));
+  EXPECT_EQ(dag.edge_count(), 3);
+  EXPECT_TRUE(dag.valid(3));
+  EXPECT_FALSE(dag.valid(4));
+  EXPECT_FALSE(dag.valid(-1));
+}
+
+TEST(Dag, AddVertexGrows) {
+  Dag dag;
+  EXPECT_EQ(dag.size(), 0);
+  const Vertex a = dag.add_vertex();
+  const Vertex b = dag.add_vertex();
+  dag.add_edge(a, b);
+  EXPECT_EQ(dag.size(), 2);
+  EXPECT_EQ(dag.preds(b).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lattice::pebble

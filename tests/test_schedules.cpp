@@ -1,0 +1,317 @@
+// Schedules (E6): legality is enforced by the game engine inside each
+// runner; here we check the I/O economics — the sweep is S-blind, the
+// tiled schedule scales as Θ(S^(1/d)), and everything respects the
+// Hong–Kung bounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lattice/pebble/bounds.hpp"
+#include "lattice/pebble/schedules.hpp"
+
+namespace lattice::pebble {
+namespace {
+
+TEST(Sweep1d, CompletesAndCountsExactIo) {
+  const auto r = run_sweep_1d(32, 8, 8);
+  // One read and one write per site per generation.
+  EXPECT_EQ(r.io_moves, 2 * 32 * 8);
+  EXPECT_EQ(r.computes, 32 * 8);
+  EXPECT_EQ(r.useful_updates, 32 * 8);
+  EXPECT_LE(r.peak_red, 8);
+}
+
+TEST(Sweep1d, IoIndependentOfStorage) {
+  const auto small = run_sweep_1d(64, 8, 6);
+  const auto large = run_sweep_1d(64, 8, 600);
+  EXPECT_EQ(small.io_moves, large.io_moves);
+  EXPECT_NEAR(small.updates_per_io(), 0.5, 1e-9);
+}
+
+TEST(Sweep2d, CompletesAndCountsExactIo) {
+  const auto r = run_sweep_2d(12, 10, 4, 2 * 10 + 6);
+  EXPECT_EQ(r.io_moves, 2 * 12 * 10 * 4);
+  EXPECT_EQ(r.useful_updates, 12 * 10 * 4);
+  EXPECT_LE(r.peak_red, 2 * 10 + 6);
+}
+
+TEST(Sweep2d, RequiresTwoRowsOfStorage) {
+  EXPECT_THROW(run_sweep_2d(12, 10, 4, 10), Error);
+}
+
+TEST(Tiled1d, CompletesWithNoMoreThanBudget) {
+  const auto r = run_tiled_1d(128, 32, 40);
+  EXPECT_EQ(r.useful_updates, 128 * 32);
+  EXPECT_LE(r.peak_red, 40);
+  EXPECT_GT(r.computes, r.useful_updates);  // halo recomputation
+}
+
+TEST(Tiled1d, BeatsSweepOnIo) {
+  const std::int64_t s = 64;
+  const auto sweep = run_sweep_1d(256, 64, s);
+  const auto tiled = run_tiled_1d(256, 64, s);
+  EXPECT_LT(tiled.io_moves, sweep.io_moves / 2);
+  EXPECT_GT(tiled.updates_per_io(), 2 * sweep.updates_per_io());
+}
+
+TEST(Tiled1d, UpdatesPerIoGrowLinearlyInS) {
+  // d = 1 ⇒ R/B = Θ(S): quadrupling S should roughly quadruple the
+  // updates-per-I/O ratio (within blocking-granularity slop).
+  const auto a = run_tiled_1d(1024, 256, 64);
+  const auto b = run_tiled_1d(1024, 256, 256);
+  const double gain = b.updates_per_io() / a.updates_per_io();
+  EXPECT_GT(gain, 2.5);
+  EXPECT_LT(gain, 6.0);
+}
+
+TEST(Tiled2d, CompletesWithNoMoreThanBudget) {
+  const auto r = run_tiled_2d(24, 24, 12, 400);
+  EXPECT_EQ(r.useful_updates, 24 * 24 * 12);
+  EXPECT_LE(r.peak_red, 400);
+}
+
+TEST(Tiled2d, BeatsSweepOnIoWhenStorageAmple) {
+  const std::int64_t s = 800;
+  const auto sweep = run_sweep_2d(32, 32, 16, s);
+  const auto tiled = run_tiled_2d(32, 32, 16, s);
+  EXPECT_LT(tiled.io_moves, sweep.io_moves);
+  EXPECT_GT(tiled.updates_per_io(), sweep.updates_per_io());
+}
+
+TEST(Tiled2d, UpdatesPerIoGrowAsSquareRootOfS) {
+  // d = 2 ⇒ R/B = Θ(√S): a 16× storage increase should give roughly a
+  // 4× ratio gain.
+  const auto a = run_tiled_2d(64, 64, 16, 128);
+  const auto b = run_tiled_2d(64, 64, 16, 2048);
+  const double gain = b.updates_per_io() / a.updates_per_io();
+  EXPECT_GT(gain, 2.0);
+  EXPECT_LT(gain, 8.0);
+}
+
+TEST(Sweep3d, CompletesAndCountsExactIo) {
+  const std::int64_t n = 8;
+  const auto r = run_sweep_3d(n, 3, 2 * n * n + 8);
+  EXPECT_EQ(r.io_moves, 2 * n * n * n * 3);
+  EXPECT_EQ(r.useful_updates, n * n * n * 3);
+  EXPECT_LE(r.peak_red, 2 * n * n + 8);
+}
+
+TEST(Sweep3d, RequiresTwoPlanesOfStorage) {
+  EXPECT_THROW(run_sweep_3d(8, 3, 100), Error);
+}
+
+TEST(Tiled3d, CompletesWithNoMoreThanBudget) {
+  const auto r = run_tiled_3d(16, 8, 1200);
+  EXPECT_EQ(r.useful_updates, 16 * 16 * 16 * 8);
+  EXPECT_LE(r.peak_red, 1200);
+  EXPECT_GT(r.computes, r.useful_updates);
+}
+
+TEST(Tiled3d, UpdatesPerIoGrowAsCubeRootOfS) {
+  // d = 3 ⇒ R/B = Θ(S^(1/3)): a 64× storage increase ≈ 4× ratio gain.
+  const auto a = run_tiled_3d(24, 8, 512);
+  const auto b = run_tiled_3d(24, 8, 32768);
+  const double gain = b.updates_per_io() / a.updates_per_io();
+  EXPECT_GT(gain, 2.0);
+  EXPECT_LT(gain, 8.0);
+}
+
+TEST(Tiled3d, RespectsHongKungCeiling) {
+  const auto tiled = run_tiled_3d(20, 8, 2048);
+  EXPECT_LT(tiled.updates_per_io(), updates_per_io_upper(3, 2048.0));
+  EXPECT_GE(tiled.io_moves,
+            min_io_lower_bound(3, 2048.0, double(tiled.vertices)));
+}
+
+TEST(BlockSweep, BlockTransfersDivideIoByBlockSize) {
+  // [15]'s point: block transfers shrink the *operation* count by the
+  // block size while the word traffic stays the same as the sweep's.
+  const std::int64_t n = 64;
+  const std::int64_t steps = 8;
+  const auto word = run_sweep_1d(n, steps, 64);
+  for (const std::int64_t b : {std::int64_t{1}, std::int64_t{4},
+                               std::int64_t{8}, std::int64_t{16}}) {
+    const auto blk = run_block_sweep_1d(n, steps, 2 * b + 8, b);
+    EXPECT_EQ(blk.word_ios, word.io_moves) << "b=" << b;
+    EXPECT_EQ(blk.block_ios, word.io_moves / b) << "b=" << b;
+    EXPECT_EQ(blk.useful_updates, n * steps);
+  }
+}
+
+TEST(BlockSweep, RaggedRowsStillComplete) {
+  // n not a multiple of the block size: last transfer is short but
+  // still one operation.
+  const auto blk = run_block_sweep_1d(10, 3, 40, 4);
+  EXPECT_EQ(blk.useful_updates, 30);
+  EXPECT_EQ(blk.word_ios, 2 * 10 * 3);
+  EXPECT_EQ(blk.block_ios, 2 * 3 * 3);  // ceil(10/4) = 3 per direction
+}
+
+TEST(BlockSweep, RejectsUndersizedStorage) {
+  EXPECT_THROW(run_block_sweep_1d(32, 2, 10, 8), Error);
+}
+
+TEST(BlockGame, RefereeEnforcesBlockBounds) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  BlockRedBlueGame game(dag, 4, 2);
+  EXPECT_THROW(game.read_block({}), Error);
+  EXPECT_THROW(game.read_block({0, 0, 0}), Error);  // exceeds block size
+  game.read_block({0});
+  game.compute(1);
+  game.compute(2);
+  game.write_block({2});
+  EXPECT_TRUE(game.complete());
+  EXPECT_EQ(game.block_ios(), 2);
+  EXPECT_EQ(game.word_ios(), 2);
+}
+
+TEST(TiledShape, AblationHalfBlockHeightIsNearOptimal) {
+  // At fixed S, sweep the slab height h: too shallow wastes reads on
+  // few generations, too deep shrinks the usable core. The schedule's
+  // default h = b/2 should be within a few percent of the best.
+  const std::int64_t n = 512;
+  const std::int64_t steps = 64;
+  const std::int64_t s = 128;
+  const TileShape def = tile_shape_1d(s, n, steps);
+  const double def_ratio =
+      run_tiled_1d_shaped(n, steps, s, def.block, def.height)
+          .updates_per_io();
+  double best = 0;
+  for (std::int64_t h = 2; h <= def.block; h += 2) {
+    // Keep the shape within budget: block + 2h rows of two layers.
+    const std::int64_t b = std::max<std::int64_t>(2, (s - 6) / 2 - 2 * h);
+    if (b < 2) continue;
+    best = std::max(
+        best, run_tiled_1d_shaped(n, steps, s, b, h).updates_per_io());
+  }
+  EXPECT_GT(def_ratio, 0.55 * best);
+}
+
+TEST(ParallelSweep, IoIsOneLatticeInOneOut) {
+  const LatticeBox box{{8, 8}};
+  const auto r = run_parallel_layer_sweep(box, 10, 2 * 64);
+  EXPECT_EQ(r.io_moves, 2 * 64);            // independent of T
+  EXPECT_EQ(r.phases, 10 + 2);
+  EXPECT_EQ(r.useful_updates, 64 * 10);
+  EXPECT_LE(r.peak_red, 2 * 64);
+  EXPECT_EQ(r.division_size, 1);            // all I/O fits one S-block
+}
+
+TEST(ParallelSweep, BeatsSequentialSweepByFactorT) {
+  const LatticeBox box{{6, 6}};
+  const std::int64_t steps = 8;
+  const auto par = run_parallel_layer_sweep(box, steps, 2 * 36);
+  const auto seq = run_sweep_2d(6, 6, steps, 2 * 36);
+  EXPECT_EQ(seq.io_moves, par.io_moves * steps);
+}
+
+TEST(ParallelSweep, NeedsTwoLayersOfStorage) {
+  const LatticeBox box{{8, 8}};
+  EXPECT_THROW(run_parallel_layer_sweep(box, 2, 64), Error);
+}
+
+TEST(ParallelSweep, WorksInOneAndThreeDimensions) {
+  const auto d1 = run_parallel_layer_sweep(LatticeBox{{32}}, 5, 64);
+  EXPECT_EQ(d1.io_moves, 64);
+  const auto d3 = run_parallel_layer_sweep(LatticeBox{{4, 4, 4}}, 3, 128);
+  EXPECT_EQ(d3.io_moves, 128);
+}
+
+TEST(TileShapes, RespectProblemClamps) {
+  const TileShape s1 = tile_shape_1d(1000, 16, 4);
+  EXPECT_LE(s1.block, 16);
+  EXPECT_LE(s1.height, 4);
+  const TileShape s2 = tile_shape_2d(10000, 8, 2);
+  EXPECT_LE(s2.block, 8);
+  EXPECT_LE(s2.height, 2);
+}
+
+// ---- bounds bracket the measurements (Theorem 4 / Lemmas 1, 2) ----
+
+class BoundBracketTest : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(StorageSweep, BoundBracketTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+TEST_P(BoundBracketTest, OneDimensionalSchedulesRespectHongKung) {
+  const std::int64_t s = GetParam();
+  const std::int64_t n = 512;
+  const std::int64_t t = 128;
+  const auto tiled = run_tiled_1d(n, t, s);
+  // Measured R/B can never exceed the Theorem 4 ceiling...
+  EXPECT_LT(tiled.updates_per_io(), updates_per_io_upper(1, double(s)));
+  // ...and the measured I/O can never undercut the Q lower bound.
+  EXPECT_GE(tiled.io_moves,
+            min_io_lower_bound(1, double(s), double(tiled.vertices)));
+}
+
+TEST_P(BoundBracketTest, TwoDimensionalSchedulesRespectHongKung) {
+  const std::int64_t s = GetParam();
+  if (s < 60) GTEST_SKIP() << "2-D tiling needs S >= 60";
+  const std::int64_t n = 48;
+  const std::int64_t t = 16;
+  const auto tiled = run_tiled_2d(n, n, t, s);
+  EXPECT_LT(tiled.updates_per_io(), updates_per_io_upper(2, double(s)));
+  EXPECT_GE(tiled.io_moves,
+            min_io_lower_bound(2, double(s), double(tiled.vertices)));
+}
+
+TEST(TheoremTwoChain, DivisionSizeDominatedByPartitionBound) {
+  // Theorem 2 + Lemma 2: any pebbling's S-I/O-division size h satisfies
+  // h = g ≥ |X*| / (2S·τ(2S)). Check the chain on measured schedules:
+  // h = ⌈q/S⌉ must sit at or above the bound computed with the τ
+  // *upper* bound (which makes the right side a valid lower bound).
+  for (const std::int64_t s : {std::int64_t{32}, std::int64_t{128}}) {
+    const auto tiled = run_tiled_1d(512, 64, s);
+    const std::int64_t h = (tiled.io_moves + s - 1) / s;
+    const double bound = static_cast<double>(tiled.vertices) /
+                         (2.0 * static_cast<double>(s) *
+                          tau_upper(1, static_cast<double>(s)));
+    EXPECT_GE(static_cast<double>(h), bound) << "S=" << s;
+  }
+}
+
+TEST(Bounds, TauUpperGrowsAsDthRoot) {
+  // τ(2S) < 2(d!·2S)^{1/d}: doubling S scales the d=1 bound by 2 and
+  // the d=2 bound by √2.
+  EXPECT_DOUBLE_EQ(tau_upper(1, 100) / tau_upper(1, 50), 2.0);
+  EXPECT_NEAR(tau_upper(2, 100) / tau_upper(2, 50), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(tau_upper(3, 100) / tau_upper(3, 50), std::cbrt(2.0), 1e-12);
+}
+
+TEST(Bounds, LineSpreadLowerMatchesLemma8) {
+  EXPECT_DOUBLE_EQ(line_spread_lower(1, 7), 7.0);
+  EXPECT_DOUBLE_EQ(line_spread_lower(2, 6), 18.0);   // 36/2
+  EXPECT_DOUBLE_EQ(line_spread_lower(3, 6), 36.0);   // 216/6
+}
+
+TEST(Bounds, UpdateRateScalesWithBandwidth) {
+  EXPECT_DOUBLE_EQ(update_rate_upper(2, 64, 2e6),
+                   2.0 * update_rate_upper(2, 64, 1e6));
+}
+
+TEST(Bounds, MinIoIsZeroWhenEverythingFits) {
+  // S so large that g ≤ 1: no forced traffic beyond the trivial.
+  EXPECT_DOUBLE_EQ(min_io_lower_bound(1, 1e9, 100.0), 0.0);
+}
+
+TEST(Bounds, RejectBadArguments) {
+  EXPECT_THROW(factorial(-1), Error);
+  EXPECT_THROW(tau_upper(0, 10), Error);
+  EXPECT_THROW(tau_upper(1, 0), Error);
+  EXPECT_THROW(update_rate_upper(1, 10, 0), Error);
+}
+
+TEST(Factorial, SmallValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(2), 2.0);
+  EXPECT_DOUBLE_EQ(factorial(3), 6.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+}  // namespace
+}  // namespace lattice::pebble

@@ -1,0 +1,182 @@
+// StreamStage in isolation: the shift-register component every serial
+// architecture is built from. Exercises delay accounting, window
+// masking at row/lattice edges, lead padding, and batch alignment —
+// plus randomized cross-backend fuzzing at the system level.
+
+#include <gtest/gtest.h>
+
+#include "lattice/arch/spa.hpp"
+#include "lattice/arch/stream_stage.hpp"
+#include "lattice/arch/wsa.hpp"
+#include "lattice/common/rng.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::arch {
+namespace {
+
+using lgca::Boundary;
+using lgca::Site;
+using lgca::SiteLattice;
+
+/// Identity-like probe rule: returns the window's center (so the stage
+/// output stream should equal the input stream, delayed).
+class CenterRule final : public lgca::Rule {
+ public:
+  Site apply(const lgca::Window& w, const lgca::SiteContext&) const override {
+    return w.center();
+  }
+  std::string_view name() const override { return "center"; }
+};
+
+/// Probe rule returning the east neighbor — detects off-by-one window
+/// wiring and row-edge masking.
+class EastRule final : public lgca::Rule {
+ public:
+  Site apply(const lgca::Window& w, const lgca::SiteContext&) const override {
+    return w.at(1, 0);
+  }
+  std::string_view name() const override { return "east"; }
+};
+
+std::vector<Site> drive(StreamStage& stage, const std::vector<Site>& stream,
+                        int batch, std::int64_t total_positions) {
+  std::vector<Site> out;
+  std::vector<Site> in_buf(static_cast<std::size_t>(batch), 0);
+  std::vector<Site> out_buf(static_cast<std::size_t>(batch), 0);
+  for (std::int64_t pos = 0; pos < total_positions; pos += batch) {
+    for (int b = 0; b < batch; ++b) {
+      const auto p = static_cast<std::size_t>(pos + b);
+      in_buf[static_cast<std::size_t>(b)] =
+          p < stream.size() ? stream[p] : Site{0};
+    }
+    stage.tick(in_buf.data(), out_buf.data());
+    for (int b = 0; b < batch; ++b) out.push_back(out_buf[static_cast<std::size_t>(b)]);
+  }
+  return out;
+}
+
+TEST(StreamStage, DelayIsWidthPlusOneRoundedToBatch) {
+  const CenterRule rule;
+  StreamStage s1({10, 4}, rule, 0, 1);
+  EXPECT_EQ(s1.delay(), 11);
+  StreamStage s4({10, 4}, rule, 0, 4);
+  EXPECT_EQ(s4.delay(), 12);  // round_up(11, 4)
+}
+
+TEST(StreamStage, CenterRuleReproducesInputDelayed) {
+  const Extent e{6, 4};
+  const CenterRule rule;
+  StreamStage stage(e, rule, 0, 1);
+  std::vector<Site> stream(static_cast<std::size_t>(e.area()));
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    stream[i] = static_cast<Site>(i + 1);
+
+  const auto out = drive(stage, stream, 1, e.area() + stage.delay());
+  // Output position p appears at tick p + delay.
+  for (std::int64_t p = 0; p < e.area(); ++p) {
+    EXPECT_EQ(out[static_cast<std::size_t>(p + stage.delay())],
+              stream[static_cast<std::size_t>(p)])
+        << "p=" << p;
+  }
+  // Everything before the first real output is zero filler.
+  for (std::int64_t i = 0; i < stage.delay(); ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 0);
+  }
+}
+
+TEST(StreamStage, EastRuleMasksRowEdges) {
+  const Extent e{4, 3};
+  const EastRule rule;
+  StreamStage stage(e, rule, 0, 1);
+  std::vector<Site> stream(static_cast<std::size_t>(e.area()));
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    stream[i] = static_cast<Site>(i + 1);
+
+  const auto out = drive(stage, stream, 1, e.area() + stage.delay());
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    for (std::int64_t x = 0; x < e.width; ++x) {
+      const std::int64_t p = y * e.width + x;
+      const Site got = out[static_cast<std::size_t>(p + stage.delay())];
+      if (x == e.width - 1) {
+        EXPECT_EQ(got, 0) << "row edge must mask, p=" << p;
+      } else {
+        EXPECT_EQ(got, stream[static_cast<std::size_t>(p + 1)]) << "p=" << p;
+      }
+    }
+  }
+}
+
+TEST(StreamStage, LeadPaddingShiftsLogicalOrigin) {
+  const Extent e{5, 3};
+  const CenterRule rule;
+  StreamStage padded(e, rule, 0, 1, /*lead_padding=*/7);
+  std::vector<Site> stream(static_cast<std::size_t>(e.area()));
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    stream[i] = static_cast<Site>(i + 10);
+
+  // Feed 7 garbage positions first; the stage must ignore them.
+  std::vector<Site> padded_stream(7, Site{99});
+  padded_stream.reserve(7 + stream.size());
+  for (const Site s : stream) padded_stream.push_back(s);
+  const auto out =
+      drive(padded, padded_stream, 1, 7 + e.area() + padded.delay());
+  for (std::int64_t p = 0; p < e.area(); ++p) {
+    EXPECT_EQ(out[static_cast<std::size_t>(7 + p + padded.delay())],
+              stream[static_cast<std::size_t>(p)]);
+  }
+}
+
+TEST(StreamStage, RejectsBadConfiguration) {
+  const CenterRule rule;
+  EXPECT_THROW(StreamStage({0, 4}, rule, 0, 1), Error);
+  EXPECT_THROW(StreamStage({4, 4}, rule, 0, 0), Error);
+  EXPECT_THROW(StreamStage({4, 4}, rule, 0, 5), Error);   // batch > width
+  EXPECT_THROW(StreamStage({4, 4}, rule, 0, 1, -1), Error);
+}
+
+TEST(StreamStage, BufferScalesWithWidthNotHeight) {
+  const CenterRule rule;
+  StreamStage wide({100, 4}, rule, 0, 1);
+  StreamStage tall({10, 400}, rule, 0, 1);
+  EXPECT_GT(wide.buffer_sites(), 2 * 100);
+  EXPECT_LT(tall.buffer_sites(), 2 * 10 + 40);
+}
+
+// ---- randomized cross-backend fuzzing ----
+
+class FuzzEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(FuzzEquivalence, RandomShapesAllBackendsAgree) {
+  const std::uint64_t seed = GetParam();
+  Pcg32 rng(seed * 7919);
+  const std::int64_t w = 8 + rng.next_below(3) * 8;  // 8, 16, 24
+  const std::int64_t h = 6 + rng.next_below(12);
+  const int depth = 1 + static_cast<int>(rng.next_below(4));
+  const int width = 1 + static_cast<int>(rng.next_below(4));
+  const std::int64_t slice = (w % 8 == 0) ? 8 : w;
+
+  const lgca::GasRule rule(lgca::GasKind::FHP_III);
+  SiteLattice in({w, h}, Boundary::Null);
+  lgca::fill_random(in, rule.model(), 0.25 + 0.05 * (seed % 4), seed);
+  if (seed % 2 == 0) lgca::add_obstacle_disk(in, w / 2.0, h / 2.0, 2.0);
+
+  SiteLattice want = in;
+  lgca::reference_run(want, rule, depth);
+
+  WsaPipeline wsa({w, h}, rule, depth, width);
+  EXPECT_TRUE(wsa.run(in) == want)
+      << "WSA w=" << w << " h=" << h << " d=" << depth << " P=" << width;
+
+  SpaMachine spa({w, h}, rule, slice, depth);
+  EXPECT_TRUE(spa.run(in) == want)
+      << "SPA w=" << w << " h=" << h << " d=" << depth << " W=" << slice;
+}
+
+}  // namespace
+}  // namespace lattice::arch

@@ -1,0 +1,95 @@
+// Whole-run timing model (§8): bandwidth-bound vs compute-bound
+// regimes, double-buffering, and consistency with the prototype model.
+
+#include <gtest/gtest.h>
+
+#include "lattice/arch/prototype.hpp"
+#include "lattice/arch/system_run.hpp"
+
+namespace lattice::arch {
+namespace {
+
+SystemRunConfig base() {
+  SystemRunConfig cfg;
+  cfg.pe_per_chip = 2;
+  cfg.depth = 1;
+  cfg.lattice_len = 512;
+  cfg.generations = 512;
+  cfg.host_bytes_per_sec = 2e6;
+  return cfg;
+}
+
+TEST(SystemRun, WorkstationHostIsTransferBound) {
+  const SystemRunReport r = model_system_run(base());
+  EXPECT_GT(r.transfer_seconds, r.compute_seconds);
+  // Wall time equals transfer time when double-buffered.
+  EXPECT_DOUBLE_EQ(r.wall_seconds, r.transfer_seconds);
+  // The §8 number: 20M-capable chip sustains ~1M updates/s.
+  EXPECT_NEAR(r.achieved_rate, 1e6, 1e4);
+  EXPECT_NEAR(r.utilization, 0.05, 0.01);
+}
+
+TEST(SystemRun, FastHostBecomesComputeBound) {
+  SystemRunConfig cfg = base();
+  cfg.host_bytes_per_sec = 100e6;
+  const SystemRunReport r = model_system_run(cfg);
+  EXPECT_GT(r.compute_seconds, r.transfer_seconds);
+  EXPECT_NEAR(r.achieved_rate, r.peak_rate, 1e-3 * r.peak_rate);
+}
+
+TEST(SystemRun, MatchesPrototypeModelInTheBandwidthLimit) {
+  // The closed-form PrototypeModel and the pass-based run model must
+  // agree where their assumptions coincide (depth 1, double buffered).
+  const SystemRunConfig cfg = base();
+  const SystemRunReport r = model_system_run(cfg);
+  PrototypeModel proto;
+  proto.pe_per_chip = cfg.pe_per_chip;
+  proto.chips = cfg.depth;
+  EXPECT_NEAR(r.achieved_rate, proto.sustained_rate(cfg.host_bytes_per_sec),
+              1.0);
+}
+
+TEST(SystemRun, DeeperPipelinesAmortizeTransfers) {
+  SystemRunConfig shallow = base();
+  SystemRunConfig deep = base();
+  deep.depth = 8;
+  const SystemRunReport rs = model_system_run(shallow);
+  const SystemRunReport rd = model_system_run(deep);
+  // Same generations, an eighth of the passes, an eighth of the bytes.
+  EXPECT_EQ(rd.passes, rs.passes / 8);
+  EXPECT_NEAR(rd.transfer_seconds, rs.transfer_seconds / 8, 1e-9);
+  EXPECT_NEAR(rd.achieved_rate, 8 * rs.achieved_rate,
+              1e-6 * rd.achieved_rate);
+}
+
+TEST(SystemRun, DoubleBufferingHelpsAtMostTwofold) {
+  SystemRunConfig on = base();
+  SystemRunConfig off = base();
+  off.double_buffered = false;
+  const double won = model_system_run(on).wall_seconds;
+  const double woff = model_system_run(off).wall_seconds;
+  EXPECT_GT(woff, won);
+  EXPECT_LE(woff, 2.0 * won + 1e-9);
+}
+
+TEST(SystemRun, RaggedGenerationsRoundUpToWholePasses) {
+  SystemRunConfig cfg = base();
+  cfg.depth = 8;
+  cfg.generations = 20;  // 2 full passes + 1 partial
+  EXPECT_EQ(model_system_run(cfg).passes, 3);
+}
+
+TEST(SystemRun, RejectsBadConfigs) {
+  SystemRunConfig cfg = base();
+  cfg.host_bytes_per_sec = 0;
+  EXPECT_THROW(model_system_run(cfg), Error);
+  cfg = base();
+  cfg.depth = 0;
+  EXPECT_THROW(model_system_run(cfg), Error);
+  cfg = base();
+  cfg.generations = 0;
+  EXPECT_THROW(model_system_run(cfg), Error);
+}
+
+}  // namespace
+}  // namespace lattice::arch

@@ -1,0 +1,217 @@
+// WSA pipeline simulator: bit-exact equivalence with the golden
+// reference across rules, widths, depths and lattice shapes, plus the
+// cycle/traffic accounting the paper's throughput model rests on.
+
+#include <gtest/gtest.h>
+
+#include "lattice/arch/wsa.hpp"
+#include "lattice/common/rng.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::arch {
+namespace {
+
+using lgca::Boundary;
+using lgca::GasKind;
+using lgca::GasModel;
+using lgca::GasRule;
+using lgca::SiteLattice;
+
+SiteLattice random_gas(Extent e, GasKind kind, std::uint64_t seed) {
+  SiteLattice lat(e, Boundary::Null);
+  lgca::fill_random(lat, GasModel::get(kind), 0.35, seed, 0.2);
+  return lat;
+}
+
+SiteLattice golden(const SiteLattice& in, const lgca::Rule& rule, int gens,
+                   std::int64_t t0 = 0) {
+  SiteLattice lat = in;
+  lgca::reference_run(lat, rule, gens, t0);
+  return lat;
+}
+
+// ---- equivalence sweeps (the correctness core of E9) ----
+
+struct PipeCase {
+  std::int64_t w;
+  std::int64_t h;
+  int depth;
+  int width;  // P
+};
+
+class WsaEquivalenceTest : public ::testing::TestWithParam<PipeCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WsaEquivalenceTest,
+    ::testing::Values(PipeCase{8, 8, 1, 1}, PipeCase{8, 8, 1, 2},
+                      PipeCase{8, 8, 3, 1}, PipeCase{16, 12, 2, 4},
+                      PipeCase{16, 12, 4, 3}, PipeCase{13, 9, 2, 5},
+                      PipeCase{24, 16, 5, 4}, PipeCase{7, 21, 3, 7},
+                      PipeCase{32, 8, 2, 1}, PipeCase{9, 9, 6, 2}),
+    [](const auto& info) {
+      const PipeCase& c = info.param;
+      return "w" + std::to_string(c.w) + "h" + std::to_string(c.h) + "d" +
+             std::to_string(c.depth) + "p" + std::to_string(c.width);
+    });
+
+TEST_P(WsaEquivalenceTest, MatchesGoldenForFhpGas) {
+  const PipeCase c = GetParam();
+  const GasRule rule(GasKind::FHP_II);
+  const SiteLattice in = random_gas({c.w, c.h}, GasKind::FHP_II, 42);
+
+  WsaPipeline pipe({c.w, c.h}, rule, c.depth, c.width);
+  const SiteLattice got = pipe.run(in);
+  const SiteLattice want = golden(in, rule, c.depth);
+  EXPECT_TRUE(got == want);
+}
+
+TEST_P(WsaEquivalenceTest, MatchesGoldenForLife) {
+  const PipeCase c = GetParam();
+  const lgca::LifeRule rule;
+  SiteLattice in({c.w, c.h}, Boundary::Null);
+  Pcg32 rng(7);
+  for (std::size_t i = 0; i < in.site_count(); ++i)
+    in[i] = static_cast<lgca::Site>(rng.next() & 1);
+
+  WsaPipeline pipe({c.w, c.h}, rule, c.depth, c.width);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, c.depth));
+}
+
+TEST(WsaPipeline, MatchesGoldenForHppWithObstacles) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice in({20, 14}, Boundary::Null);
+  lgca::add_obstacle_disk(in, 10, 7, 3);
+  lgca::fill_random(in, GasModel::get(GasKind::HPP), 0.3, 5);
+
+  WsaPipeline pipe({20, 14}, rule, 4, 2);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 4));
+}
+
+TEST(WsaPipeline, MatchesGoldenForMedianFilter) {
+  const lgca::MedianFilterRule rule;
+  SiteLattice in({15, 11}, Boundary::Null);
+  Pcg32 rng(9);
+  for (std::size_t i = 0; i < in.site_count(); ++i)
+    in[i] = static_cast<lgca::Site>(rng.next_below(256));
+
+  WsaPipeline pipe({15, 11}, rule, 2, 3);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 2));
+}
+
+TEST(WsaPipeline, MultiplePassesChainCorrectly) {
+  // Two passes of depth 3 equal six golden generations: the time origin
+  // must advance between passes so chirality draws line up.
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({12, 12}, GasKind::FHP_I, 11);
+
+  WsaPipeline pipe({12, 12}, rule, 3, 2);
+  const SiteLattice got = pipe.run_passes(in, 2);
+  EXPECT_TRUE(got == golden(in, rule, 6));
+}
+
+TEST(WsaPipeline, NonZeroTimeOriginMatchesGolden) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({10, 10}, GasKind::FHP_I, 13);
+  WsaPipeline pipe({10, 10}, rule, 2, 1, /*t0=*/17);
+  EXPECT_TRUE(pipe.run(in) == golden(in, rule, 2, /*t0=*/17));
+}
+
+// ---- accounting ----
+
+TEST(WsaPipeline, ReadsAndWritesExactlyTheLattice) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({16, 16}, GasKind::FHP_I, 3);
+  WsaPipeline pipe({16, 16}, rule, 3, 2);
+  (void)pipe.run(in);
+  EXPECT_EQ(pipe.stats().mem_sites_read, 16 * 16);
+  EXPECT_EQ(pipe.stats().mem_sites_written, 16 * 16);
+  EXPECT_EQ(pipe.stats().site_updates, 16 * 16 * 3);
+}
+
+TEST(WsaPipeline, MemoryTrafficIndependentOfDepth) {
+  // The whole point of pipelining (§3): deeper chains reuse the stream.
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({16, 16}, GasKind::FHP_I, 3);
+  WsaPipeline shallow({16, 16}, rule, 1, 2);
+  WsaPipeline deep({16, 16}, rule, 8, 2);
+  (void)shallow.run(in);
+  (void)deep.run(in);
+  EXPECT_EQ(shallow.stats().mem_sites_read, deep.stats().mem_sites_read);
+  EXPECT_EQ(shallow.stats().mem_sites_written,
+            deep.stats().mem_sites_written);
+  EXPECT_EQ(deep.stats().site_updates, 8 * shallow.stats().site_updates);
+}
+
+TEST(WsaPipeline, InterchipTrafficCountsOnlyInteriorLinks) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({8, 8}, GasKind::FHP_I, 3);
+  WsaPipeline pipe({8, 8}, rule, 4, 1);
+  (void)pipe.run(in);
+  // 3 interior links, one site per tick each.
+  EXPECT_EQ(pipe.stats().interchip_sites, 3 * pipe.stats().ticks);
+}
+
+TEST(WsaPipeline, WiderStagesFinishInFewerTicks) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({32, 32}, GasKind::FHP_I, 3);
+  WsaPipeline narrow({32, 32}, rule, 1, 1);
+  WsaPipeline wide({32, 32}, rule, 1, 4);
+  (void)narrow.run(in);
+  (void)wide.run(in);
+  EXPECT_GT(narrow.stats().ticks, 3 * wide.stats().ticks);
+}
+
+TEST(WsaPipeline, UpdatesPerTickApproachesPTimesK) {
+  // Steady-state throughput R = F·P·k (§6.1); finite lattices pay a
+  // drain latency so the measured rate is slightly below.
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({64, 64}, GasKind::FHP_I, 3);
+  WsaPipeline pipe({64, 64}, rule, 3, 2);
+  (void)pipe.run(in);
+  const double upt = pipe.stats().updates_per_tick();
+  EXPECT_GT(upt, 0.85 * 3 * 2);
+  EXPECT_LE(upt, 3.0 * 2.0);
+}
+
+TEST(WsaPipeline, BufferSitesAreTwoLinesPerStage) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({30, 10}, GasKind::FHP_I, 3);
+  WsaPipeline pipe({30, 10}, rule, 2, 1);
+  (void)pipe.run(in);
+  // Each stage buffers ~2W sites — the paper's (2L+3)-ish window; our
+  // implementation rounds up slightly for batching slack.
+  EXPECT_GE(pipe.stats().buffer_sites, 2 * (2 * 30 + 3));
+  EXPECT_LE(pipe.stats().buffer_sites, 2 * (2 * 30 + 40));
+}
+
+TEST(WsaPipeline, RejectsPeriodicBoundaries) {
+  const GasRule rule(GasKind::HPP);
+  SiteLattice in({8, 8}, Boundary::Periodic);
+  WsaPipeline pipe({8, 8}, rule, 1, 1);
+  EXPECT_THROW((void)pipe.run(in), Error);
+}
+
+TEST(WsaPipeline, RejectsBadShapes) {
+  const GasRule rule(GasKind::HPP);
+  EXPECT_THROW(WsaPipeline({8, 8}, rule, 0, 1), Error);
+  EXPECT_THROW(WsaPipeline({8, 8}, rule, 1, 0), Error);
+  SiteLattice wrong({9, 8}, Boundary::Null);
+  WsaPipeline pipe({8, 8}, rule, 1, 1);
+  EXPECT_THROW((void)pipe.run(wrong), Error);
+}
+
+TEST(WsaPipeline, ModeledRateUsesClock) {
+  const GasRule rule(GasKind::FHP_I);
+  const SiteLattice in = random_gas({32, 32}, GasKind::FHP_I, 3);
+  WsaPipeline pipe({32, 32}, rule, 2, 2);
+  (void)pipe.run(in);
+  const Technology t = Technology::paper1987();
+  EXPECT_DOUBLE_EQ(pipe.modeled_rate(t),
+                   pipe.stats().updates_per_tick() * 10e6);
+}
+
+}  // namespace
+}  // namespace lattice::arch
