@@ -1,0 +1,165 @@
+// E13 — serial vs parallel software execution: wall-clock updates/s of
+// the SPA simulator run serially (cycle-exact walk, generic kernel)
+// against the thread-parallel wavefront at 2/4/8 workers, plus the
+// reference sweep generic vs fused. 512^2 FHP-II, the lattice scale of
+// the paper's §6 design points. Shape expectation: the wavefront+LUT
+// path clears 3× over the serial cycle-exact machine at 8 workers, and
+// every variant stays bit-identical to the golden reference.
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "lattice/arch/spa.hpp"
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca/collision_lut.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace {
+
+using namespace lattice;
+
+constexpr std::int64_t kSide = 512;
+constexpr int kDepth = 4;
+constexpr std::int64_t kSlice = 32;
+constexpr int kPasses = 2;  // generations = kDepth * kPasses
+
+lgca::SiteLattice make_input() {
+  lgca::SiteLattice lat({kSide, kSide}, lgca::Boundary::Null);
+  lgca::fill_random(lat, lgca::GasModel::get(lgca::GasKind::FHP_II), 0.3, 13,
+                    0.1);
+  return lat;
+}
+
+struct Timed {
+  lgca::SiteLattice out;
+  double seconds;
+  double rate;  // site updates per wall-clock second
+};
+
+template <typename Fn>
+Timed timed_run(const lgca::SiteLattice& in, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  lgca::SiteLattice out = fn(in);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double updates =
+      static_cast<double>(kSide * kSide) * kDepth * kPasses;
+  return Timed{std::move(out), s, updates / s};
+}
+
+lgca::SiteLattice spa_run(const lgca::SiteLattice& in, unsigned threads,
+                          bool fast) {
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  lgca::SiteLattice cur = in;
+  for (int p = 0; p < kPasses; ++p) {
+    arch::SpaMachine spa({kSide, kSide}, rule, kSlice, kDepth,
+                         static_cast<std::int64_t>(p) * kDepth, threads, fast);
+    cur = spa.run(cur);
+  }
+  return cur;
+}
+
+void print_tables() {
+  bench_util::header("E13", "serial vs parallel software execution");
+
+  const lgca::SiteLattice in = make_input();
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  const lgca::CollisionLut& lut = lgca::CollisionLut::get(lgca::GasKind::FHP_II);
+
+  // The golden answer everything must reproduce bit-for-bit.
+  lgca::SiteLattice golden = in;
+  lgca::reference_run(golden, rule, kDepth * kPasses);
+
+  std::printf("  512x512 FHP-II, %d generations (SPA: W=%lld, depth=%d)\n\n",
+              kDepth * kPasses, static_cast<long long>(kSlice), kDepth);
+  std::printf("  %-34s %10s %12s %9s %7s\n", "execution", "seconds",
+              "updates/s", "speedup", "exact");
+
+  const Timed base = timed_run(in, [&](const lgca::SiteLattice& l) {
+    return spa_run(l, 1, false);
+  });
+  auto row = [&](const char* name, const Timed& t) {
+    std::printf("  %-34s %10.3f %12.3e %8.2fx %7s\n", name, t.seconds, t.rate,
+                base.seconds / t.seconds, t.out == golden ? "yes" : "NO");
+  };
+  row("SPA serial cycle-exact (baseline)", base);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "SPA wavefront, %u threads", threads);
+    const Timed t = timed_run(in, [&](const lgca::SiteLattice& l) {
+      return spa_run(l, threads, true);
+    });
+    row(name, t);
+  }
+
+  const Timed ref_generic = timed_run(in, [&](const lgca::SiteLattice& l) {
+    lgca::SiteLattice lat = l;
+    lgca::reference_run(lat, rule, kDepth * kPasses);
+    return lat;
+  });
+  row("reference generic (Rule::apply)", ref_generic);
+
+  const Timed ref_fused = timed_run(in, [&](const lgca::SiteLattice& l) {
+    lgca::SiteLattice lat = l;
+    lgca::fused_gas_run(lat, lut, kDepth * kPasses);
+    return lat;
+  });
+  row("reference fused LUT", ref_fused);
+
+  bench_util::note("");
+  bench_util::note("what to look for: the wavefront rows replace the tick");
+  bench_util::note("walk's per-site ring-buffer traffic and virtual dispatch");
+  bench_util::note("with the fused LUT gather, so the 8-thread row should");
+  bench_util::note("clear 3x over the serial baseline even on few cores;");
+  bench_util::note("'exact' must read yes in every row (bit-identical to");
+  bench_util::note("the golden reference).");
+}
+
+void BM_SpaSerial(benchmark::State& state) {
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  lgca::SiteLattice in({128, 128}, lgca::Boundary::Null);
+  lgca::fill_random(in, rule.model(), 0.3, 13, 0.1);
+  for (auto _ : state) {
+    arch::SpaMachine spa({128, 128}, rule, 16, 2);
+    benchmark::DoNotOptimize(spa.run(in));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 2);
+}
+BENCHMARK(BM_SpaSerial)->Unit(benchmark::kMillisecond);
+
+void BM_SpaWavefront(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const lgca::GasRule rule(lgca::GasKind::FHP_II);
+  lgca::SiteLattice in({128, 128}, lgca::Boundary::Null);
+  lgca::fill_random(in, rule.model(), 0.3, 13, 0.1);
+  for (auto _ : state) {
+    arch::SpaMachine spa({128, 128}, rule, 16, 2, 0, threads, true);
+    benchmark::DoNotOptimize(spa.run(in));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 2);
+}
+BENCHMARK(BM_SpaWavefront)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceFused(benchmark::State& state) {
+  const lgca::CollisionLut& lut =
+      lgca::CollisionLut::get(lgca::GasKind::FHP_II);
+  lgca::SiteLattice in({128, 128}, lgca::Boundary::Null);
+  lgca::fill_random(in, lut.model(), 0.3, 13, 0.1);
+  for (auto _ : state) {
+    lgca::SiteLattice lat = in;
+    lgca::fused_gas_run(lat, lut, 2);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 2);
+}
+BENCHMARK(BM_ReferenceFused)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

@@ -17,6 +17,25 @@
 // Each tick every slice consumes one site, so the whole machine
 // performs (L/W)·depth updates per tick; main memory must feed
 // 2·D·(L/W) bits each tick — the bandwidth price of SPA's speed.
+//
+// Execution strategies (identical output and identical counters, both
+// verified bit-for-bit against the golden reference):
+//
+//   threads <= 1 — cycle-exact simulation: one ring-buffered stage per
+//     (slice, depth), side-channel peeks between neighbor stages, the
+//     global tick loop walking slices right-to-left. This is the
+//     hardware model; counters fall out of the walk itself.
+//
+//   threads >= 2 — the paper's multi-chip parallelism made literal:
+//     slice pipelines run on persistent worker lanes, stepping a
+//     row-chunk wavefront (stage d trails stage d-1 by two chunks) with
+//     a std::barrier rendezvous standing in for the synchronous side
+//     channels. Counters are the closed forms the tick walk provably
+//     produces (asserted equal in tests).
+//
+// With `fast_kernel`, a GasRule's updates go through the fused
+// CollisionLut gather instead of Window construction + virtual
+// dispatch; non-gas rules fall back to the generic path.
 
 #pragma once
 
@@ -48,9 +67,12 @@ struct SpaStats {
 class SpaMachine {
  public:
   /// Partition `extent` into slices of width `slice_width` (which must
-  /// divide the lattice width) and process `depth` generations per pass.
+  /// divide the lattice width) and process `depth` generations per
+  /// pass. `threads` selects the execution strategy (see file comment);
+  /// `fast_kernel` opts gas rules into the fused CollisionLut path.
   SpaMachine(Extent extent, const lgca::Rule& rule, std::int64_t slice_width,
-             int depth, std::int64_t t0 = 0);
+             int depth, std::int64_t t0 = 0, unsigned threads = 1,
+             bool fast_kernel = false);
 
   /// One pass: the lattice advanced by `depth` generations.
   lgca::SiteLattice run(const lgca::SiteLattice& in);
@@ -58,18 +80,24 @@ class SpaMachine {
   const SpaStats& stats() const noexcept { return stats_; }
   std::int64_t slices() const noexcept { return slices_; }
   int depth() const noexcept { return depth_; }
+  unsigned threads() const noexcept { return threads_; }
 
   double modeled_rate(const Technology& tech) const {
     return stats_.updates_per_tick() * tech.clock_hz;
   }
 
  private:
+  lgca::SiteLattice run_cycle_exact(const lgca::SiteLattice& in);
+  lgca::SiteLattice run_parallel(const lgca::SiteLattice& in);
+
   Extent extent_;
   const lgca::Rule* rule_;
   std::int64_t slice_width_;
   std::int64_t slices_;
   int depth_;
   std::int64_t t0_;
+  unsigned threads_;
+  bool fast_kernel_;
   SpaStats stats_;
 };
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/lattice.hpp"
 
 namespace lattice::arch {
@@ -29,9 +30,13 @@ class StreamStage {
   /// sites per tick (P of §4). `lead_padding` is the number of
   /// meaningless stream positions that precede logical position 0 on
   /// this stage's input — i.e. the accumulated latency of upstream
-  /// stages — so chained stages agree on site coordinates.
+  /// stages — so chained stages agree on site coordinates. A non-null
+  /// `lut` routes updates through the fused gather–collide kernel
+  /// (same ring, same masking, no Window build, no virtual dispatch);
+  /// callers pass CollisionLut::try_get(rule) or nullptr.
   StreamStage(Extent extent, const lgca::Rule& rule, std::int64_t t,
-              int batch, std::int64_t lead_padding = 0);
+              int batch, std::int64_t lead_padding = 0,
+              const lgca::CollisionLut* lut = nullptr);
 
   /// Consume `batch` input sites, produce `batch` output sites.
   /// Outputs at logical positions outside [0, area) are zeros.
@@ -55,6 +60,7 @@ class StreamStage {
 
   Extent extent_;
   const lgca::Rule* rule_;
+  const lgca::CollisionLut* lut_;
   std::int64_t t_;
   int batch_;
   std::int64_t delay_;

@@ -39,8 +39,10 @@ struct PipelineStats {
 class WsaPipeline {
  public:
   /// `depth` chips (= generations per pass), `width` PEs per chip.
+  /// `fast_kernel` opts gas rules into the fused CollisionLut gather
+  /// inside every stage (identical output; non-gas rules ignore it).
   WsaPipeline(Extent extent, const lgca::Rule& rule, int depth, int width,
-              std::int64_t t0 = 0);
+              std::int64_t t0 = 0, bool fast_kernel = false);
 
   /// Stream `in` (which must use null boundaries) through the pipeline
   /// and return the lattice advanced by `depth` generations.
@@ -62,6 +64,7 @@ class WsaPipeline {
  private:
   Extent extent_;
   const lgca::Rule* rule_;
+  const lgca::CollisionLut* lut_ = nullptr;  // non-null iff fast path on
   int depth_;
   int width_;
   std::int64_t t0_;

@@ -1,6 +1,12 @@
 #include "lattice/arch/spa.hpp"
 
 #include <algorithm>
+#include <barrier>
+#include <functional>
+#include <utility>
+
+#include "lattice/common/thread_pool.hpp"
+#include "lattice/lgca/collision_lut.hpp"
 
 namespace lattice::arch {
 
@@ -12,11 +18,12 @@ class SliceStage {
  public:
   SliceStage(Extent slice_extent, std::int64_t slice_x0,
              std::int64_t lattice_width, const lgca::Rule& rule,
-             std::int64_t t, std::int64_t lead)
+             const lgca::CollisionLut* lut, std::int64_t t, std::int64_t lead)
       : extent_(slice_extent),
         x0_(slice_x0),
         lattice_width_(lattice_width),
         rule_(&rule),
+        lut_(lut),
         t_(t),
         delay_(extent_.width + 1),
         next_in_(-lead),
@@ -53,13 +60,36 @@ class SliceStage {
     ++next_in_;
     const std::int64_t pos = next_in_ - 1 - delay_;
     if (pos < 0 || pos >= extent_.area()) return 0;
-    return update_at(pos, stats);
+    return lut_ != nullptr ? update_at_fused(pos, stats)
+                           : update_at(pos, stats);
   }
 
  private:
   std::size_t index(std::int64_t pos) const noexcept {
     const auto cap = static_cast<std::int64_t>(ring_.size());
     return static_cast<std::size_t>(((pos % cap) + cap) % cap);
+  }
+
+  /// Window cell at slice-local (x + dx, y + dy), with the same
+  /// masking and side-channel routing as the generic window build.
+  lgca::Site window_value(std::int64_t x, std::int64_t y, int dx, int dy,
+                          std::int64_t pos, SpaStats& stats) const {
+    const std::int64_t w = extent_.width;
+    const std::int64_t gx = x0_ + x + dx;  // global column
+    const std::int64_t ny = y + dy;
+    if (gx < 0 || gx >= lattice_width_ || ny < 0 || ny >= extent_.height) {
+      return 0;
+    }
+    const std::int64_t lx = x + dx;
+    if (lx >= 0 && lx < w) return peek(pos + dy * w + dx);
+    if (lx < 0) {
+      LATTICE_ASSERT(left_ != nullptr, "missing left slice");
+      ++stats.boundary_fetches;
+      return left_->peek(ny * w + (w - 1));
+    }
+    LATTICE_ASSERT(right_ != nullptr, "missing right slice");
+    ++stats.boundary_fetches;
+    return right_->peek(ny * w + 0);
   }
 
   lgca::Site update_at(std::int64_t pos, SpaStats& stats) const {
@@ -69,35 +99,55 @@ class SliceStage {
     lgca::Window win;
     for (int dy = -1; dy <= 1; ++dy) {
       for (int dx = -1; dx <= 1; ++dx) {
-        const std::int64_t gx = x0_ + x + dx;  // global column
-        const std::int64_t ny = y + dy;
-        lgca::Site v = 0;
-        if (gx >= 0 && gx < lattice_width_ && ny >= 0 &&
-            ny < extent_.height) {
-          const std::int64_t lx = x + dx;
-          if (lx >= 0 && lx < w) {
-            v = peek(pos + dy * w + dx);
-          } else if (lx < 0) {
-            LATTICE_ASSERT(left_ != nullptr, "missing left slice");
-            v = left_->peek(ny * w + (w - 1));
-            ++stats.boundary_fetches;
-          } else {
-            LATTICE_ASSERT(right_ != nullptr, "missing right slice");
-            v = right_->peek(ny * w + 0);
-            ++stats.boundary_fetches;
-          }
-        }
-        win.at(dx, dy) = v;
+        win.at(dx, dy) = window_value(x, y, dx, dy, pos, stats);
       }
     }
     ++stats.site_updates;
     return rule_->apply(win, lgca::SiteContext{x0_ + x, y, t_});
   }
 
+  /// Fused path: gather only the channels the gas update reads, skip
+  /// Window construction and virtual dispatch. Counters are a property
+  /// of the simulated machine (the hardware window always moves all
+  /// boundary-crossing cells), so side-channel traffic is accounted
+  /// exactly as the generic path would.
+  lgca::Site update_at_fused(std::int64_t pos, SpaStats& stats) const {
+    const std::int64_t w = extent_.width;
+    const std::int64_t x = pos % w;
+    const std::int64_t y = pos / w;
+    SpaStats scratch;  // tap-driven reads must not double-count traffic
+    lgca::Site in = 0;
+    const auto& taps = lut_->taps((y & 1) != 0);
+    for (int i = 0; i < lut_->tap_count(); ++i) {
+      const auto tap = taps[static_cast<std::size_t>(i)];
+      in |= static_cast<lgca::Site>(
+          window_value(x, y, tap.dx, tap.dy, pos, scratch) & tap.bit);
+    }
+    in |= static_cast<lgca::Site>(peek(pos) & lut_->center_mask());
+    // Machine-accurate side-channel accounting: every in-range window
+    // cell that crosses the slice edge is one fetch, as in update_at.
+    if (x == 0 && left_ != nullptr) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::int64_t ny = y + dy;
+        if (ny >= 0 && ny < extent_.height) ++stats.boundary_fetches;
+      }
+    }
+    if (x == w - 1 && right_ != nullptr) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const std::int64_t ny = y + dy;
+        if (ny >= 0 && ny < extent_.height) ++stats.boundary_fetches;
+      }
+    }
+    ++stats.site_updates;
+    return lut_->collide(in,
+                         lgca::GasModel::chirality(x0_ + x, y, t_));
+  }
+
   Extent extent_;
   std::int64_t x0_;
   std::int64_t lattice_width_;
   const lgca::Rule* rule_;
+  const lgca::CollisionLut* lut_;
   std::int64_t t_;
   std::int64_t delay_;
   std::int64_t next_in_;
@@ -109,19 +159,23 @@ class SliceStage {
 }  // namespace
 
 SpaMachine::SpaMachine(Extent extent, const lgca::Rule& rule,
-                       std::int64_t slice_width, int depth, std::int64_t t0)
+                       std::int64_t slice_width, int depth, std::int64_t t0,
+                       unsigned threads, bool fast_kernel)
     : extent_(extent),
       rule_(&rule),
       slice_width_(slice_width),
       slices_(0),
       depth_(depth),
-      t0_(t0) {
+      t0_(t0),
+      threads_(threads),
+      fast_kernel_(fast_kernel) {
   LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
                   "SPA extent must be positive");
   LATTICE_REQUIRE(slice_width >= 2, "SPA slice width must be >= 2");
   LATTICE_REQUIRE(extent.width % slice_width == 0,
                   "SPA slice width must divide the lattice width");
   LATTICE_REQUIRE(depth >= 1, "SPA depth must be >= 1");
+  LATTICE_REQUIRE(threads >= 1, "SPA needs at least one thread");
   slices_ = extent.width / slice_width;
 }
 
@@ -129,7 +183,12 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
   LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
   LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
                   "SPA streams null-boundary lattices only");
+  return threads_ >= 2 ? run_parallel(in) : run_cycle_exact(in);
+}
 
+lgca::SiteLattice SpaMachine::run_cycle_exact(const lgca::SiteLattice& in) {
+  const lgca::CollisionLut* lut =
+      fast_kernel_ ? lgca::CollisionLut::try_get(*rule_) : nullptr;
   const Extent slice_extent{slice_width_, extent_.height};
   const std::int64_t slice_area = slice_extent.area();
   const std::int64_t stage_delay = slice_width_ + 1;
@@ -143,7 +202,7 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
     chain.reserve(static_cast<std::size_t>(depth_));
     for (int d = 0; d < depth_; ++d) {
       chain.emplace_back(slice_extent, j * slice_width_, extent_.width,
-                         *rule_, t0_ + d,
+                         *rule_, lut, t0_ + d,
                          j * slice_width_ + d * stage_delay);
     }
   }
@@ -203,6 +262,91 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
   for (const auto& chain : stages)
     for (const SliceStage& s : chain) stats_.buffer_sites += s.buffer_sites();
   return out;
+}
+
+// Thread-parallel execution: slice pipelines on worker lanes, stepped
+// as a row-chunk wavefront. Lane ownership is a contiguous group of
+// slices; generation d+1 of chunk c is computed at step s = c + 2d, so
+// every read of generation d (rows up to one past the chunk) lands on
+// data finished at step s-1 or earlier — the barrier between steps is
+// the side-channel synchronization. Output is the reference evolution
+// by construction: every site update reads pure generation-d data.
+lgca::SiteLattice SpaMachine::run_parallel(const lgca::SiteLattice& in) {
+  const lgca::CollisionLut* lut =
+      fast_kernel_ ? lgca::CollisionLut::try_get(*rule_) : nullptr;
+  const std::int64_t h = extent_.height;
+  const std::int64_t area = extent_.area();
+
+  // Generation ladders gen[0..depth]; gen[0] is the input pass.
+  std::vector<lgca::SiteLattice> gen;
+  gen.reserve(static_cast<std::size_t>(depth_) + 1);
+  gen.push_back(in);
+  for (int d = 0; d < depth_; ++d) {
+    gen.emplace_back(extent_, lgca::Boundary::Null);
+  }
+
+  auto& pool = common::ThreadPool::shared();
+  const unsigned lanes = static_cast<unsigned>(std::min<std::int64_t>(
+      {static_cast<std::int64_t>(threads_), slices_,
+       static_cast<std::int64_t>(pool.max_lanes())}));
+
+  const std::int64_t chunk = std::min<std::int64_t>(8, h);
+  const std::int64_t chunks = (h + chunk - 1) / chunk;
+  const std::int64_t steps = chunks + 2 * (depth_ - 1);
+
+  const auto lane_body = [&](unsigned lane, const auto& sync) {
+    const std::int64_t s0 = slices_ * lane / lanes;
+    const std::int64_t s1 = slices_ * (lane + 1) / lanes;
+    const std::int64_t x0 = s0 * slice_width_;
+    const std::int64_t x1 = s1 * slice_width_;
+    for (std::int64_t s = 0; s < steps; ++s) {
+      for (int d = 0; d < depth_; ++d) {
+        const std::int64_t c = s - 2 * d;
+        if (c < 0 || c >= chunks) continue;
+        const lgca::SiteLattice& src = gen[static_cast<std::size_t>(d)];
+        lgca::SiteLattice& dst = gen[static_cast<std::size_t>(d) + 1];
+        const std::int64_t t = t0_ + d;
+        const std::int64_t yb = c * chunk;
+        const std::int64_t ye = std::min(h, yb + chunk);
+        for (std::int64_t y = yb; y < ye; ++y) {
+          if (lut != nullptr) {
+            lut->update_span(dst, src, t, y, x0, x1);
+          } else {
+            for (std::int64_t x = x0; x < x1; ++x) {
+              dst.at({x, y}) = rule_->apply(src.window_at({x, y}),
+                                            lgca::SiteContext{x, y, t});
+            }
+          }
+        }
+      }
+      sync();
+    }
+  };
+
+  if (lanes <= 1) {
+    lane_body(0, [] {});
+  } else {
+    std::barrier<> side_channel(lanes);
+    pool.run_lanes(lanes, [&](unsigned lane) {
+      lane_body(lane, [&] { side_channel.arrive_and_wait(); });
+    });
+  }
+
+  // Counters of the simulated machine — the closed forms the tick walk
+  // in run_cycle_exact produces (asserted equal in the tests): the walk
+  // always runs exactly total_ticks ticks, reads and writes the lattice
+  // once, applies the rule at every (site, stage), and completes 3h-2
+  // in-range window cells per side of each interior slice edge per
+  // generation. Buffers are the 2W+6 ring of each (slice, stage).
+  stats_.ticks += (slices_ - 1) * slice_width_ + slice_width_ * h +
+                  depth_ * (slice_width_ + 1) + 2;
+  stats_.site_updates += area * depth_;
+  stats_.mem_sites_read += area;
+  stats_.mem_sites_written += area;
+  stats_.boundary_fetches += static_cast<std::int64_t>(depth_) *
+                             (slices_ - 1) * 2 * (3 * h - 2);
+  stats_.buffer_sites = slices_ * depth_ * (2 * slice_width_ + 6);
+  return std::move(gen.back());
 }
 
 }  // namespace lattice::arch

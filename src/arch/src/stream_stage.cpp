@@ -10,9 +10,11 @@ constexpr std::int64_t round_up(std::int64_t v, std::int64_t m) {
 
 StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
                          std::int64_t t, int batch,
-                         std::int64_t lead_padding)
+                         std::int64_t lead_padding,
+                         const lgca::CollisionLut* lut)
     : extent_(extent),
       rule_(&rule),
+      lut_(lut),
       t_(t),
       batch_(batch),
       // batch is validated below; clamp here so the computation in the
@@ -38,6 +40,26 @@ lgca::Site StreamStage::update_at(std::int64_t pos) const {
   const std::int64_t w = extent_.width;
   const std::int64_t x = pos % w;
   const std::int64_t y = pos / w;
+  if (lut_ != nullptr) {
+    // Fused path: gather only the taps the gas actually reads, with the
+    // same edge masking the window multiplexer applies, then one table
+    // lookup. No Window build, no virtual dispatch.
+    lgca::Site gathered = 0;
+    const auto& taps = lut_->taps((y & 1) != 0);
+    const int n = lut_->tap_count();
+    for (int i = 0; i < n; ++i) {
+      const auto tap = taps[static_cast<std::size_t>(i)];
+      const std::int64_t nx = x + tap.dx;
+      const std::int64_t ny = y + tap.dy;
+      if (nx >= 0 && nx < w && ny >= 0 && ny < extent_.height) {
+        gathered |= static_cast<lgca::Site>(
+            stream_value(pos + tap.dy * w + tap.dx) & tap.bit);
+      }
+    }
+    gathered |=
+        static_cast<lgca::Site>(stream_value(pos) & lut_->center_mask());
+    return lut_->collide(gathered, lgca::GasModel::chirality(x, y, t_));
+  }
   lgca::Window win;
   for (int dy = -1; dy <= 1; ++dy) {
     for (int dx = -1; dx <= 1; ++dx) {

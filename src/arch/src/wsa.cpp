@@ -3,8 +3,13 @@
 namespace lattice::arch {
 
 WsaPipeline::WsaPipeline(Extent extent, const lgca::Rule& rule, int depth,
-                         int width, std::int64_t t0)
-    : extent_(extent), rule_(&rule), depth_(depth), width_(width), t0_(t0) {
+                         int width, std::int64_t t0, bool fast_kernel)
+    : extent_(extent),
+      rule_(&rule),
+      lut_(fast_kernel ? lgca::CollisionLut::try_get(rule) : nullptr),
+      depth_(depth),
+      width_(width),
+      t0_(t0) {
   LATTICE_REQUIRE(depth >= 1, "WSA pipeline needs at least one stage");
   LATTICE_REQUIRE(width >= 1, "WSA stage width (P) must be >= 1");
 }
@@ -20,7 +25,7 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   stages.reserve(static_cast<std::size_t>(depth_));
   std::int64_t lead = 0;
   for (int s = 0; s < depth_; ++s) {
-    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead);
+    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead, lut_);
     lead += stages.back().delay();
   }
 
@@ -77,7 +82,8 @@ lgca::SiteLattice WsaPipeline::run_passes(const lgca::SiteLattice& in,
   for (int p = 0; p < passes; ++p) {
     // Each pass advances depth_ generations; rebuild with advanced t0.
     WsaPipeline pass(extent_, *rule_, depth_, width_,
-                     t0_ + static_cast<std::int64_t>(p) * depth_);
+                     t0_ + static_cast<std::int64_t>(p) * depth_,
+                     lut_ != nullptr);
     cur = pass.run(cur);
     stats_.ticks += pass.stats_.ticks;
     stats_.site_updates += pass.stats_.site_updates;

@@ -1,0 +1,95 @@
+// Persistent worker-thread pool.
+//
+// The simulators need two flavors of parallelism and must not pay a
+// thread-spawn per lattice generation for either:
+//
+//   for_each_task — a bag of independent tasks (e.g. row bands of one
+//     generation). Caller and workers drain a shared counter; any
+//     number of tasks is fine, tasks may outnumber executors.
+//
+//   run_lanes — exactly `lanes` bodies running *concurrently*, one per
+//     executor (lane 0 on the caller). Lanes may synchronize with each
+//     other (std::barrier) — this is what the thread-parallel SPA's
+//     barrier-stepped slice pipelines use, and why lanes, unlike tasks,
+//     can never be folded onto fewer threads.
+//
+// Workers are spawned once and parked on a condition variable between
+// jobs. Exceptions thrown by a task/lane are captured and the first one
+// is rethrown on the submitting thread. Submissions are serialized: the
+// pool runs one job at a time (nested submission from inside a task
+// would deadlock — don't).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lattice::common {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` persistent worker threads (0 is legal: every job
+  /// then runs inline on the caller).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Pool threads, excluding the caller.
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Maximum concurrent lanes run_lanes can honor (workers + caller).
+  unsigned max_lanes() const noexcept { return workers() + 1; }
+
+  /// Execute job(i) for every i in [0, tasks). The caller participates;
+  /// idle workers help. Returns when all tasks finished. tasks <= 1 (or
+  /// a worker-less pool) runs inline with no locking or allocation.
+  void for_each_task(std::int64_t tasks,
+                     const std::function<void(std::int64_t)>& job);
+
+  /// Execute job(0) .. job(lanes-1) concurrently, each lane pinned to
+  /// its own executor, so lanes may barrier-synchronize among
+  /// themselves. Requires lanes <= max_lanes(). lanes == 1 runs inline.
+  void run_lanes(unsigned lanes, const std::function<void(unsigned)>& job);
+
+  /// Process-wide pool shared by the engine and the parallel updaters.
+  /// Sized max(hardware_concurrency, 8) - 1 so that an 8-lane SPA run is
+  /// honored even on small machines (lanes block on barriers, so
+  /// oversubscription is benign).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop(unsigned index);
+  void dispatch(const std::function<void(std::int64_t)>* task_fn,
+                const std::function<void(unsigned)>* lane_fn, unsigned lanes,
+                std::int64_t tasks);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex submit_mu_;  // one job at a time
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  unsigned active_ = 0;  // workers still inside the current epoch
+
+  // Current job (valid while active_ > 0).
+  const std::function<void(std::int64_t)>* task_fn_ = nullptr;
+  const std::function<void(unsigned)>* lane_fn_ = nullptr;
+  unsigned lanes_ = 0;
+  std::int64_t task_count_ = 0;
+  std::atomic<std::int64_t> next_task_{0};
+  std::exception_ptr error_;
+};
+
+}  // namespace lattice::common

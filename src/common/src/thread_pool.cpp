@@ -1,0 +1,133 @@
+#include "lattice/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::common {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    const auto* task_fn = task_fn_;
+    const auto* lane_fn = lane_fn_;
+    const unsigned lanes = lanes_;
+    const std::int64_t total = task_count_;
+    lk.unlock();
+
+    std::exception_ptr err;
+    try {
+      if (task_fn != nullptr) {
+        for (;;) {
+          const std::int64_t i =
+              next_task_.fetch_add(1, std::memory_order_relaxed);
+          if (i >= total) break;
+          (*task_fn)(i);
+        }
+      } else if (lane_fn != nullptr && index + 1 < lanes) {
+        (*lane_fn)(index + 1);
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+
+    lk.lock();
+    if (err && !error_) error_ = err;
+    if (--active_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::dispatch(const std::function<void(std::int64_t)>* task_fn,
+                          const std::function<void(unsigned)>* lane_fn,
+                          unsigned lanes, std::int64_t tasks) {
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_fn_ = task_fn;
+    lane_fn_ = lane_fn;
+    lanes_ = lanes;
+    task_count_ = tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers();
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+
+  // The caller is executor/lane 0.
+  std::exception_ptr err;
+  try {
+    if (task_fn != nullptr) {
+      for (;;) {
+        const std::int64_t i =
+            next_task_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks) break;
+        (*task_fn)(i);
+      }
+    } else if (lane_fn != nullptr) {
+      (*lane_fn)(0);
+    }
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return active_ == 0; });
+  task_fn_ = nullptr;
+  lane_fn_ = nullptr;
+  if (err && !error_) error_ = err;
+  const std::exception_ptr first = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::for_each_task(std::int64_t tasks,
+                               const std::function<void(std::int64_t)>& job) {
+  LATTICE_REQUIRE(tasks >= 0, "task count must be >= 0");
+  if (tasks <= 1 || workers() == 0) {
+    for (std::int64_t i = 0; i < tasks; ++i) job(i);
+    return;
+  }
+  dispatch(&job, nullptr, 0, tasks);
+}
+
+void ThreadPool::run_lanes(unsigned lanes,
+                           const std::function<void(unsigned)>& job) {
+  LATTICE_REQUIRE(lanes >= 1, "need at least one lane");
+  LATTICE_REQUIRE(lanes <= max_lanes(),
+                  "more lanes than the pool can run concurrently");
+  if (lanes == 1) {
+    job(0);
+    return;
+  }
+  dispatch(nullptr, &job, lanes, 0);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max(std::thread::hardware_concurrency(), 8u) - 1);
+  return pool;
+}
+
+}  // namespace lattice::common

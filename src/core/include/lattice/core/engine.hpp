@@ -28,6 +28,7 @@
 #include "lattice/arch/spa.hpp"
 #include "lattice/arch/technology.hpp"
 #include "lattice/arch/wsa.hpp"
+#include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/lattice.hpp"
 
@@ -47,6 +48,13 @@ struct PerformanceReport {
   std::int64_t ticks = 0;               // 0 for the reference backend
   double updates_per_tick = 0;
   double modeled_rate = 0;              // updates/s at tech.clock_hz
+  /// Wall-clock seconds this process spent inside advance(), and the
+  /// measured software update rate site_updates / wall_seconds. The
+  /// modeled rate is what the paper's silicon would sustain; the
+  /// measured rate is what this simulator sustains — printing both
+  /// keeps the distinction honest (docs/PERFORMANCE.md).
+  double wall_seconds = 0;
+  double measured_rate = 0;             // updates/s of the simulation
   double bandwidth_bits_per_tick = 0;   // main memory demand
   std::int64_t storage_sites = 0;       // S: on-chip site storage
   /// Hong–Kung ceiling for this (B, S, d=2): R ≤ B·2τ(2S), in
@@ -67,6 +75,13 @@ class LatticeEngine {
     int pipeline_depth = 1;     // k: generations per pass (WSA & SPA)
     int wsa_width = 1;          // P
     std::int64_t spa_slice_width = 0;  // W; 0 = pick a divisor near §6.2
+    /// Worker threads for the software execution: bands the reference
+    /// sweep, runs SPA slice pipelines as a wavefront. 1 = serial.
+    unsigned threads = 1;
+    /// Route gas rules through the fused CollisionLut kernel (detected
+    /// once at construction; non-gas rules always use the generic
+    /// path). On by default — output is bit-identical either way.
+    bool fast_kernel = true;
     arch::Technology tech = arch::Technology::paper1987();
   };
 
@@ -94,6 +109,7 @@ class LatticeEngine {
   Config config_;
   std::unique_ptr<lgca::GasRule> owned_rule_;
   const lgca::Rule* rule_;
+  const lgca::CollisionLut* lut_ = nullptr;  // non-null iff fast path on
   lgca::SiteLattice initial_;
   lgca::SiteLattice state_;
   std::int64_t generation_ = 0;
@@ -103,6 +119,7 @@ class LatticeEngine {
   std::int64_t ticks_ = 0;
   std::int64_t site_updates_ = 0;
   std::int64_t buffer_sites_ = 0;
+  double wall_seconds_ = 0;
 };
 
 /// Pick a slice width that divides `width` and is as close as possible

@@ -1,6 +1,7 @@
 #include "lattice/core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "lattice/lgca/reference.hpp"
@@ -36,6 +37,10 @@ LatticeEngine::LatticeEngine(Config config)
     owned_rule_ = std::make_unique<lgca::GasRule>(config_.gas);
     rule_ = owned_rule_.get();
   }
+  if (config_.threads == 0) config_.threads = 1;
+  // One-time fast-path detection: a GasRule gets the fused LUT kernel,
+  // anything else keeps the generic virtual-dispatch path.
+  if (config_.fast_kernel) lut_ = lgca::CollisionLut::try_get(*rule_);
   if (config_.backend != Backend::Reference) {
     LATTICE_REQUIRE(config_.boundary == lgca::Boundary::Null,
                     "pipelined backends require null boundaries");
@@ -58,19 +63,29 @@ void LatticeEngine::advance(std::int64_t generations) {
     initial_ = state_;
     initial_captured_ = true;
   }
+  const auto start = std::chrono::steady_clock::now();
   std::int64_t left = generations;
   while (left > 0) {
     const int chunk = static_cast<int>(
         std::min<std::int64_t>(left, config_.pipeline_depth));
     switch (config_.backend) {
       case Backend::Reference: {
-        lgca::reference_run(state_, *rule_, chunk, generation_);
+        if (lut_ != nullptr) {
+          lgca::fused_gas_run(state_, *lut_, chunk, generation_,
+                              config_.threads);
+        } else if (config_.threads > 1) {
+          lgca::reference_run_parallel(state_, *rule_, chunk, config_.threads,
+                                       generation_);
+        } else {
+          lgca::reference_run(state_, *rule_, chunk, generation_);
+        }
         site_updates_ += state_.extent().area() * chunk;
         break;
       }
       case Backend::Wsa: {
         arch::WsaPipeline pipe(state_.extent(), *rule_, chunk,
-                               config_.wsa_width, generation_);
+                               config_.wsa_width, generation_,
+                               lut_ != nullptr);
         state_ = pipe.run(state_);
         ticks_ += pipe.stats().ticks;
         site_updates_ += pipe.stats().site_updates;
@@ -79,7 +94,8 @@ void LatticeEngine::advance(std::int64_t generations) {
       }
       case Backend::Spa: {
         arch::SpaMachine spa(state_.extent(), *rule_,
-                             config_.spa_slice_width, chunk, generation_);
+                             config_.spa_slice_width, chunk, generation_,
+                             config_.threads, lut_ != nullptr);
         state_ = spa.run(state_);
         ticks_ += spa.stats().ticks;
         site_updates_ += spa.stats().site_updates;
@@ -90,6 +106,9 @@ void LatticeEngine::advance(std::int64_t generations) {
     generation_ += chunk;
     left -= chunk;
   }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 PerformanceReport LatticeEngine::report() const {
@@ -103,6 +122,10 @@ PerformanceReport LatticeEngine::report() const {
                        static_cast<double>(ticks_)
                  : 0.0;
   r.modeled_rate = r.updates_per_tick * config_.tech.clock_hz;
+  r.wall_seconds = wall_seconds_;
+  r.measured_rate = wall_seconds_ > 0
+                        ? static_cast<double>(site_updates_) / wall_seconds_
+                        : 0.0;
   r.storage_sites = buffer_sites_;
 
   const double d = config_.tech.bits_per_site;

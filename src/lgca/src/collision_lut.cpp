@@ -1,0 +1,152 @@
+#include "lattice/lgca/collision_lut.hpp"
+
+#include <algorithm>
+
+#include "lattice/common/thread_pool.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/geometry.hpp"
+
+namespace lattice::lgca {
+
+CollisionLut::CollisionLut(GasKind kind)
+    : model_(&GasModel::get(kind)),
+      tap_count_(model_->channels()),
+      center_mask_(static_cast<Site>(
+          kObstacleBit | (model_->has_rest_particle() ? kRestBit : 0))) {
+  const Topology topo = model_->topology();
+  for (int parity = 0; parity < 2; ++parity) {
+    for (int i = 0; i < tap_count_; ++i) {
+      const Offset o =
+          neighbor_offset(topo, opposite_dir(topo, i), parity == 1);
+      taps_[static_cast<std::size_t>(parity)][static_cast<std::size_t>(i)] = {
+          static_cast<std::int8_t>(o.dx), static_cast<std::int8_t>(o.dy),
+          channel_bit(i)};
+    }
+  }
+  for (int v = 0; v < 2; ++v) {
+    for (int s = 0; s < 256; ++s) {
+      tables_[static_cast<std::size_t>(v)][static_cast<std::size_t>(s)] =
+          model_->collide(static_cast<Site>(s), v);
+    }
+  }
+}
+
+const CollisionLut& CollisionLut::get(GasKind kind) {
+  static const CollisionLut hpp(GasKind::HPP);
+  static const CollisionLut fhp1(GasKind::FHP_I);
+  static const CollisionLut fhp2(GasKind::FHP_II);
+  static const CollisionLut fhp3(GasKind::FHP_III);
+  switch (kind) {
+    case GasKind::HPP: return hpp;
+    case GasKind::FHP_I: return fhp1;
+    case GasKind::FHP_II: return fhp2;
+    case GasKind::FHP_III: return fhp3;
+  }
+  return fhp2;  // unreachable
+}
+
+const CollisionLut* CollisionLut::try_get(const Rule& rule) {
+  const auto* gas = dynamic_cast<const GasRule*>(&rule);
+  return gas != nullptr ? &get(gas->model().kind()) : nullptr;
+}
+
+void CollisionLut::update_span(SiteLattice& next, const SiteLattice& cur,
+                               std::int64_t t, std::int64_t y, std::int64_t x0,
+                               std::int64_t x1) const {
+  const Extent e = cur.extent();
+  const std::int64_t w = e.width;
+  const std::int64_t h = e.height;
+  LATTICE_ASSERT(y >= 0 && y < h && x0 >= 0 && x1 <= w,
+                 "update_span out of range");
+  if (x0 >= x1) return;
+  const bool periodic = cur.boundary() == Boundary::Periodic;
+  const auto& taps = taps_[(y & 1) ? 1 : 0];
+  const int n = tap_count_;
+
+  // Source row base pointers for dy = -1, 0, +1; nullptr rows read as
+  // empty (the null-boundary mask of the window multiplexer).
+  const Site* rows[3];
+  for (int dy = -1; dy <= 1; ++dy) {
+    std::int64_t ny = y + dy;
+    if (ny < 0 || ny >= h) {
+      if (!periodic) {
+        rows[dy + 1] = nullptr;
+        continue;
+      }
+      ny = wrap(ny, h);
+    }
+    rows[dy + 1] = cur.grid().data() + linear_index(e, {0, ny});
+  }
+  Site* out = next.grid().data() + linear_index(e, {0, y});
+
+  // Edge columns: per-tap column bounds / wrap checks.
+  const auto slow = [&](std::int64_t x) {
+    Site in = 0;
+    for (int i = 0; i < n; ++i) {
+      const Tap tap = taps[static_cast<std::size_t>(i)];
+      const Site* row = rows[tap.dy + 1];
+      if (row == nullptr) continue;
+      std::int64_t nx = x + tap.dx;
+      if (nx < 0 || nx >= w) {
+        if (!periodic) continue;
+        nx = wrap(nx, w);
+      }
+      in |= static_cast<Site>(row[nx] & tap.bit);
+    }
+    in |= static_cast<Site>(rows[1][x] & center_mask_);
+    out[x] = collide(in, GasModel::chirality(x, y, t));
+  };
+
+  const std::int64_t fast0 = std::max<std::int64_t>(x0, 1);
+  const std::int64_t fast1 = std::min<std::int64_t>(x1, w - 1);
+  for (std::int64_t x = x0; x < std::min(fast0, x1); ++x) slow(x);
+  for (std::int64_t x = fast0; x < fast1; ++x) {
+    Site in = 0;
+    for (int i = 0; i < n; ++i) {
+      const Tap tap = taps[static_cast<std::size_t>(i)];
+      const Site* row = rows[tap.dy + 1];
+      if (row != nullptr) in |= static_cast<Site>(row[x + tap.dx] & tap.bit);
+    }
+    in |= static_cast<Site>(rows[1][x] & center_mask_);
+    out[x] = collide(in, GasModel::chirality(x, y, t));
+  }
+  for (std::int64_t x = std::max(fast1, x0); x < x1; ++x) slow(x);
+}
+
+void CollisionLut::update_rows(SiteLattice& next, const SiteLattice& cur,
+                               std::int64_t t, std::int64_t y0,
+                               std::int64_t y1) const {
+  for (std::int64_t y = y0; y < y1; ++y) {
+    update_span(next, cur, t, y, 0, cur.extent().width);
+  }
+}
+
+void fused_gas_run(SiteLattice& lat, const CollisionLut& lut,
+                   std::int64_t generations, std::int64_t t0,
+                   unsigned threads) {
+  LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
+  LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
+  const Extent e = lat.extent();
+  if (e.area() == 0) return;
+  const std::int64_t bands = std::min<std::int64_t>(threads, e.height);
+  const std::int64_t rows_per = (e.height + bands - 1) / bands;
+
+  SiteLattice next(e, lat.boundary());
+  std::int64_t t = t0;
+  const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
+    const std::int64_t y0 = b * rows_per;
+    const std::int64_t y1 = std::min(e.height, y0 + rows_per);
+    lut.update_rows(next, lat, t, y0, y1);
+  };
+  for (std::int64_t g = 0; g < generations; ++g) {
+    t = t0 + g;
+    if (bands == 1) {
+      lut.update_rows(next, lat, t, 0, e.height);
+    } else {
+      common::ThreadPool::shared().for_each_task(bands, band);
+    }
+    std::swap(lat, next);
+  }
+}
+
+}  // namespace lattice::lgca

@@ -1,9 +1,10 @@
 #include "lattice/lgca/reference.hpp"
 
 #include <algorithm>
-#include <thread>
+#include <functional>
 #include <utility>
-#include <vector>
+
+#include "lattice/common/thread_pool.hpp"
 
 namespace lattice::lgca {
 
@@ -36,34 +37,32 @@ void reference_run_parallel(SiteLattice& lat, const Rule& rule,
                             std::int64_t t0) {
   LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
   const Extent e = lat.extent();
-  const auto workers =
+  const std::int64_t bands =
       std::min<std::int64_t>(threads, e.height);  // ≤ one band per row
+  const std::int64_t rows_per = bands > 0 ? (e.height + bands - 1) / bands : 0;
 
   SiteLattice next(e, lat.boundary());
+  std::int64_t t = t0;
+  const auto band_rows = [&](std::int64_t y0, std::int64_t y1) {
+    for (std::int64_t y = y0; y < y1; ++y) {
+      for (std::int64_t x = 0; x < e.width; ++x) {
+        const Coord c{x, y};
+        next.at(c) = rule.apply(lat.window_at(c), SiteContext{x, y, t});
+      }
+    }
+  };
+  const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
+    const std::int64_t y0 = b * rows_per;
+    band_rows(y0, std::min(e.height, y0 + rows_per));
+  };
   for (std::int64_t g = 0; g < generations; ++g) {
-    const std::int64_t t = t0 + g;
-    const SiteLattice& cur = lat;
-    auto band = [&](std::int64_t y0, std::int64_t y1) {
-      for (std::int64_t y = y0; y < y1; ++y) {
-        for (std::int64_t x = 0; x < e.width; ++x) {
-          const Coord c{x, y};
-          next.at(c) = rule.apply(cur.window_at(c), SiteContext{x, y, t});
-        }
-      }
-    };
-    if (workers == 1) {
-      band(0, e.height);
+    t = t0 + g;
+    if (bands <= 1) {
+      band_rows(0, e.height);  // inline: no pool, no allocation
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      const std::int64_t rows_per = (e.height + workers - 1) / workers;
-      for (std::int64_t w = 0; w < workers; ++w) {
-        const std::int64_t y0 = w * rows_per;
-        const std::int64_t y1 = std::min(e.height, y0 + rows_per);
-        if (y0 >= y1) break;
-        pool.emplace_back(band, y0, y1);
-      }
-      for (std::thread& th : pool) th.join();
+      // Disjoint row bands of the new generation, all reading the
+      // immutable old one: any execution order is bit-identical.
+      common::ThreadPool::shared().for_each_task(bands, band);
     }
     std::swap(lat, next);
   }

@@ -1,0 +1,154 @@
+// CollisionLut vs GasRule::apply — the fused fast path against the
+// semantic oracle. Table equality is exhaustive (256 states × both
+// chirality variants); kernel equality covers every site state through
+// the full gather–collide pipeline, partial spans, both boundary
+// modes, and the threaded fused runner at several worker counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/collision_lut.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+const char* kind_name(GasKind k) {
+  switch (k) {
+    case GasKind::HPP: return "HPP";
+    case GasKind::FHP_I: return "FHP_I";
+    case GasKind::FHP_II: return "FHP_II";
+    case GasKind::FHP_III: return "FHP_III";
+  }
+  return "unknown";
+}
+
+class AllGasesTest : public ::testing::TestWithParam<GasKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Luts, AllGasesTest,
+                         ::testing::Values(GasKind::HPP, GasKind::FHP_I,
+                                           GasKind::FHP_II, GasKind::FHP_III),
+                         [](const auto& info) {
+                           return std::string(kind_name(info.param));
+                         });
+
+TEST_P(AllGasesTest, TablesMatchModelExhaustively) {
+  const CollisionLut& lut = CollisionLut::get(GetParam());
+  const GasModel& model = GasModel::get(GetParam());
+  for (int variant = 0; variant < 2; ++variant) {
+    for (int in = 0; in < 256; ++in) {
+      const auto s = static_cast<Site>(in);
+      ASSERT_EQ(lut.collide(s, variant), model.collide(s, variant))
+          << kind_name(GetParam()) << " state " << in << " variant "
+          << variant;
+    }
+  }
+}
+
+TEST_P(AllGasesTest, ExhaustiveSiteStatesThroughFullKernel) {
+  // A uniform lattice makes the gathered state equal the uniform value,
+  // so sweeping all 256 values pushes every table entry through the
+  // complete gather→mask→collide pipeline, not just the table.
+  const GasRule rule(GetParam());
+  const CollisionLut& lut = CollisionLut::get(GetParam());
+  const Extent e{6, 4};
+  for (int s = 0; s < 256; ++s) {
+    SiteLattice lat(e, Boundary::Periodic);
+    for (std::size_t i = 0; i < lat.site_count(); ++i)
+      lat[i] = static_cast<Site>(s);
+    for (std::int64_t t = 0; t < 2; ++t) {
+      const SiteLattice want = reference_next(lat, rule, t);
+      SiteLattice got(e, Boundary::Periodic);
+      lut.update_rows(got, lat, t, 0, e.height);
+      ASSERT_TRUE(got == want)
+          << kind_name(GetParam()) << " state " << s << " t " << t;
+    }
+  }
+}
+
+TEST_P(AllGasesTest, UpdateRowsMatchesReferenceBothBoundaries) {
+  const GasRule rule(GetParam());
+  const CollisionLut& lut = CollisionLut::get(GetParam());
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    const Extent e{13, 9};
+    SiteLattice lat(e, b);
+    add_obstacle_disk(lat, 6, 4, 2);
+    fill_random(lat, rule.model(), 0.35, 91, 0.2);
+    // Several generations so both chirality phases and both row
+    // parities see evolved (non-random-only) data.
+    for (std::int64_t t = 0; t < 6; ++t) {
+      const SiteLattice want = reference_next(lat, rule, t);
+      SiteLattice got(e, b);
+      lut.update_rows(got, lat, t, 0, e.height);
+      ASSERT_TRUE(got == want) << kind_name(GetParam()) << " t " << t;
+      lat = want;
+    }
+  }
+}
+
+TEST_P(AllGasesTest, PartialSpansComposeToFullRows) {
+  // Arbitrary span splits — including splits inside the fast interior
+  // and at the masked edge columns — must agree with whole-row updates.
+  const GasRule rule(GetParam());
+  const CollisionLut& lut = CollisionLut::get(GetParam());
+  const Extent e{17, 5};
+  SiteLattice lat(e, Boundary::Null);
+  fill_random(lat, rule.model(), 0.4, 12, 0.15);
+  const SiteLattice want = reference_next(lat, rule, 3);
+  SiteLattice got(e, Boundary::Null);
+  for (std::int64_t y = 0; y < e.height; ++y) {
+    lut.update_span(got, lat, 3, y, 0, 1);
+    lut.update_span(got, lat, 3, y, 1, 7);
+    lut.update_span(got, lat, 3, y, 7, 16);
+    lut.update_span(got, lat, 3, y, 16, 17);
+  }
+  EXPECT_TRUE(got == want);
+}
+
+TEST(CollisionLut, TryGetDetectsGasRulesOnly) {
+  const GasRule gas(GasKind::FHP_II);
+  EXPECT_EQ(CollisionLut::try_get(gas), &CollisionLut::get(GasKind::FHP_II));
+  const LifeRule life;
+  EXPECT_EQ(CollisionLut::try_get(life), nullptr);
+  const DiffusionRule diffusion;
+  EXPECT_EQ(CollisionLut::try_get(diffusion), nullptr);
+}
+
+class FusedRunTest : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Workers, FusedRunTest,
+                         ::testing::Values(1u, 2u, 7u));
+
+TEST_P(FusedRunTest, MatchesReferenceOnOddExtent) {
+  const unsigned threads = GetParam();
+  const GasRule rule(GasKind::FHP_II);
+  const CollisionLut& lut = CollisionLut::get(GasKind::FHP_II);
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    SiteLattice serial({63, 17}, b);
+    add_obstacle_disk(serial, 31, 8, 4);
+    fill_random(serial, rule.model(), 0.3, 33, 0.1);
+    SiteLattice fused = serial;
+
+    reference_run(serial, rule, 9, /*t0=*/2);
+    fused_gas_run(fused, lut, 9, /*t0=*/2, threads);
+    EXPECT_TRUE(serial == fused) << "threads " << threads;
+  }
+}
+
+TEST(FusedGasRun, MoreThreadsThanRowsIsFine) {
+  const GasRule rule(GasKind::FHP_III);
+  const CollisionLut& lut = CollisionLut::get(GasKind::FHP_III);
+  SiteLattice serial({16, 3}, Boundary::Periodic);
+  fill_random(serial, rule.model(), 0.4, 7, 0.2);
+  SiteLattice fused = serial;
+  reference_run(serial, rule, 5);
+  fused_gas_run(fused, lut, 5, 0, 64);
+  EXPECT_TRUE(serial == fused);
+}
+
+}  // namespace
+}  // namespace lattice::lgca

@@ -79,6 +79,86 @@ TEST_P(BackendTest, ConservesMassAndReportsUpdates) {
   EXPECT_EQ(e.report().site_updates, 32 * 24 * 5);
 }
 
+// ---- execution knobs: threads × fast_kernel ----
+//
+// Every (backend, threads, fast_kernel) combination must replay to the
+// same state the generic serial reference produces — the software
+// execution strategy is invisible in the physics.
+
+struct ExecCase {
+  Backend backend;
+  unsigned threads;
+  bool fast;
+};
+
+class ExecutionMatrixTest : public ::testing::TestWithParam<ExecCase> {};
+
+std::string exec_name(const ::testing::TestParamInfo<ExecCase>& info) {
+  const ExecCase& c = info.param;
+  std::string s;
+  switch (c.backend) {
+    case Backend::Reference: s = "Reference"; break;
+    case Backend::Wsa: s = "Wsa"; break;
+    case Backend::Spa: s = "Spa"; break;
+  }
+  s += "T" + std::to_string(c.threads);
+  s += c.fast ? "Fast" : "Generic";
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, ExecutionMatrixTest,
+    ::testing::Values(ExecCase{Backend::Reference, 1, false},
+                      ExecCase{Backend::Reference, 1, true},
+                      ExecCase{Backend::Reference, 2, false},
+                      ExecCase{Backend::Reference, 2, true},
+                      ExecCase{Backend::Reference, 7, true},
+                      ExecCase{Backend::Wsa, 1, true},
+                      ExecCase{Backend::Wsa, 7, true},
+                      ExecCase{Backend::Spa, 1, true},
+                      ExecCase{Backend::Spa, 2, false},
+                      ExecCase{Backend::Spa, 2, true},
+                      ExecCase{Backend::Spa, 7, true}),
+    exec_name);
+
+TEST_P(ExecutionMatrixTest, VerifiesAgainstReference) {
+  const ExecCase ec = GetParam();
+  LatticeEngine::Config c = base_config(ec.backend);
+  c.threads = ec.threads;
+  c.fast_kernel = ec.fast;
+  LatticeEngine e(c);
+  seed(e);
+  e.advance(10);
+  EXPECT_TRUE(e.verify_against_reference());
+}
+
+TEST_P(ExecutionMatrixTest, AgreesWithPlainSerialEngine) {
+  const ExecCase ec = GetParam();
+  LatticeEngine::Config c = base_config(ec.backend);
+  c.threads = ec.threads;
+  c.fast_kernel = ec.fast;
+  LatticeEngine e(c);
+  LatticeEngine::Config plain = base_config(Backend::Reference);
+  plain.fast_kernel = false;
+  LatticeEngine ref(plain);
+  seed(e);
+  seed(ref);
+  e.advance(7);
+  ref.advance(7);
+  EXPECT_TRUE(e.state() == ref.state());
+}
+
+TEST(Engine, ReportsMeasuredRateAfterAdvance) {
+  LatticeEngine e(base_config(Backend::Reference));
+  seed(e);
+  e.advance(20);
+  const PerformanceReport r = e.report();
+  EXPECT_GT(r.wall_seconds, 0);
+  EXPECT_GT(r.measured_rate, 0);
+  EXPECT_DOUBLE_EQ(r.measured_rate,
+                   static_cast<double>(r.site_updates) / r.wall_seconds);
+}
+
 TEST(Engine, CustomRuleBackendEquivalence) {
   const lgca::LifeRule life;
   LatticeEngine::Config c = base_config(Backend::Wsa);

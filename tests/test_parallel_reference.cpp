@@ -43,6 +43,22 @@ TEST_P(ThreadCountTest, MatchesSerialForLife) {
   EXPECT_TRUE(serial == parallel);
 }
 
+TEST_P(ThreadCountTest, MatchesSerialOnOddExtentBothBoundaries) {
+  // 63×17: odd width and height, so bands are ragged and row parity
+  // alternates across every band split.
+  const unsigned threads = GetParam();
+  const GasRule rule(GasKind::FHP_II);
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    SiteLattice serial({63, 17}, b);
+    fill_random(serial, rule.model(), 0.3, 41, 0.15);
+    SiteLattice parallel = serial;
+
+    reference_run(serial, rule, 9);
+    reference_run_parallel(parallel, rule, 9, threads);
+    EXPECT_TRUE(serial == parallel) << "threads " << threads;
+  }
+}
+
 TEST(ParallelReference, MoreThreadsThanRowsIsFine) {
   const GasRule rule(GasKind::HPP);
   SiteLattice serial({16, 3}, Boundary::Periodic);

@@ -1,0 +1,122 @@
+// ThreadPool: persistent workers behind two dispatch shapes — a task
+// bag (any task count, workers steal indices) and barrier-capable lanes
+// (exactly n concurrent executors). Both must cover the work exactly
+// once, survive exceptions, and be reusable back-to-back.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+#include "lattice/common/thread_pool.hpp"
+
+namespace lattice::common {
+namespace {
+
+TEST(ThreadPool, ForEachTaskCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_task(257, [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::int64_t sum = 0;
+  pool.for_each_task(10, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+  // Lanes degenerate to the caller alone.
+  int ran = 0;
+  pool.run_lanes(1, [&](unsigned lane) {
+    EXPECT_EQ(lane, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, TasksMayOutnumberWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::int64_t> sum{0};
+  pool.for_each_task(1000, [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPool, LanesRunTrulyConcurrently) {
+  // Every lane must pass the same barrier: if the pool serialized them,
+  // this would deadlock (and the test would time out).
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.max_lanes(), 4u);
+  std::barrier<> sync(4);
+  std::atomic<int> ran{0};
+  std::atomic<unsigned> lane_mask{0};
+  pool.run_lanes(4, [&](unsigned lane) {
+    sync.arrive_and_wait();
+    ran.fetch_add(1);
+    lane_mask.fetch_or(1u << lane);
+    sync.arrive_and_wait();
+  });
+  EXPECT_EQ(ran.load(), 4);
+  EXPECT_EQ(lane_mask.load(), 0b1111u);
+}
+
+TEST(ThreadPool, RejectsMoreLanesThanCanRunConcurrently) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_lanes(4, [](unsigned) {}), Error);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_each_task(64,
+                                  [](std::int64_t i) {
+                                    if (i == 40) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+               std::runtime_error);
+  std::atomic<int> n{0};
+  pool.for_each_task(8, [&](std::int64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, LaneExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_lanes(3,
+                              [](unsigned lane) {
+                                if (lane == 2) {
+                                  throw std::runtime_error("lane boom");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.for_each_task(17, [&](std::int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50 * 17);
+}
+
+TEST(ThreadPool, SharedPoolSupportsEightLanes) {
+  // The SPA bench runs 8 wavefront lanes on the shared pool; the pool
+  // guarantees that many regardless of the host's core count.
+  EXPECT_GE(ThreadPool::shared().max_lanes(), 8u);
+  std::atomic<int> ran{0};
+  ThreadPool::shared().run_lanes(8, [&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace
+}  // namespace lattice::common
