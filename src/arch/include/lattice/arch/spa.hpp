@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "lattice/arch/technology.hpp"
+#include "lattice/fault/fault.hpp"
 #include "lattice/lgca/lattice.hpp"
 
 namespace lattice::arch {
@@ -70,9 +71,17 @@ class SpaMachine {
   /// divide the lattice width) and process `depth` generations per
   /// pass. `threads` selects the execution strategy (see file comment);
   /// `fast_kernel` opts gas rules into the fused CollisionLut path.
+  ///
+  /// A non-null *armed* `fault` forces the cycle-exact strategy (the
+  /// simulated slice buffers and side channels only exist there), arms
+  /// per-stage parity shadows, side-channel link checks, stuck-at masks
+  /// for (depth, slice) lanes, and the per-depth conservation audit.
+  /// Slices the injector has remapped (stuck chips taken out of the
+  /// datapath) charge one extra slice-stream of ticks per pass — the
+  /// surviving neighbor streams the failed slice's columns serially.
   SpaMachine(Extent extent, const lgca::Rule& rule, std::int64_t slice_width,
              int depth, std::int64_t t0 = 0, unsigned threads = 1,
-             bool fast_kernel = false);
+             bool fast_kernel = false, fault::FaultInjector* fault = nullptr);
 
   /// One pass: the lattice advanced by `depth` generations.
   lgca::SiteLattice run(const lgca::SiteLattice& in);
@@ -98,6 +107,7 @@ class SpaMachine {
   std::int64_t t0_;
   unsigned threads_;
   bool fast_kernel_;
+  fault::FaultInjector* fault_ = nullptr;
   SpaStats stats_;
 };
 

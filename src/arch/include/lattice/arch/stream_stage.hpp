@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lattice/fault/fault.hpp"
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/lattice.hpp"
 
@@ -34,9 +35,18 @@ class StreamStage {
   /// `lut` routes updates through the fused gather–collide kernel
   /// (same ring, same masking, no Window build, no virtual dispatch);
   /// callers pass CollisionLut::try_get(rule) or nullptr.
+  ///
+  /// A non-null `fault` arms fault injection and online detection: the
+  /// shift register grows a per-word parity shadow (written from the
+  /// true bus value, checked on every window read), the stage keeps a
+  /// particle-conservation ledger (gas rules only), and emitted words
+  /// pass through the injector's stuck-at masks for
+  /// (`stage_index`, PE lane). The fault-free path is untouched beyond
+  /// one predictable null-pointer branch per buffer access.
   StreamStage(Extent extent, const lgca::Rule& rule, std::int64_t t,
               int batch, std::int64_t lead_padding = 0,
-              const lgca::CollisionLut* lut = nullptr);
+              const lgca::CollisionLut* lut = nullptr,
+              fault::FaultInjector* fault = nullptr, int stage_index = 0);
 
   /// Consume `batch` input sites, produce `batch` output sites.
   /// Outputs at logical positions outside [0, area) are zeros.
@@ -54,9 +64,15 @@ class StreamStage {
   /// Total ticks consumed so far.
   std::int64_t ticks() const noexcept { return ticks_; }
 
+  /// Conservation ledger for this stage's pass (valid only when a
+  /// fault injector is attached and the rule is a gas).
+  const fault::StageAudit& audit() const noexcept { return audit_; }
+
  private:
   lgca::Site stream_value(std::int64_t pos) const noexcept;
   lgca::Site update_at(std::int64_t pos) const;
+  lgca::Site store_guarded(std::int64_t pos, std::size_t idx, lgca::Site v);
+  lgca::Site emit_guarded(std::int64_t pos, int lane, lgca::Site u);
 
   Extent extent_;
   const lgca::Rule* rule_;
@@ -67,6 +83,16 @@ class StreamStage {
   std::int64_t next_in_;  // logical position of the next input site
   std::int64_t ticks_ = 0;
   std::vector<lgca::Site> ring_;
+
+  // Fault machinery; inert (and meta_ unallocated) when fault_ is null.
+  fault::FaultInjector* fault_ = nullptr;
+  int stage_index_ = 0;
+  lgca::Topology topo_ = lgca::Topology::Hex6;
+  fault::StageAudit audit_;
+  /// Parity shadow of the shift register: bit 0 = parity of the word
+  /// the bus delivered, bit 1 = mismatch already reported. Mutable
+  /// because detection happens on (const) window reads.
+  mutable std::vector<std::uint8_t> meta_;
 };
 
 }  // namespace lattice::arch

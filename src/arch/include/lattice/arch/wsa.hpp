@@ -41,8 +41,12 @@ class WsaPipeline {
   /// `depth` chips (= generations per pass), `width` PEs per chip.
   /// `fast_kernel` opts gas rules into the fused CollisionLut gather
   /// inside every stage (identical output; non-gas rules ignore it).
+  /// A non-null `fault` arms injection and online detection in every
+  /// stage (see StreamStage) and enables the pipeline-level
+  /// particle-conservation checks at the end of each run.
   WsaPipeline(Extent extent, const lgca::Rule& rule, int depth, int width,
-              std::int64_t t0 = 0, bool fast_kernel = false);
+              std::int64_t t0 = 0, bool fast_kernel = false,
+              fault::FaultInjector* fault = nullptr);
 
   /// Stream `in` (which must use null boundaries) through the pipeline
   /// and return the lattice advanced by `depth` generations.
@@ -68,6 +72,7 @@ class WsaPipeline {
   int depth_;
   int width_;
   std::int64_t t0_;
+  fault::FaultInjector* fault_ = nullptr;
   PipelineStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <bit>
 #include <functional>
 #include <utility>
 
@@ -18,7 +19,9 @@ class SliceStage {
  public:
   SliceStage(Extent slice_extent, std::int64_t slice_x0,
              std::int64_t lattice_width, const lgca::Rule& rule,
-             const lgca::CollisionLut* lut, std::int64_t t, std::int64_t lead)
+             const lgca::CollisionLut* lut, std::int64_t t, std::int64_t lead,
+             fault::FaultInjector* fault = nullptr, int stage_id = 0,
+             std::int64_t lane = 0)
       : extent_(slice_extent),
         x0_(slice_x0),
         lattice_width_(lattice_width),
@@ -27,7 +30,18 @@ class SliceStage {
         t_(t),
         delay_(extent_.width + 1),
         next_in_(-lead),
-        ring_(static_cast<std::size_t>(2 * extent_.width + 6), 0) {}
+        ring_(static_cast<std::size_t>(2 * extent_.width + 6), 0),
+        fault_(fault),
+        stage_id_(stage_id),
+        lane_(lane) {
+    if (fault_ != nullptr) {
+      meta_.assign(ring_.size(), 0);
+      // Conservation is only defined for gases; generic rules rely on
+      // the parity and side-channel detectors alone.
+      audit_.valid = lut_ != nullptr;
+      if (lut_ != nullptr) topo_ = lut_->model().topology();
+    }
+  }
 
   std::int64_t delay() const noexcept { return delay_; }
   std::int64_t newest() const noexcept { return next_in_ - 1; }
@@ -50,24 +64,91 @@ class SliceStage {
     LATTICE_ASSERT(newest() - pos <
                        static_cast<std::int64_t>(ring_.size()),
                    "SPA side channel read of expired data");
-    return ring_[index(pos)];
+    const std::size_t idx = index(pos);
+    const lgca::Site v = ring_[idx];
+    if (fault_ != nullptr) {
+      // The parity shadow was written from the true stream value; a
+      // mismatch means the slice buffer decayed underneath us.
+      std::uint8_t& m = meta_[idx];
+      if (((std::popcount(static_cast<unsigned>(v)) ^ m) & 1) != 0 &&
+          (m & 2) == 0) {
+        m |= 2;  // report each corrupted word once
+        fault_->report_parity_error();
+      }
+    }
+    return v;
   }
+
+  /// Conservation ledger for this stage's pass (valid only when a
+  /// fault injector is attached and the rule is a gas).
+  const fault::StageAudit& audit() const noexcept { return audit_; }
 
   /// Consume one input site, emit one output site (zero when the
   /// output position falls outside the slice).
   lgca::Site tick(lgca::Site in, SpaStats& stats) {
+    if (fault_ != nullptr) in = store_guarded(in);
     ring_[index(next_in_)] = in;
     ++next_in_;
     const std::int64_t pos = next_in_ - 1 - delay_;
     if (pos < 0 || pos >= extent_.area()) return 0;
-    return lut_ != nullptr ? update_at_fused(pos, stats)
-                           : update_at(pos, stats);
+    lgca::Site u = lut_ != nullptr ? update_at_fused(pos, stats)
+                                   : update_at(pos, stats);
+    if (fault_ != nullptr) u = emit_guarded(u);
+    return u;
   }
 
  private:
   std::size_t index(std::int64_t pos) const noexcept {
     const auto cap = static_cast<std::int64_t>(ring_.size());
     return static_cast<std::size_t>(((pos % cap) + cap) % cap);
+  }
+
+  /// Ledger + transient corruption + parity shadow for the word being
+  /// stored at logical position next_in_. Keys and the outflow audit
+  /// use *global* lattice coordinates so draws are unique across
+  /// slices and cross-slice streaming cancels in the per-depth
+  /// aggregate.
+  lgca::Site store_guarded(lgca::Site v) {
+    lgca::Site stored = v;
+    const std::int64_t pos = next_in_;
+    if (pos >= 0 && pos < extent_.area()) {
+      const std::int64_t gx = x0_ + pos % extent_.width;
+      const std::int64_t gy = pos / extent_.width;
+      if (audit_.valid) {
+        audit_.in_mass += lgca::particle_count(v);
+        audit_.in_obstacles += lgca::is_obstacle(v) ? 1 : 0;
+        audit_.outflow += fault::site_outflow(
+            v, {gx, gy}, Extent{lattice_width_, extent_.height}, topo_);
+      }
+      stored = fault_->corrupt_stored(t_, gy * lattice_width_ + gx, v);
+    }
+    meta_[index(pos)] = static_cast<std::uint8_t>(
+        std::popcount(static_cast<unsigned>(v)) & 1);
+    return stored;
+  }
+
+  /// Stuck-at masks for this (depth, slice) chip plus the output side
+  /// of the conservation ledger.
+  lgca::Site emit_guarded(lgca::Site u) {
+    if (fault_->has_stuck()) u = fault_->apply_stuck(stage_id_, lane_, u);
+    if (audit_.valid) {
+      audit_.out_mass += lgca::particle_count(u);
+      audit_.out_obstacles += lgca::is_obstacle(u) ? 1 : 0;
+    }
+    return u;
+  }
+
+  /// A word arriving over a side channel, keyed by the *source* site's
+  /// global position and the link it crossed, so re-reads of the same
+  /// boundary word see the same (possibly corrupted) latched value.
+  /// The links carry parity and framing, so any altered word is
+  /// detected with certainty.
+  lgca::Site side_guarded(lgca::Site v, std::int64_t src_gpos,
+                          bool from_right) const {
+    const lgca::Site got = fault_->corrupt_side_word(
+        t_, src_gpos * 2 + (from_right ? 1 : 0), v);
+    if (got != v) fault_->report_side_error();
+    return got;
   }
 
   /// Window cell at slice-local (x + dx, y + dy), with the same
@@ -85,11 +166,19 @@ class SliceStage {
     if (lx < 0) {
       LATTICE_ASSERT(left_ != nullptr, "missing left slice");
       ++stats.boundary_fetches;
-      return left_->peek(ny * w + (w - 1));
+      lgca::Site v = left_->peek(ny * w + (w - 1));
+      if (fault_ != nullptr) {
+        v = side_guarded(v, ny * lattice_width_ + (x0_ - 1), false);
+      }
+      return v;
     }
     LATTICE_ASSERT(right_ != nullptr, "missing right slice");
     ++stats.boundary_fetches;
-    return right_->peek(ny * w + 0);
+    lgca::Site v = right_->peek(ny * w + 0);
+    if (fault_ != nullptr) {
+      v = side_guarded(v, ny * lattice_width_ + (x0_ + w), true);
+    }
+    return v;
   }
 
   lgca::Site update_at(std::int64_t pos, SpaStats& stats) const {
@@ -154,13 +243,25 @@ class SliceStage {
   std::vector<lgca::Site> ring_;
   SliceStage* left_ = nullptr;
   SliceStage* right_ = nullptr;
+
+  // Fault machinery; inert (and meta_ unallocated) when fault_ is null.
+  fault::FaultInjector* fault_ = nullptr;
+  int stage_id_ = 0;
+  std::int64_t lane_ = 0;
+  lgca::Topology topo_ = lgca::Topology::Hex6;
+  fault::StageAudit audit_;
+  /// Parity shadow of the slice buffer: bit 0 = parity of the word the
+  /// stream delivered, bit 1 = mismatch already reported. Mutable
+  /// because detection happens on (const) peeks.
+  mutable std::vector<std::uint8_t> meta_;
 };
 
 }  // namespace
 
 SpaMachine::SpaMachine(Extent extent, const lgca::Rule& rule,
                        std::int64_t slice_width, int depth, std::int64_t t0,
-                       unsigned threads, bool fast_kernel)
+                       unsigned threads, bool fast_kernel,
+                       fault::FaultInjector* fault)
     : extent_(extent),
       rule_(&rule),
       slice_width_(slice_width),
@@ -168,7 +269,8 @@ SpaMachine::SpaMachine(Extent extent, const lgca::Rule& rule,
       depth_(depth),
       t0_(t0),
       threads_(threads),
-      fast_kernel_(fast_kernel) {
+      fast_kernel_(fast_kernel),
+      fault_(fault) {
   LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
                   "SPA extent must be positive");
   LATTICE_REQUIRE(slice_width >= 2, "SPA slice width must be >= 2");
@@ -183,7 +285,19 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
   LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
   LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
                   "SPA streams null-boundary lattices only");
-  return threads_ >= 2 ? run_parallel(in) : run_cycle_exact(in);
+  // Armed runs must exercise the simulated slice buffers and side
+  // channels, which only exist in the cycle-exact walk.
+  const bool faulty = fault_ != nullptr && fault_->armed();
+  lgca::SiteLattice out = (threads_ >= 2 && !faulty) ? run_parallel(in)
+                                                     : run_cycle_exact(in);
+  if (fault_ != nullptr && fault_->remapped_lanes() > 0) {
+    // A remapped slice's columns are re-streamed serially by a
+    // surviving neighbor pipeline: one extra slice-stream per removed
+    // chip per pass — the tick price of graceful degradation.
+    stats_.ticks += static_cast<std::int64_t>(fault_->remapped_lanes()) *
+                    slice_width_ * extent_.height;
+  }
+  return out;
 }
 
 lgca::SiteLattice SpaMachine::run_cycle_exact(const lgca::SiteLattice& in) {
@@ -203,7 +317,7 @@ lgca::SiteLattice SpaMachine::run_cycle_exact(const lgca::SiteLattice& in) {
     for (int d = 0; d < depth_; ++d) {
       chain.emplace_back(slice_extent, j * slice_width_, extent_.width,
                          *rule_, lut, t0_ + d,
-                         j * slice_width_ + d * stage_delay);
+                         j * slice_width_ + d * stage_delay, fault_, d, j);
     }
   }
   for (std::int64_t j = 0; j < slices_; ++j) {
@@ -261,6 +375,35 @@ lgca::SiteLattice SpaMachine::run_cycle_exact(const lgca::SiteLattice& in) {
   stats_.buffer_sites = 0;
   for (const auto& chain : stages)
     for (const SliceStage& s : chain) stats_.buffer_sites += s.buffer_sites();
+
+  // Online conservation audit (gas rules only). Per slice the ledger
+  // does not balance — side channels carry particles between slices —
+  // but aggregated over all slices of one depth, the emitted stream
+  // must hold exactly the particles stored minus the exactly-predicted
+  // edge outflow, the stored stream must match the upstream emission,
+  // and obstacle geometry is static.
+  if (fault_ != nullptr && lut != nullptr) {
+    std::int64_t link_mass = 0;
+    std::int64_t link_obs = 0;
+    for (std::int64_t p = 0; p < extent_.area(); ++p) {
+      const lgca::Site v = in[static_cast<std::size_t>(p)];
+      link_mass += lgca::particle_count(v);
+      link_obs += lgca::is_obstacle(v) ? 1 : 0;
+    }
+    for (int d = 0; d < depth_; ++d) {
+      fault::StageAudit agg;
+      for (std::int64_t j = 0; j < slices_; ++j) {
+        agg += stages[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)]
+                   .audit();
+      }
+      if (agg.in_mass != link_mass || agg.in_obstacles != link_obs) {
+        fault_->report_conservation_error();
+      }
+      if (!agg.balanced()) fault_->report_conservation_error();
+      link_mass = agg.out_mass;
+      link_obs = agg.out_obstacles;
+    }
+  }
   return out;
 }
 

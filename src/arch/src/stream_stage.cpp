@@ -1,5 +1,7 @@
 #include "lattice/arch/stream_stage.hpp"
 
+#include <bit>
+
 namespace lattice::arch {
 
 namespace {
@@ -11,7 +13,8 @@ constexpr std::int64_t round_up(std::int64_t v, std::int64_t m) {
 StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
                          std::int64_t t, int batch,
                          std::int64_t lead_padding,
-                         const lgca::CollisionLut* lut)
+                         const lgca::CollisionLut* lut,
+                         fault::FaultInjector* fault, int stage_index)
     : extent_(extent),
       rule_(&rule),
       lut_(lut),
@@ -20,7 +23,9 @@ StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
       // batch is validated below; clamp here so the computation in the
       // initializer list cannot divide by zero first.
       delay_(round_up(extent.width + 1, batch > 0 ? batch : 1)),
-      next_in_(-lead_padding) {
+      next_in_(-lead_padding),
+      fault_(fault),
+      stage_index_(stage_index) {
   LATTICE_REQUIRE(extent.width > 0 && extent.height > 0,
                   "StreamStage extent must be positive");
   LATTICE_REQUIRE(batch >= 1 && batch <= extent.width,
@@ -28,12 +33,59 @@ StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
   LATTICE_REQUIRE(lead_padding >= 0, "lead padding must be >= 0");
   // Window reach: W+1 behind the oldest center plus the delay in front.
   ring_.assign(static_cast<std::size_t>(delay_ + 2 * extent.width + 4), 0);
+  if (fault_ != nullptr) {
+    meta_.assign(ring_.size(), 0);
+    // Conservation is only defined for gases (collisions conserve
+    // particles); generic rules fall back to parity detection alone.
+    audit_.valid = lut_ != nullptr;
+    if (lut_ != nullptr) topo_ = lut_->model().topology();
+  }
 }
 
 lgca::Site StreamStage::stream_value(std::int64_t pos) const noexcept {
   const auto cap = static_cast<std::int64_t>(ring_.size());
   const std::int64_t idx = ((pos % cap) + cap) % cap;
-  return ring_[static_cast<std::size_t>(idx)];
+  const lgca::Site v = ring_[static_cast<std::size_t>(idx)];
+  if (fault_ != nullptr) {
+    // The word travels with the parity bit written from the true bus
+    // value; a mismatch means the shift register decayed underneath us.
+    std::uint8_t& m = meta_[static_cast<std::size_t>(idx)];
+    if (((std::popcount(static_cast<unsigned>(v)) ^ m) & 1) != 0 &&
+        (m & 2) == 0) {
+      m |= 2;  // report each corrupted word once
+      fault_->report_parity_error();
+    }
+  }
+  return v;
+}
+
+lgca::Site StreamStage::store_guarded(std::int64_t pos, std::size_t idx,
+                                      lgca::Site v) {
+  lgca::Site stored = v;
+  if (pos >= 0 && pos < extent_.area()) {
+    if (audit_.valid) {
+      const std::int64_t w = extent_.width;
+      audit_.in_mass += lgca::particle_count(v);
+      audit_.in_obstacles += lgca::is_obstacle(v) ? 1 : 0;
+      audit_.outflow +=
+          fault::site_outflow(v, {pos % w, pos / w}, extent_, topo_);
+    }
+    stored = fault_->corrupt_stored(t_, pos, v);
+  }
+  meta_[idx] = static_cast<std::uint8_t>(
+      std::popcount(static_cast<unsigned>(v)) & 1);
+  return stored;
+}
+
+lgca::Site StreamStage::emit_guarded(std::int64_t pos, int lane,
+                                     lgca::Site u) {
+  (void)pos;
+  if (fault_->has_stuck()) u = fault_->apply_stuck(stage_index_, lane, u);
+  if (audit_.valid) {
+    audit_.out_mass += lgca::particle_count(u);
+    audit_.out_obstacles += lgca::is_obstacle(u) ? 1 : 0;
+  }
+  return u;
 }
 
 lgca::Site StreamStage::update_at(std::int64_t pos) const {
@@ -79,8 +131,10 @@ void StreamStage::tick(const lgca::Site* in, lgca::Site* out) {
   const auto cap = static_cast<std::int64_t>(ring_.size());
   for (int b = 0; b < batch_; ++b) {
     const std::int64_t pos = next_in_ + b;
-    const std::int64_t idx = ((pos % cap) + cap) % cap;
-    ring_[static_cast<std::size_t>(idx)] = in[b];
+    const auto idx = static_cast<std::size_t>(((pos % cap) + cap) % cap);
+    lgca::Site v = in[b];
+    if (fault_ != nullptr) v = store_guarded(pos, idx, v);
+    ring_[idx] = v;
   }
   next_in_ += batch_;
   ++ticks_;
@@ -88,7 +142,12 @@ void StreamStage::tick(const lgca::Site* in, lgca::Site* out) {
   const std::int64_t area = extent_.area();
   for (int b = 0; b < batch_; ++b) {
     const std::int64_t pos = next_in_ - batch_ + b - delay_;
-    out[b] = (pos >= 0 && pos < area) ? update_at(pos) : lgca::Site{0};
+    lgca::Site u = 0;
+    if (pos >= 0 && pos < area) {
+      u = update_at(pos);
+      if (fault_ != nullptr) u = emit_guarded(pos, b, u);
+    }
+    out[b] = u;
   }
 }
 

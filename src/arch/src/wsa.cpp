@@ -3,13 +3,15 @@
 namespace lattice::arch {
 
 WsaPipeline::WsaPipeline(Extent extent, const lgca::Rule& rule, int depth,
-                         int width, std::int64_t t0, bool fast_kernel)
+                         int width, std::int64_t t0, bool fast_kernel,
+                         fault::FaultInjector* fault)
     : extent_(extent),
       rule_(&rule),
       lut_(fast_kernel ? lgca::CollisionLut::try_get(rule) : nullptr),
       depth_(depth),
       width_(width),
-      t0_(t0) {
+      t0_(t0),
+      fault_(fault) {
   LATTICE_REQUIRE(depth >= 1, "WSA pipeline needs at least one stage");
   LATTICE_REQUIRE(width >= 1, "WSA stage width (P) must be >= 1");
 }
@@ -25,7 +27,8 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   stages.reserve(static_cast<std::size_t>(depth_));
   std::int64_t lead = 0;
   for (int s = 0; s < depth_; ++s) {
-    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead, lut_);
+    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead, lut_, fault_,
+                        s);
     lead += stages.back().delay();
   }
 
@@ -72,6 +75,29 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   stats_.site_updates += area * depth_;
   stats_.buffer_sites = 0;
   for (const StreamStage& s : stages) stats_.buffer_sites += s.buffer_sites();
+
+  // Online conservation audit (gas rules only): each stage is one
+  // generation, so its emitted stream must carry exactly the particles
+  // it received minus the exactly-predicted edge outflow, its input
+  // must match the upstream emission, and obstacle geometry is static.
+  if (fault_ != nullptr && lut_ != nullptr) {
+    std::int64_t link_mass = 0;
+    std::int64_t link_obs = 0;
+    for (std::int64_t p = 0; p < area; ++p) {
+      const lgca::Site v = in[static_cast<std::size_t>(p)];
+      link_mass += lgca::particle_count(v);
+      link_obs += lgca::is_obstacle(v) ? 1 : 0;
+    }
+    for (const StreamStage& s : stages) {
+      const fault::StageAudit& a = s.audit();
+      if (a.in_mass != link_mass || a.in_obstacles != link_obs) {
+        fault_->report_conservation_error();
+      }
+      if (!a.balanced()) fault_->report_conservation_error();
+      link_mass = a.out_mass;
+      link_obs = a.out_obstacles;
+    }
+  }
   return out;
 }
 
@@ -83,7 +109,7 @@ lgca::SiteLattice WsaPipeline::run_passes(const lgca::SiteLattice& in,
     // Each pass advances depth_ generations; rebuild with advanced t0.
     WsaPipeline pass(extent_, *rule_, depth_, width_,
                      t0_ + static_cast<std::int64_t>(p) * depth_,
-                     lut_ != nullptr);
+                     lut_ != nullptr, fault_);
     cur = pass.run(cur);
     stats_.ticks += pass.stats_.ticks;
     stats_.site_updates += pass.stats_.site_updates;

@@ -15,7 +15,11 @@
 //
 // Workers are spawned once and parked on a condition variable between
 // jobs. Exceptions thrown by a task/lane are captured and the first one
-// is rethrown on the submitting thread. Submissions are serialized: the
+// is rethrown on the submitting thread; a throwing *task* additionally
+// cancels the unclaimed remainder of the bag (tasks already running
+// finish), so a failing for_each_task returns promptly and the pool
+// stays usable. Lanes are never cancelled — they may be blocked on a
+// barrier every lane must reach. Submissions are serialized: the
 // pool runs one job at a time (nested submission from inside a task
 // would deadlock — don't).
 

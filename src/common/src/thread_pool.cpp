@@ -49,6 +49,13 @@ void ThreadPool::worker_loop(unsigned index) {
       }
     } catch (...) {
       err = std::current_exception();
+      // Cancel the rest of the bag: unclaimed tasks are abandoned so
+      // the job fails fast instead of running to completion around the
+      // error. (Lanes can't be cancelled — they may be blocked on a
+      // barrier that every lane must reach.)
+      if (task_fn != nullptr) {
+        next_task_.store(total, std::memory_order_relaxed);
+      }
     }
 
     lk.lock();
@@ -89,6 +96,9 @@ void ThreadPool::dispatch(const std::function<void(std::int64_t)>* task_fn,
     }
   } catch (...) {
     err = std::current_exception();
+    if (task_fn != nullptr) {
+      next_task_.store(tasks, std::memory_order_relaxed);
+    }
   }
 
   std::unique_lock<std::mutex> lk(mu_);

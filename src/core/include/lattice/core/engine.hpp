@@ -28,6 +28,7 @@
 #include "lattice/arch/spa.hpp"
 #include "lattice/arch/technology.hpp"
 #include "lattice/arch/wsa.hpp"
+#include "lattice/fault/fault.hpp"
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/lattice.hpp"
@@ -60,6 +61,32 @@ struct PerformanceReport {
   /// Hong–Kung ceiling for this (B, S, d=2): R ≤ B·2τ(2S), in
   /// updates/s. The modeled rate must sit below it.
   double pebbling_rate_ceiling = 0;
+
+  // ---- robustness (all zero unless a fault plan was armed) ----
+
+  std::int64_t faults_injected = 0;   // words altered by the injector
+  std::int64_t faults_detected = 0;   // parity + link + conservation hits
+  /// Detected faults whose effects were discarded by a rollback — the
+  /// corruption never reached a committed generation.
+  std::int64_t faults_corrected = 0;
+  std::int64_t rollbacks = 0;         // passes discarded and re-run
+  std::int64_t checkpoints = 0;       // state snapshots taken
+  int remapped_slices = 0;            // stuck SPA chips taken out of service
+  double checkpoint_seconds = 0;      // wall-clock spent snapshotting
+  /// Useful work only: generation × area. site_updates also counts
+  /// work that was later rolled back and redone.
+  std::int64_t committed_updates = 0;
+  /// Update rates over committed work — what the machine delivers
+  /// *through* faults, rollbacks, and degradation. Equal to
+  /// modeled_rate / measured_rate on a fault-free run.
+  double effective_rate = 0;          // committed/tick at tech.clock_hz
+  double effective_measured_rate = 0; // committed / wall_seconds
+};
+
+/// A resumable engine snapshot (see LatticeEngine::checkpoint).
+struct EngineCheckpoint {
+  lgca::SiteLattice state;
+  std::int64_t generation = 0;
 };
 
 class LatticeEngine {
@@ -83,12 +110,47 @@ class LatticeEngine {
     /// path). On by default — output is bit-identical either way.
     bool fast_kernel = true;
     arch::Technology tech = arch::Technology::paper1987();
+
+    /// Fault scenario for the hardware backends (WSA / SPA only —
+    /// injection lives in the simulated buffers and links). Fault-free
+    /// by default; an armed plan turns advance() into the guarded
+    /// checkpoint/rollback loop below.
+    fault::FaultPlan fault;
+    /// Snapshot the state every this many committed generations; a
+    /// detected fault rolls back to the last snapshot and re-runs.
+    /// 0 = one checkpoint per pass (pipeline_depth generations).
+    std::int64_t checkpoint_interval = 0;
+    /// Consecutive failed retries tolerated before the engine degrades
+    /// (SPA with stuck chips: remap them) or throws CorruptionError.
+    int max_retries = 3;
   };
 
   explicit LatticeEngine(Config config);
 
   /// Advance the lattice `generations` steps on the configured backend.
+  ///
+  /// With an armed fault plan this is the guarded loop: snapshot every
+  /// checkpoint_interval generations, run each pass under the online
+  /// detectors, and on any detection discard the pass, restore the last
+  /// snapshot, bump the injector epoch (so transients redraw) and
+  /// re-run. After max_retries consecutive failures the engine remaps
+  /// stuck SPA chips out of the datapath if it can, and otherwise
+  /// throws fault::CorruptionError.
   void advance(std::int64_t generations);
+
+  /// Snapshot the current state and generation for later restore().
+  EngineCheckpoint checkpoint() const { return {state_, generation_}; }
+
+  /// Resume from a snapshot taken on a compatibly-configured engine
+  /// (same extent and boundary). verify_against_reference() stays
+  /// meaningful only for checkpoints from this engine's own history.
+  void restore(const EngineCheckpoint& ckpt);
+
+  /// Injector counters so far (all zero when no fault plan is armed).
+  fault::FaultCounters fault_counters() const noexcept {
+    return injector_ != nullptr ? injector_->counters()
+                                : fault::FaultCounters{};
+  }
 
   /// Current lattice state (mutable, e.g. for initialization).
   lgca::SiteLattice& state() noexcept { return state_; }
@@ -106,6 +168,9 @@ class LatticeEngine {
   bool verify_against_reference() const;
 
  private:
+  void run_pass(int chunk);
+  void advance_guarded(std::int64_t generations);
+
   Config config_;
   std::unique_ptr<lgca::GasRule> owned_rule_;
   const lgca::Rule* rule_;
@@ -120,6 +185,13 @@ class LatticeEngine {
   std::int64_t site_updates_ = 0;
   std::int64_t buffer_sites_ = 0;
   double wall_seconds_ = 0;
+
+  // recovery machinery; null/zero when the fault plan is unarmed
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::int64_t rollbacks_ = 0;
+  std::int64_t checkpoints_ = 0;
+  std::int64_t faults_corrected_ = 0;
+  double checkpoint_seconds_ = 0;
 };
 
 /// Pick a slice width that divides `width` and is as close as possible

@@ -49,12 +49,62 @@ LatticeEngine::LatticeEngine(Config config)
     config_.spa_slice_width =
         pick_spa_slice_width(config_.tech, config_.extent.width);
   }
+  LATTICE_REQUIRE(config_.checkpoint_interval >= 0,
+                  "checkpoint interval must be >= 0");
+  LATTICE_REQUIRE(config_.max_retries >= 0, "max retries must be >= 0");
+  if (config_.fault.armed()) {
+    LATTICE_REQUIRE(config_.backend != Backend::Reference,
+                    "fault injection targets the hardware backends; the "
+                    "reference updater has no simulated buffers to corrupt");
+    injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
+    if (config_.checkpoint_interval == 0) {
+      config_.checkpoint_interval = config_.pipeline_depth;
+    }
+  }
 }
 
 const lgca::GasModel& LatticeEngine::gas_model() const {
   LATTICE_REQUIRE(owned_rule_ != nullptr,
                   "engine was configured with a custom rule, not a gas");
   return owned_rule_->model();
+}
+
+void LatticeEngine::run_pass(int chunk) {
+  switch (config_.backend) {
+    case Backend::Reference: {
+      if (lut_ != nullptr) {
+        lgca::fused_gas_run(state_, *lut_, chunk, generation_,
+                            config_.threads);
+      } else if (config_.threads > 1) {
+        lgca::reference_run_parallel(state_, *rule_, chunk, config_.threads,
+                                     generation_);
+      } else {
+        lgca::reference_run(state_, *rule_, chunk, generation_);
+      }
+      site_updates_ += state_.extent().area() * chunk;
+      break;
+    }
+    case Backend::Wsa: {
+      arch::WsaPipeline pipe(state_.extent(), *rule_, chunk,
+                             config_.wsa_width, generation_, lut_ != nullptr,
+                             injector_.get());
+      state_ = pipe.run(state_);
+      ticks_ += pipe.stats().ticks;
+      site_updates_ += pipe.stats().site_updates;
+      buffer_sites_ = pipe.stats().buffer_sites;
+      break;
+    }
+    case Backend::Spa: {
+      arch::SpaMachine spa(state_.extent(), *rule_, config_.spa_slice_width,
+                           chunk, generation_, config_.threads,
+                           lut_ != nullptr, injector_.get());
+      state_ = spa.run(state_);
+      ticks_ += spa.stats().ticks;
+      site_updates_ += spa.stats().site_updates;
+      buffer_sites_ = spa.stats().buffer_sites;
+      break;
+    }
+  }
 }
 
 void LatticeEngine::advance(std::int64_t generations) {
@@ -64,51 +114,91 @@ void LatticeEngine::advance(std::int64_t generations) {
     initial_captured_ = true;
   }
   const auto start = std::chrono::steady_clock::now();
-  std::int64_t left = generations;
-  while (left > 0) {
-    const int chunk = static_cast<int>(
-        std::min<std::int64_t>(left, config_.pipeline_depth));
-    switch (config_.backend) {
-      case Backend::Reference: {
-        if (lut_ != nullptr) {
-          lgca::fused_gas_run(state_, *lut_, chunk, generation_,
-                              config_.threads);
-        } else if (config_.threads > 1) {
-          lgca::reference_run_parallel(state_, *rule_, chunk, config_.threads,
-                                       generation_);
-        } else {
-          lgca::reference_run(state_, *rule_, chunk, generation_);
-        }
-        site_updates_ += state_.extent().area() * chunk;
-        break;
-      }
-      case Backend::Wsa: {
-        arch::WsaPipeline pipe(state_.extent(), *rule_, chunk,
-                               config_.wsa_width, generation_,
-                               lut_ != nullptr);
-        state_ = pipe.run(state_);
-        ticks_ += pipe.stats().ticks;
-        site_updates_ += pipe.stats().site_updates;
-        buffer_sites_ = pipe.stats().buffer_sites;
-        break;
-      }
-      case Backend::Spa: {
-        arch::SpaMachine spa(state_.extent(), *rule_,
-                             config_.spa_slice_width, chunk, generation_,
-                             config_.threads, lut_ != nullptr);
-        state_ = spa.run(state_);
-        ticks_ += spa.stats().ticks;
-        site_updates_ += spa.stats().site_updates;
-        buffer_sites_ = spa.stats().buffer_sites;
-        break;
-      }
+  if (injector_ != nullptr) {
+    advance_guarded(generations);
+  } else {
+    std::int64_t left = generations;
+    while (left > 0) {
+      const int chunk = static_cast<int>(
+          std::min<std::int64_t>(left, config_.pipeline_depth));
+      run_pass(chunk);
+      generation_ += chunk;
+      left -= chunk;
     }
-    generation_ += chunk;
-    left -= chunk;
   }
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+}
+
+// The guarded loop: every pass runs under the online detectors; any
+// detection discards the pass's output — the machine's time is spent
+// (ticks and site_updates keep counting, as the silicon would), but no
+// corrupted generation is ever committed. Re-execution is exact: the
+// injector's epoch is bumped so transient draws differ, while stuck
+// faults (persistent silicon) replay until remapped.
+void LatticeEngine::advance_guarded(std::int64_t generations) {
+  const std::int64_t target = generation_ + generations;
+  EngineCheckpoint ckpt{state_, generation_};
+  const auto snapshot = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    ckpt.state = state_;
+    ckpt.generation = generation_;
+    checkpoint_seconds_ += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    ++checkpoints_;
+  };
+  ++checkpoints_;  // the entry snapshot above
+  int attempts = 0;
+  while (generation_ < target) {
+    const int chunk = static_cast<int>(std::min<std::int64_t>(
+        target - generation_, config_.pipeline_depth));
+    const std::int64_t before = injector_->counters().detected();
+    run_pass(chunk);
+    const std::int64_t after = injector_->counters().detected();
+    if (after == before) {
+      generation_ += chunk;
+      attempts = 0;
+      if (generation_ - ckpt.generation >= config_.checkpoint_interval &&
+          generation_ < target) {
+        snapshot();
+      }
+      continue;
+    }
+    // A detector fired: everything since the last checkpoint is suspect.
+    ++rollbacks_;
+    faults_corrected_ += after - before;
+    state_ = ckpt.state;
+    generation_ = ckpt.generation;
+    injector_->bump_epoch();
+    if (++attempts > config_.max_retries) {
+      if (config_.backend == Backend::Spa && injector_->has_stuck()) {
+        // Graceful degradation: pull the stuck chips out of the
+        // datapath; surviving pipelines absorb their columns (the SPA
+        // charges the extra ticks) and the retry budget resets.
+        injector_->disable_stuck();
+        attempts = 0;
+        continue;
+      }
+      throw fault::CorruptionError(
+          "fault recovery failed at generation " +
+              std::to_string(generation_) + ": " +
+              std::to_string(config_.max_retries) +
+              " retries exhausted and no degradation path remains",
+          injector_->counters());
+    }
+  }
+}
+
+void LatticeEngine::restore(const EngineCheckpoint& ckpt) {
+  LATTICE_REQUIRE(ckpt.state.extent() == state_.extent(),
+                  "checkpoint extent does not match the engine");
+  LATTICE_REQUIRE(ckpt.state.boundary() == state_.boundary(),
+                  "checkpoint boundary mode does not match the engine");
+  LATTICE_REQUIRE(ckpt.generation >= 0, "checkpoint generation must be >= 0");
+  state_ = ckpt.state;
+  generation_ = ckpt.generation;
 }
 
 PerformanceReport LatticeEngine::report() const {
@@ -149,6 +239,30 @@ PerformanceReport LatticeEngine::report() const {
         r.bandwidth_bits_per_tick / d * config_.tech.clock_hz;
     r.pebbling_rate_ceiling = pebble::update_rate_upper(
         2, static_cast<double>(r.storage_sites), bw_sites);
+  }
+
+  // Robustness accounting. committed_updates counts only generations
+  // that survived the detectors; on a fault-free run it equals
+  // site_updates and the effective rates collapse onto the plain ones.
+  r.committed_updates = generation_ * state_.extent().area();
+  r.effective_rate = ticks_ > 0
+                         ? static_cast<double>(r.committed_updates) /
+                               static_cast<double>(ticks_) *
+                               config_.tech.clock_hz
+                         : 0.0;
+  r.effective_measured_rate =
+      wall_seconds_ > 0
+          ? static_cast<double>(r.committed_updates) / wall_seconds_
+          : 0.0;
+  if (injector_ != nullptr) {
+    const fault::FaultCounters& c = injector_->counters();
+    r.faults_injected = c.injected();
+    r.faults_detected = c.detected();
+    r.faults_corrected = faults_corrected_;
+    r.rollbacks = rollbacks_;
+    r.checkpoints = checkpoints_;
+    r.remapped_slices = injector_->remapped_lanes();
+    r.checkpoint_seconds = checkpoint_seconds_;
   }
   return r;
 }

@@ -1,0 +1,215 @@
+// Fault injection, online error detection, and recovery bookkeeping
+// for the architecture simulators.
+//
+// The paper's throughput analysis assumes perfect silicon; real lattice
+// machines suffer transient bit flips in the 2n−2-site line buffers,
+// stuck-at PE outputs, and corrupted words on the SPA side channels.
+// This module provides:
+//
+//   FaultPlan     — a seeded, deterministic description of the faults a
+//                   run should suffer. Fault-free by default; a plan is
+//                   "armed" only when some fault source is non-trivial.
+//   FaultInjector — the runtime realization: every injection decision
+//                   is a pure hash of (seed, epoch, generation, stream
+//                   position), so the same plan replays the same faults
+//                   and a rollback retry (which bumps the epoch) redraws
+//                   the transient ones. Counters record what was
+//                   injected and what the detectors caught.
+//   StageAudit    — the per-stage conservation ledger: LGCA collisions
+//                   conserve particles exactly, so a pipeline stage must
+//                   satisfy  out_mass == in_mass − outflow  where
+//                   outflow counts particles whose streaming destination
+//                   lies outside the lattice (null boundaries drain, but
+//                   by an exactly computable amount). Obstacle bits are
+//                   static geometry and must balance on their own.
+//   CorruptionError — thrown by the engine when the bounded retry
+//                   budget is exhausted; carries the counter snapshot.
+//
+// Detection mechanisms and their guarantees are documented in
+// docs/ROBUSTNESS.md. The simulators call the injector only when a
+// non-null pointer is armed, so the fault-free fast paths stay intact.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+#include "lattice/lgca/geometry.hpp"
+#include "lattice/lgca/site.hpp"
+
+namespace lattice::fault {
+
+/// A persistently failed processing element: every output word of the
+/// given (stage, lane) is forced through `v' = (v & and_mask) | or_mask`.
+/// WSA: stage = chip index in the chain, lane = PE index within the
+/// P-wide stage. SPA: stage = depth index, lane = slice index.
+struct StuckAt {
+  int stage = 0;
+  std::int64_t lane = 0;
+  lgca::Site or_mask = 0;      // bits forced high
+  lgca::Site and_mask = 0xFF;  // bits forced low where cleared
+};
+
+/// Deterministic fault scenario. Default-constructed plans are
+/// fault-free and cost nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Transient single-bit flip probability per stored site-update word
+  /// (WSA line buffers, SPA slice buffers).
+  double buffer_flip_rate = 0;
+
+  /// SPA side channels, per transferred word: single-bit corruption in
+  /// transit, and whole-word drop (a framing error; the receiver sees
+  /// an empty word).
+  double side_flip_rate = 0;
+  double side_drop_rate = 0;
+
+  /// Persistently failed PEs.
+  std::vector<StuckAt> stuck;
+
+  bool armed() const noexcept {
+    return buffer_flip_rate > 0 || side_flip_rate > 0 || side_drop_rate > 0 ||
+           !stuck.empty();
+  }
+};
+
+/// What was injected and what the online detectors caught.
+struct FaultCounters {
+  std::int64_t injected_flips = 0;  // buffer words corrupted
+  std::int64_t injected_stuck = 0;  // output words altered by stuck PEs
+  std::int64_t injected_side = 0;   // side-channel words corrupted/dropped
+
+  std::int64_t detected_parity = 0;        // buffer parity mismatches
+  std::int64_t detected_side = 0;          // link parity / framing errors
+  std::int64_t detected_conservation = 0;  // particle-ledger violations
+
+  std::int64_t injected() const noexcept {
+    return injected_flips + injected_stuck + injected_side;
+  }
+  std::int64_t detected() const noexcept {
+    return detected_parity + detected_side + detected_conservation;
+  }
+};
+
+/// Raised when recovery gives up: the retry budget is exhausted and no
+/// degradation path remains.
+class CorruptionError : public Error {
+ public:
+  CorruptionError(const std::string& what, const FaultCounters& counters)
+      : Error(what), counters_(counters) {}
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  FaultCounters counters_;
+};
+
+/// Per-stage particle ledger, maintained by a stage only while a fault
+/// injector is attached (and only for gas rules, whose collisions
+/// conserve mass). All quantities are accumulated from the *true* bus
+/// values on the input side and the *emitted* (post-stuck) values on
+/// the output side, so any corruption between those points unbalances
+/// the ledger.
+struct StageAudit {
+  bool valid = false;  // conservation is only defined for gas rules
+  std::int64_t in_mass = 0;
+  std::int64_t out_mass = 0;
+  std::int64_t outflow = 0;  // particles streaming off the lattice edge
+  std::int64_t in_obstacles = 0;
+  std::int64_t out_obstacles = 0;
+
+  /// Collision conservation + static geometry, per generation.
+  bool balanced() const noexcept {
+    return !valid || (out_mass == in_mass - outflow &&
+                      out_obstacles == in_obstacles);
+  }
+
+  StageAudit& operator+=(const StageAudit& o) noexcept {
+    valid = valid || o.valid;
+    in_mass += o.in_mass;
+    out_mass += o.out_mass;
+    outflow += o.outflow;
+    in_obstacles += o.in_obstacles;
+    out_obstacles += o.out_obstacles;
+    return *this;
+  }
+};
+
+/// Particles of `v` at lattice coordinate `c` whose streaming
+/// destination lies outside `lattice` — the exact per-site edge drain
+/// of the null-boundary update.
+int site_outflow(lgca::Site v, Coord c, Extent lattice,
+                 lgca::Topology topo) noexcept;
+
+/// Runtime fault source shared by the simulators of one engine. Not
+/// thread-safe: armed runs execute on the cycle-exact (serial) machine
+/// models, which is where the simulated buffers live.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// True while any fault source remains active (stuck PEs disabled by
+  /// remapping no longer count).
+  bool armed() const noexcept;
+
+  /// Rollback boundary: transient fault draws are keyed by the epoch,
+  /// so a retry of the same generations redraws them.
+  void bump_epoch() noexcept { ++epoch_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // ---- injection (called by the simulators) ----
+
+  /// Possibly flip one bit of the word stored for the site update at
+  /// (generation t, stream position pos). Deterministic in
+  /// (seed, epoch, t, pos).
+  lgca::Site corrupt_stored(std::int64_t t, std::int64_t pos,
+                            lgca::Site v) noexcept;
+
+  /// Possibly corrupt or drop a side-channel word in transit. `key`
+  /// must be unique per transfer within a generation.
+  lgca::Site corrupt_side_word(std::int64_t t, std::int64_t key,
+                               lgca::Site v) noexcept;
+
+  /// Apply any active stuck-at masks for (stage, lane).
+  lgca::Site apply_stuck(int stage, std::int64_t lane, lgca::Site v) noexcept;
+
+  /// True if any active stuck-at fault targets this stage/lane pair —
+  /// lets hot loops skip the mask scan.
+  bool has_stuck() const noexcept {
+    return !stuck_disabled_ && !plan_.stuck.empty();
+  }
+
+  // ---- detection reporting (called by the simulators' checkers) ----
+
+  void report_parity_error() noexcept { ++counters_.detected_parity; }
+  void report_side_error() noexcept { ++counters_.detected_side; }
+  void report_conservation_error() noexcept {
+    ++counters_.detected_conservation;
+  }
+
+  // ---- graceful degradation ----
+
+  /// Take all stuck PEs out of the datapath (the SPA remaps a failed
+  /// slice's columns onto the surviving pipelines). Returns the number
+  /// of distinct lanes removed; they stop injecting from now on.
+  int disable_stuck() noexcept;
+
+  /// Distinct lanes removed by disable_stuck so far.
+  int remapped_lanes() const noexcept { return remapped_lanes_; }
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t epoch_ = 0;
+  bool stuck_disabled_ = false;
+  int remapped_lanes_ = 0;
+  FaultCounters counters_;
+};
+
+}  // namespace lattice::fault

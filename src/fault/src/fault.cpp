@@ -1,0 +1,127 @@
+#include "lattice/fault/fault.hpp"
+
+namespace lattice::fault {
+
+namespace {
+
+/// SplitMix64-style finalizer over a chained key. Every injection
+/// decision is a pure function of its inputs, which is what makes fault
+/// runs replayable and rollback retries independent.
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+constexpr std::uint64_t hash4(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c, std::uint64_t d) noexcept {
+  return mix(mix(mix(mix(0x8000000000000000ULL, a), b), c), d);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+constexpr double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+int site_outflow(lgca::Site v, Coord c, Extent lattice,
+                 lgca::Topology topo) noexcept {
+  // Only the outermost ring can lose particles (all offsets are ±1).
+  if (c.x > 0 && c.x < lattice.width - 1 && c.y > 0 &&
+      c.y < lattice.height - 1) {
+    return 0;
+  }
+  int n = 0;
+  const int channels = lgca::channel_count(topo);
+  for (int d = 0; d < channels; ++d) {
+    if ((v & lgca::channel_bit(d)) == 0) continue;
+    if (!lattice.contains(lgca::neighbor_coord(topo, c, d))) ++n;
+  }
+  return n;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  LATTICE_REQUIRE(plan_.buffer_flip_rate >= 0 && plan_.buffer_flip_rate <= 1,
+                  "buffer_flip_rate must be in [0, 1]");
+  LATTICE_REQUIRE(plan_.side_flip_rate >= 0 && plan_.side_flip_rate <= 1,
+                  "side_flip_rate must be in [0, 1]");
+  LATTICE_REQUIRE(plan_.side_drop_rate >= 0 && plan_.side_drop_rate <= 1,
+                  "side_drop_rate must be in [0, 1]");
+  for (const StuckAt& s : plan_.stuck) {
+    LATTICE_REQUIRE(s.stage >= 0 && s.lane >= 0,
+                    "stuck-at stage/lane must be non-negative");
+  }
+}
+
+bool FaultInjector::armed() const noexcept {
+  return plan_.buffer_flip_rate > 0 || plan_.side_flip_rate > 0 ||
+         plan_.side_drop_rate > 0 || has_stuck();
+}
+
+lgca::Site FaultInjector::corrupt_stored(std::int64_t t, std::int64_t pos,
+                                         lgca::Site v) noexcept {
+  if (plan_.buffer_flip_rate <= 0) return v;
+  const std::uint64_t h =
+      hash4(plan_.seed, epoch_ ^ 0x627573666c697073ULL,
+            static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(pos));
+  if (to_unit(h) >= plan_.buffer_flip_rate) return v;
+  ++counters_.injected_flips;
+  return static_cast<lgca::Site>(v ^ (1u << ((h >> 56) & 7)));
+}
+
+lgca::Site FaultInjector::corrupt_side_word(std::int64_t t, std::int64_t key,
+                                            lgca::Site v) noexcept {
+  if (plan_.side_flip_rate <= 0 && plan_.side_drop_rate <= 0) return v;
+  const std::uint64_t h =
+      hash4(plan_.seed, epoch_ ^ 0x736964656368616eULL,
+            static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(key));
+  const double u = to_unit(h);
+  if (u < plan_.side_drop_rate) {
+    ++counters_.injected_side;
+    return 0;  // framing error: the word never arrives
+  }
+  if (u < plan_.side_drop_rate + plan_.side_flip_rate) {
+    ++counters_.injected_side;
+    return static_cast<lgca::Site>(v ^ (1u << ((h >> 56) & 7)));
+  }
+  return v;
+}
+
+lgca::Site FaultInjector::apply_stuck(int stage, std::int64_t lane,
+                                      lgca::Site v) noexcept {
+  if (stuck_disabled_) return v;
+  for (const StuckAt& s : plan_.stuck) {
+    if (s.stage != stage || s.lane != lane) continue;
+    const auto forced =
+        static_cast<lgca::Site>((v & s.and_mask) | s.or_mask);
+    if (forced != v) {
+      ++counters_.injected_stuck;
+      v = forced;
+    }
+  }
+  return v;
+}
+
+int FaultInjector::disable_stuck() noexcept {
+  if (stuck_disabled_ || plan_.stuck.empty()) return 0;
+  stuck_disabled_ = true;
+  // Count distinct (stage, lane) pairs — one remapped PE each.
+  int distinct = 0;
+  for (std::size_t i = 0; i < plan_.stuck.size(); ++i) {
+    bool dup = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (plan_.stuck[j].stage == plan_.stuck[i].stage &&
+          plan_.stuck[j].lane == plan_.stuck[i].lane) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) ++distinct;
+  }
+  remapped_lanes_ += distinct;
+  return distinct;
+}
+
+}  // namespace lattice::fault

@@ -1,7 +1,8 @@
-// Minimal image / text output for examples and debugging.
+// Minimal image I/O and text output for examples and debugging.
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,6 +18,19 @@ void write_density_pgm(std::ostream& os, const SiteLattice& lat,
 
 /// Write a binary PGM of the raw site bytes (for image-filter rules).
 void write_raw_pgm(std::ostream& os, const SiteLattice& lat);
+
+/// Largest dimension / site count read_raw_pgm will accept — a
+/// malformed header must not be able to demand an absurd allocation.
+inline constexpr std::int64_t kMaxPgmDim = 1 << 20;
+inline constexpr std::int64_t kMaxPgmSites = 1 << 26;
+
+/// Read a binary PGM (P5) written by write_raw_pgm back into a lattice.
+/// Accepts '#' header comments per the PGM spec. Throws lattice::Error
+/// on a malformed magic/header, non-8-bit data, dimensions that are
+/// non-positive or exceed kMaxPgmDim/kMaxPgmSites, or truncated pixel
+/// data — never returns a partially-filled lattice.
+SiteLattice read_raw_pgm(std::istream& is,
+                         Boundary boundary = Boundary::Null);
 
 /// ASCII rendering of a coarse-grained flow field: one glyph per cell,
 /// arrows by dominant velocity direction, '#' for obstacle-heavy cells.

@@ -1,10 +1,39 @@
 #include "lattice/lgca/image_io.hpp"
 
 #include <cmath>
+#include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace lattice::lgca {
+
+namespace {
+
+/// Skip PGM header whitespace and '#' comment lines.
+void skip_pgm_separators(std::istream& is) {
+  for (;;) {
+    int c = is.peek();
+    while (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      is.get();
+      c = is.peek();
+    }
+    if (c != '#') return;
+    std::string comment;
+    std::getline(is, comment);
+  }
+}
+
+std::int64_t read_pgm_value(std::istream& is, const char* what) {
+  skip_pgm_separators(is);
+  std::int64_t v = -1;
+  is >> v;
+  LATTICE_REQUIRE(static_cast<bool>(is),
+                  std::string("malformed PGM header: bad or missing ") + what);
+  return v;
+}
+
+}  // namespace
 
 void write_density_pgm(std::ostream& os, const SiteLattice& lat,
                        const GasModel& model) {
@@ -28,6 +57,39 @@ void write_raw_pgm(std::ostream& os, const SiteLattice& lat) {
       os.put(static_cast<char>(lat.at({x, y})));
     }
   }
+}
+
+SiteLattice read_raw_pgm(std::istream& is, Boundary boundary) {
+  std::string magic;
+  is >> magic;
+  LATTICE_REQUIRE(static_cast<bool>(is) && magic == "P5",
+                  "not a binary PGM: missing P5 magic");
+  const std::int64_t w = read_pgm_value(is, "width");
+  const std::int64_t h = read_pgm_value(is, "height");
+  const std::int64_t maxval = read_pgm_value(is, "maxval");
+  LATTICE_REQUIRE(w >= 1 && h >= 1, "PGM dimensions must be positive");
+  LATTICE_REQUIRE(w <= kMaxPgmDim && h <= kMaxPgmDim,
+                  "PGM dimension exceeds the supported maximum");
+  LATTICE_REQUIRE(w * h <= kMaxPgmSites,
+                  "PGM site count exceeds the supported maximum");
+  LATTICE_REQUIRE(maxval == 255, "site PGMs are 8-bit: maxval must be 255");
+  // The spec allows exactly one whitespace byte between the header and
+  // the pixel raster.
+  const int sep = is.get();
+  LATTICE_REQUIRE(sep == '\n' || sep == '\r' || sep == ' ' || sep == '\t',
+                  "malformed PGM header: raster must follow one whitespace");
+
+  SiteLattice lat({w, h}, boundary);
+  std::vector<char> row(static_cast<std::size_t>(w));
+  for (std::int64_t y = 0; y < h; ++y) {
+    is.read(row.data(), w);
+    LATTICE_REQUIRE(is.gcount() == w, "truncated PGM: pixel data ends early");
+    for (std::int64_t x = 0; x < w; ++x) {
+      lat.at({x, y}) = static_cast<Site>(
+          static_cast<unsigned char>(row[static_cast<std::size_t>(x)]));
+    }
+  }
+  return lat;
 }
 
 std::string render_flow_ascii(const Grid<FlowCell>& cells) {

@@ -7,8 +7,21 @@
 
 namespace lattice::lgca {
 
+namespace {
+
+/// Occupation probabilities must be actual probabilities; NaN would
+/// silently sail through the clamped branches below.
+void require_probability(double p, const char* what) {
+  LATTICE_REQUIRE(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                  std::string(what) + " must be a probability in [0, 1]");
+}
+
+}  // namespace
+
 void fill_random(SiteLattice& lat, const GasModel& model, double density,
                  std::uint64_t seed, double rest_density) {
+  require_probability(density, "density");
+  require_probability(rest_density, "rest_density");
   Pcg32 rng(seed);
   const Extent e = lat.extent();
   for (std::int64_t y = 0; y < e.height; ++y) {
@@ -29,6 +42,9 @@ void fill_random(SiteLattice& lat, const GasModel& model, double density,
 
 void fill_flow(SiteLattice& lat, const GasModel& model, double density,
                double bias, std::uint64_t seed) {
+  require_probability(density, "density");
+  LATTICE_REQUIRE(std::isfinite(bias) && std::abs(bias) <= 1.0,
+                  "bias must be finite and in [-1, 1]");
   Pcg32 rng(seed);
   const Extent e = lat.extent();
   for (std::int64_t y = 0; y < e.height; ++y) {
@@ -51,6 +67,9 @@ void fill_flow(SiteLattice& lat, const GasModel& model, double density,
 
 void fill_shear(SiteLattice& lat, const GasModel& model, double density,
                 double bias, std::uint64_t seed) {
+  require_probability(density, "density");
+  LATTICE_REQUIRE(std::isfinite(bias) && std::abs(bias) <= 1.0,
+                  "bias must be finite and in [-1, 1]");
   Pcg32 rng(seed);
   const Extent e = lat.extent();
   for (std::int64_t y = 0; y < e.height; ++y) {
@@ -75,6 +94,8 @@ void fill_shear(SiteLattice& lat, const GasModel& model, double density,
 }
 
 void add_obstacle_rect(SiteLattice& lat, Coord lo, Coord hi) {
+  LATTICE_REQUIRE(lo.x <= hi.x && lo.y <= hi.y,
+                  "obstacle rect corners must satisfy lo <= hi");
   const Extent e = lat.extent();
   for (std::int64_t y = std::max<std::int64_t>(lo.y, 0);
        y <= std::min(hi.y, e.height - 1); ++y) {
@@ -86,6 +107,12 @@ void add_obstacle_rect(SiteLattice& lat, Coord lo, Coord hi) {
 }
 
 void add_obstacle_disk(SiteLattice& lat, double cx, double cy, double r) {
+  // A negative radius would still mark the disk (r² is positive); an
+  // infinite center would mark nothing or everything. Reject both.
+  LATTICE_REQUIRE(std::isfinite(cx) && std::isfinite(cy),
+                  "obstacle disk center must be finite");
+  LATTICE_REQUIRE(std::isfinite(r) && r >= 0.0,
+                  "obstacle disk radius must be finite and >= 0");
   const Extent e = lat.extent();
   for (std::int64_t y = 0; y < e.height; ++y) {
     for (std::int64_t x = 0; x < e.width; ++x) {
@@ -104,6 +131,7 @@ void add_channel_walls(SiteLattice& lat) {
 
 void add_pressure_pulse(SiteLattice& lat, const GasModel& model,
                         std::int64_t w) {
+  LATTICE_REQUIRE(w >= 1, "pressure pulse width must be >= 1");
   const Extent e = lat.extent();
   const std::int64_t x0 = e.width / 2 - w / 2;
   const std::int64_t y0 = e.height / 2 - w / 2;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "lattice/lgca/image_io.hpp"
@@ -154,6 +155,92 @@ TEST(ImageIo, DensityRampIsMonotone) {
     EXPECT_GE(level, prev);
     prev = level;
   }
+}
+
+// ---- PGM round trip and malformed-input rejection ----
+
+TEST(ImageIo, RawPgmRoundTripsThroughReader) {
+  SiteLattice lat({5, 4}, Boundary::Null);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<Site>((i * 37 + 1) & 0xFF);
+  std::ostringstream os;
+  write_raw_pgm(os, lat);
+  std::istringstream is(os.str());
+  const SiteLattice back = read_raw_pgm(is, Boundary::Null);
+  EXPECT_TRUE(back == lat);
+}
+
+TEST(ImageIo, ReaderAcceptsHeaderComments) {
+  std::string data = "P5\n# a comment\n2 # trailing\n# another\n1\n255\n";
+  data += '\x41';
+  data += '\x07';
+  std::istringstream is(data);
+  const SiteLattice lat = read_raw_pgm(is);
+  EXPECT_EQ(lat.at({0, 0}), 0x41);
+  EXPECT_EQ(lat.at({1, 0}), 0x07);
+}
+
+TEST(ImageIo, ReaderRejectsMalformedInputs) {
+  const auto reject = [](const std::string& data) {
+    std::istringstream is(data);
+    EXPECT_THROW((void)read_raw_pgm(is), Error) << "accepted: " << data;
+  };
+  reject("");                          // empty stream
+  reject("P6\n2 1\n255\n ab");         // wrong magic (PPM)
+  reject("P5\nx 1\n255\n a");          // non-numeric width
+  reject("P5\n2\n255\n ab");           // missing height
+  reject("P5\n0 4\n255\n");            // zero width
+  reject("P5\n2 -1\n255\n");           // negative height
+  reject("P5\n2 1\n65535\n ab");       // 16-bit maxval unsupported
+  reject("P5\n99999999999999999999 1\n255\n x");  // overflowing dim
+  // Dimensions that pass individual bounds but whose product is absurd.
+  reject("P5\n1000000 1000000\n255\n x");
+}
+
+TEST(ImageIo, ReaderRejectsTruncatedPixelData) {
+  SiteLattice lat({6, 3}, Boundary::Null);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<Site>(i);
+  std::ostringstream os;
+  write_raw_pgm(os, lat);
+  const std::string full = os.str();
+  // Any proper prefix that cuts into the raster must throw, not return
+  // a partially-initialized lattice.
+  for (const std::size_t cut : {full.size() - 1, full.size() - 7}) {
+    std::istringstream is(full.substr(0, cut));
+    EXPECT_THROW((void)read_raw_pgm(is), Error);
+  }
+}
+
+// ---- initializer precondition rejection ----
+
+TEST(InitValidation, FillersRejectNonProbabilities) {
+  SiteLattice lat({8, 8}, Boundary::Null);
+  EXPECT_THROW(fill_random(lat, fhp(), -0.1, 1), Error);
+  EXPECT_THROW(fill_random(lat, fhp(), 1.5, 1), Error);
+  EXPECT_THROW(fill_random(lat, fhp(), 0.3, 1, 2.0), Error);
+  EXPECT_THROW(fill_random(lat, fhp(), std::nan(""), 1), Error);
+  EXPECT_THROW(fill_flow(lat, fhp(), 0.3, 1.5, 1), Error);
+  EXPECT_THROW(fill_flow(lat, fhp(), 0.3, std::nan(""), 1), Error);
+  EXPECT_THROW(fill_shear(lat, fhp(), -0.2, 0.1, 1), Error);
+  EXPECT_THROW(fill_shear(lat, fhp(), 0.3, -1.5, 1), Error);
+  // Boundary values are legal.
+  fill_random(lat, fhp(), 0.0, 1, 1.0);
+  fill_flow(lat, fhp(), 1.0, -1.0, 1);
+}
+
+TEST(InitValidation, GeometryRejectsDegenerateShapes) {
+  SiteLattice lat({8, 8}, Boundary::Null);
+  EXPECT_THROW(add_obstacle_rect(lat, {4, 2}, {2, 4}), Error);
+  EXPECT_THROW(add_obstacle_disk(lat, 4, 4, -1.0), Error);
+  EXPECT_THROW(add_obstacle_disk(lat, 4, 4, std::nan("")), Error);
+  EXPECT_THROW(
+      add_obstacle_disk(lat, std::numeric_limits<double>::infinity(), 4, 2),
+      Error);
+  EXPECT_THROW(add_pressure_pulse(lat, fhp(), 0), Error);
+  // A valid call still works after the rejected ones.
+  add_obstacle_disk(lat, 4, 4, 2.0);
+  EXPECT_TRUE(is_obstacle(lat.at({4, 4})));
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "lattice/common/error.hpp"
@@ -85,6 +87,61 @@ TEST(ThreadPool, TaskExceptionPropagatesAndPoolStaysUsable) {
   std::atomic<int> n{0};
   pool.for_each_task(8, [&](std::int64_t) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, ThrowingTaskCancelsUnclaimedRemainder) {
+  // Task 0 (the first index claimed) throws; every other task sleeps.
+  // Without cancellation all 2000 tasks would run (~seconds); with it,
+  // each executor finishes at most the handful it claimed before the
+  // cancel landed.
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.for_each_task(2000,
+                         [&](std::int64_t i) {
+                           if (i == 0) throw std::runtime_error("first");
+                           executed.fetch_add(1, std::memory_order_relaxed);
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(1));
+                         }),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), 100) << "bag was not cancelled";
+  // And the pool remains fully usable afterwards.
+  std::atomic<int> n{0};
+  pool.for_each_task(32, [&](std::int64_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, CallerTaskExceptionAlsoCancels) {
+  // The submitting thread participates in the bag too; its exception
+  // path must cancel just like a worker's.
+  ThreadPool pool(0);  // caller is the only executor
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.for_each_task(64,
+                                  [&](std::int64_t i) {
+                                    executed.fetch_add(1);
+                                    if (i == 2) {
+                                      throw std::runtime_error("caller boom");
+                                    }
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 3) << "inline path stops at the throw";
+
+  ThreadPool pool2(1);
+  // With a worker present the dispatch path runs; the caller claims
+  // indices as well, and its throw must stop the drain.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool2.for_each_task(5000,
+                                   [&](std::int64_t i) {
+                                     if (i == 0) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                     ran.fetch_add(1);
+                                     std::this_thread::sleep_for(
+                                         std::chrono::milliseconds(1));
+                                   }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 100);
 }
 
 TEST(ThreadPool, LaneExceptionPropagates) {
