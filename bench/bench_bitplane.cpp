@@ -1,0 +1,212 @@
+// E15 — bit-plane (multi-spin coded) kernel vs the byte-LUT reference:
+// wall-clock updates/s of bitplane_gas_run against fused_gas_run for
+// HPP and FHP-II across lattice sizes and worker counts. The paper
+// stores D = 8 bits/site; the bit-plane backend turns that into eight
+// 64-site words and evaluates collisions as boolean algebra, so the
+// shape expectation is a >= 4x single-thread speedup over the LUT path
+// (HPP, whose rule needs no chirality hash, lands far higher), with
+// every row bit-identical to the golden reference.
+//
+// The printed table is also persisted to BENCH_bitplane.json in the
+// working directory; CI runs this binary with LATTICE_BENCH_QUICK=1 on
+// a small lattice and gates on tools/check_bench_regression.py. Any
+// exactness failure makes the process exit nonzero.
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "lattice/lgca/collision_lut.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/plane_kernel.hpp"
+
+namespace {
+
+using namespace lattice;
+
+bool quick_mode() { return std::getenv("LATTICE_BENCH_QUICK") != nullptr; }
+
+const char* gas_name(lgca::GasKind k) {
+  return k == lgca::GasKind::HPP ? "HPP" : "FHP-II";
+}
+
+struct Row {
+  const char* gas;
+  std::int64_t side;
+  std::int64_t generations;
+  const char* kernel;
+  unsigned threads;
+  double seconds;
+  double rate;          // site updates per wall-clock second
+  double speedup;       // vs the single-thread fused LUT on same input
+  bool exact;
+};
+
+template <typename Fn>
+double time_run(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool print_tables(std::vector<Row>& rows) {
+  bench_util::header("E15", "bit-plane kernel vs byte-LUT reference");
+  const bool quick = quick_mode();
+  // Quick mode still runs enough generations that each row takes tens
+  // of milliseconds — sub-millisecond rows are all timer noise and the
+  // CI regression gate would flake.
+  const std::int64_t generations = quick ? 192 : 64;
+  const std::vector<std::int64_t> sides =
+      quick ? std::vector<std::int64_t>{128}
+            : std::vector<std::int64_t>{256, 512, 1024};
+
+  std::printf("  %d generations/run%s\n\n", static_cast<int>(generations),
+              quick ? " (quick mode)" : "");
+  std::printf("  %-8s %6s %-22s %10s %12s %9s %7s\n", "gas", "side",
+              "kernel", "seconds", "updates/s", "speedup", "exact");
+
+  bool all_exact = true;
+  for (const lgca::GasKind kind :
+       {lgca::GasKind::HPP, lgca::GasKind::FHP_II}) {
+    const lgca::CollisionLut& lut = lgca::CollisionLut::get(kind);
+    const lgca::PlaneKernel& kernel = lgca::PlaneKernel::get(kind);
+    for (const std::int64_t side : sides) {
+      lgca::SiteLattice in({side, side}, lgca::Boundary::Null);
+      lgca::fill_random(in, lut.model(), 0.3, 13, 0.1);
+      lgca::add_obstacle_disk(in, side / 2, side / 2, side / 16);
+      const double updates =
+          static_cast<double>(side) * static_cast<double>(side) *
+          static_cast<double>(generations);
+
+      lgca::SiteLattice golden = in;
+      const double lut_s = time_run(
+          [&] { lgca::fused_gas_run(golden, lut, generations); });
+
+      auto emit = [&](const char* name, unsigned threads, double seconds,
+                      bool exact) {
+        rows.push_back(Row{gas_name(kind), side, generations, name, threads,
+                           seconds, updates / seconds, lut_s / seconds,
+                           exact});
+        char label[32];
+        std::snprintf(label, sizeof(label), "%s x%u", name, threads);
+        std::printf("  %-8s %6lld %-22s %10.3f %12.3e %8.2fx %7s\n",
+                    gas_name(kind), static_cast<long long>(side), label,
+                    seconds, updates / seconds, lut_s / seconds,
+                    exact ? "yes" : "NO");
+        all_exact = all_exact && exact;
+      };
+      emit("byte LUT fused", 1, lut_s, true);
+
+      for (const unsigned threads : {1u, 8u}) {
+        lgca::SiteLattice planes = in;
+        const double s = time_run([&] {
+          lgca::bitplane_gas_run(planes, kernel, generations, 0, threads);
+        });
+        emit("bit-plane", threads, s, planes == golden);
+      }
+    }
+  }
+
+  bench_util::note("");
+  bench_util::note("what to look for: the single-thread bit-plane rows clear");
+  bench_util::note("4x over the byte LUT at 512^2 (HPP, chirality-free, lands");
+  bench_util::note("over 10x), threads multiply on top, and 'exact' reads yes");
+  bench_util::note("in every row — the boolean-algebra collision is the same");
+  bench_util::note("function as the LUT, computed 64 sites at a time.");
+  return all_exact;
+}
+
+bool write_json(const std::vector<Row>& rows) {
+  bench_util::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "bitplane");
+  w.field("quick", quick_mode());
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("gas", r.gas);
+    w.field("side", r.side);
+    w.field("generations", r.generations);
+    w.field("kernel", r.kernel);
+    w.field("threads", r.threads);
+    w.field("seconds", r.seconds);
+    w.field("sites_per_sec", r.rate);
+    w.field("speedup_vs_lut", r.speedup);
+    w.field("exact", r.exact);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const char* path = "BENCH_bitplane.json";
+  if (!w.write_file(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return false;
+  }
+  std::printf("\n  wrote %s (%d rows)\n", path,
+              static_cast<int>(rows.size()));
+  return true;
+}
+
+void BM_BitPlane(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? lgca::GasKind::HPP
+                                        : lgca::GasKind::FHP_II;
+  const lgca::PlaneKernel& kernel = lgca::PlaneKernel::get(kind);
+  lgca::SiteLattice in({256, 256}, lgca::Boundary::Null);
+  lgca::fill_random(in, kernel.model(), 0.3, 13, 0.1);
+  lgca::PlaneLattice planes(in);
+  for (auto _ : state) {
+    lgca::plane_gas_run(planes, kernel, 4);
+    benchmark::DoNotOptimize(planes);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256 * 4);
+}
+BENCHMARK(BM_BitPlane)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_BitPlaneFused(benchmark::State& state) {
+  // Byte-LUT counterpart of BM_BitPlane for side-by-side items/s.
+  const lgca::CollisionLut& lut = lgca::CollisionLut::get(lgca::GasKind::FHP_II);
+  lgca::SiteLattice in({256, 256}, lgca::Boundary::Null);
+  lgca::fill_random(in, lut.model(), 0.3, 13, 0.1);
+  for (auto _ : state) {
+    lgca::SiteLattice lat = in;
+    lgca::fused_gas_run(lat, lut, 4);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256 * 4);
+}
+BENCHMARK(BM_BitPlaneFused)->Unit(benchmark::kMillisecond);
+
+void BM_PackUnpack(benchmark::State& state) {
+  lgca::SiteLattice in({256, 256}, lgca::Boundary::Null);
+  lgca::fill_random(in, lgca::GasModel::get(lgca::GasKind::FHP_II), 0.3, 13,
+                    0.1);
+  lgca::PlaneLattice planes(in);
+  for (auto _ : state) {
+    planes.pack(in);
+    planes.unpack(in);
+    benchmark::DoNotOptimize(in);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256 * 2);
+}
+BENCHMARK(BM_PackUnpack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main (not LATTICE_BENCH_MAIN): the exit code must report
+// exactness so the CI smoke step can gate on it.
+int main(int argc, char** argv) {
+  std::vector<Row> rows;
+  const bool exact = print_tables(rows);
+  const bool wrote = write_json(rows);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return exact && wrote ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 #include "lattice/arch/spa.hpp"
 #include "lattice/core/engine.hpp"
@@ -83,7 +84,15 @@ void print_tables() {
   const Timed base = timed_run(in, [&](const lgca::SiteLattice& l) {
     return spa_run(l, 1, false);
   });
+  struct Row {
+    std::string name;
+    double seconds, rate, speedup;
+    bool exact;
+  };
+  std::vector<Row> rows;
   auto row = [&](const char* name, const Timed& t) {
+    rows.push_back(Row{name, t.seconds, t.rate, base.seconds / t.seconds,
+                       t.out == golden});
     std::printf("  %-34s %10.3f %12.3e %8.2fx %7s\n", name, t.seconds, t.rate,
                 base.seconds / t.seconds, t.out == golden ? "yes" : "NO");
   };
@@ -112,6 +121,26 @@ void print_tables() {
   });
   row("reference fused LUT", ref_fused);
 
+  bench_util::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "parallel_speedup");
+  w.field("side", kSide);
+  w.field("generations", std::int64_t{kDepth} * kPasses);
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("execution", r.name);
+    w.field("seconds", r.seconds);
+    w.field("sites_per_sec", r.rate);
+    w.field("speedup_vs_serial", r.speedup);
+    w.field("exact", r.exact);
+    w.end_object();
+  }
+  w.end_array().end_object();
+  bench_util::note("");
+  bench_util::note(w.write_file("BENCH_parallel_speedup.json")
+                       ? "wrote BENCH_parallel_speedup.json"
+                       : "(could not write BENCH_parallel_speedup.json)");
   bench_util::note("");
   bench_util::note("what to look for: the wavefront rows replace the tick");
   bench_util::note("walk's per-site ring-buffer traffic and virtual dispatch");

@@ -1,8 +1,9 @@
 // LatticeEngine — the library's front door.
 //
 // Bundles a lattice state, an update rule, and a choice of execution
-// backend (golden reference, WSA pipeline, SPA machine) behind one
-// `advance()` call, and turns the backend's counters plus a technology
+// backend (golden reference, WSA pipeline, SPA machine, bit-plane
+// multi-spin software kernel) behind one `advance()` call, and turns
+// the backend's counters plus a technology
 // point into the performance report the paper's analysis predicts:
 // modeled update rate, memory bandwidth demand, and the Hong–Kung
 // ceiling R ≤ B·τ(2S) the design can never beat (§7).
@@ -32,6 +33,7 @@
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/lattice.hpp"
+#include "lattice/lgca/plane_kernel.hpp"
 
 namespace lattice::core {
 
@@ -39,6 +41,8 @@ enum class Backend {
   Reference,  // golden double-buffered updater
   Wsa,        // wide-serial pipeline
   Spa,        // Sternberg partitioned machine
+  BitPlane,   // multi-spin coded software backend: 64 sites/word,
+              // boolean-algebra collisions (HPP, FHP-I/II gases only)
 };
 
 /// What a run cost and what the technology model says about it.
@@ -103,7 +107,8 @@ class LatticeEngine {
     int wsa_width = 1;          // P
     std::int64_t spa_slice_width = 0;  // W; 0 = pick a divisor near §6.2
     /// Worker threads for the software execution: bands the reference
-    /// sweep, runs SPA slice pipelines as a wavefront. 1 = serial.
+    /// and bit-plane sweeps, runs SPA slice pipelines as a wavefront.
+    /// 1 = serial.
     unsigned threads = 1;
     /// Route gas rules through the fused CollisionLut kernel (detected
     /// once at construction; non-gas rules always use the generic
@@ -175,6 +180,7 @@ class LatticeEngine {
   std::unique_ptr<lgca::GasRule> owned_rule_;
   const lgca::Rule* rule_;
   const lgca::CollisionLut* lut_ = nullptr;  // non-null iff fast path on
+  const lgca::PlaneKernel* plane_ = nullptr;  // non-null iff BitPlane backend
   lgca::SiteLattice initial_;
   lgca::SiteLattice state_;
   std::int64_t generation_ = 0;

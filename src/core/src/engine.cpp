@@ -41,9 +41,18 @@ LatticeEngine::LatticeEngine(Config config)
   // One-time fast-path detection: a GasRule gets the fused LUT kernel,
   // anything else keeps the generic virtual-dispatch path.
   if (config_.fast_kernel) lut_ = lgca::CollisionLut::try_get(*rule_);
-  if (config_.backend != Backend::Reference) {
+  if (config_.backend == Backend::Wsa || config_.backend == Backend::Spa) {
     LATTICE_REQUIRE(config_.boundary == lgca::Boundary::Null,
                     "pipelined backends require null boundaries");
+  }
+  if (config_.backend == Backend::BitPlane) {
+    // The bit-plane backend evaluates the gas collision rules as
+    // boolean algebra; a custom Rule has no such form, and FHP-III's
+    // table is a class permutation that PlaneKernel::get rejects.
+    LATTICE_REQUIRE(config_.custom_rule == nullptr,
+                    "the bit-plane backend runs lattice gases only; "
+                    "custom rules have no boolean-algebra kernel");
+    plane_ = &lgca::PlaneKernel::get(config_.gas);
   }
   if (config_.backend == Backend::Spa && config_.spa_slice_width == 0) {
     config_.spa_slice_width =
@@ -53,9 +62,10 @@ LatticeEngine::LatticeEngine(Config config)
                   "checkpoint interval must be >= 0");
   LATTICE_REQUIRE(config_.max_retries >= 0, "max retries must be >= 0");
   if (config_.fault.armed()) {
-    LATTICE_REQUIRE(config_.backend != Backend::Reference,
-                    "fault injection targets the hardware backends; the "
-                    "reference updater has no simulated buffers to corrupt");
+    LATTICE_REQUIRE(
+        config_.backend == Backend::Wsa || config_.backend == Backend::Spa,
+        "fault injection targets the hardware backends; the reference and "
+        "bit-plane updaters have no simulated buffers to corrupt");
     injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
     if (config_.checkpoint_interval == 0) {
       config_.checkpoint_interval = config_.pipeline_depth;
@@ -81,6 +91,12 @@ void LatticeEngine::run_pass(int chunk) {
       } else {
         lgca::reference_run(state_, *rule_, chunk, generation_);
       }
+      site_updates_ += state_.extent().area() * chunk;
+      break;
+    }
+    case Backend::BitPlane: {
+      lgca::bitplane_gas_run(state_, *plane_, chunk, generation_,
+                             config_.threads);
       site_updates_ += state_.extent().area() * chunk;
       break;
     }
@@ -116,6 +132,14 @@ void LatticeEngine::advance(std::int64_t generations) {
   const auto start = std::chrono::steady_clock::now();
   if (injector_ != nullptr) {
     advance_guarded(generations);
+  } else if (config_.backend == Backend::BitPlane) {
+    // One pass for the whole call: pipeline_depth is a hardware
+    // parameter with no meaning for this software backend, and
+    // chunking by it would re-pay the pack/unpack transpose per chunk.
+    lgca::bitplane_gas_run(state_, *plane_, generations, generation_,
+                           config_.threads);
+    site_updates_ += state_.extent().area() * generations;
+    generation_ += generations;
   } else {
     std::int64_t left = generations;
     while (left > 0) {
@@ -221,6 +245,8 @@ PerformanceReport LatticeEngine::report() const {
   const double d = config_.tech.bits_per_site;
   switch (config_.backend) {
     case Backend::Reference:
+    case Backend::BitPlane:
+      // Software backends: no simulated datapath, no modeled bandwidth.
       break;
     case Backend::Wsa:
       r.bandwidth_bits_per_tick = 2.0 * d * config_.wsa_width;

@@ -82,6 +82,9 @@ class CollisionLut {
 /// double-buffered, row bands fanned out over `threads` workers of the
 /// shared pool (threads == 1 runs inline). Bit-identical to
 /// reference_run with a GasRule of the same kind for any thread count.
+/// Chunk-invariant: splitting a run at any generation boundary and
+/// resuming with the carried t0 reproduces the continuous run exactly
+/// (chirality is a position-time hash, not stream state).
 void fused_gas_run(SiteLattice& lat, const CollisionLut& lut,
                    std::int64_t generations, std::int64_t t0 = 0,
                    unsigned threads = 1);

@@ -42,6 +42,18 @@ enum class GasKind { HPP, FHP_I, FHP_II, FHP_III };
 
 std::string_view gas_kind_name(GasKind k) noexcept;
 
+namespace detail {
+// Constants of the chirality hash, shared by the scalar per-site form
+// (GasModel::chirality) and the packed 64-lane form the bit-plane
+// kernel consumes (GasModel::chirality_mask64). Splitmix64-flavored
+// multipliers; the two forms must stay bit-identical, which is what
+// sharing these constants (and a test) enforces.
+inline constexpr std::uint64_t kChirMixX = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kChirMixY = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kChirMixT = 0x165667b19e3779f9ULL;
+inline constexpr std::uint64_t kChirFinal = 0xbf58476d1ce4e5b9ULL;
+}  // namespace detail
+
 /// A fully tabulated lattice-gas model.
 class GasModel {
  public:
@@ -64,14 +76,21 @@ class GasModel {
                        std::int64_t t) noexcept {
     // Mix the coordinates so the choice is unbiased and not visibly
     // striped; must stay a pure function of (x, y, t).
-    std::uint64_t h = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL ^
-                      static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL ^
-                      static_cast<std::uint64_t>(t) * 0x165667b19e3779f9ULL;
+    std::uint64_t h = static_cast<std::uint64_t>(x) * detail::kChirMixX ^
+                      static_cast<std::uint64_t>(y) * detail::kChirMixY ^
+                      static_cast<std::uint64_t>(t) * detail::kChirMixT;
     h ^= h >> 29;
-    h *= 0xbf58476d1ce4e5b9ULL;
+    h *= detail::kChirFinal;
     h ^= h >> 32;
     return static_cast<int>(h & 1);
   }
+
+  /// Chirality variants of 64 consecutive row sites packed into one
+  /// word: bit j == chirality(x0 + j, y, t). This is the word-parallel
+  /// form the bit-plane kernel selects collision variants with; a test
+  /// pins it lane-for-lane to the scalar form above.
+  static std::uint64_t chirality_mask64(std::int64_t x0, std::int64_t y,
+                                        std::int64_t t) noexcept;
 
   /// Particle count of a site state (excludes obstacle bit).
   int mass(Site s) const noexcept { return particle_count(s); }

@@ -1,0 +1,93 @@
+// Bit-parallel lattice-gas update over PlaneLattice bit-planes.
+//
+// Where CollisionLut replaces the semantic oracle's window build with a
+// fused gather + one 256-entry table read per site, PlaneKernel goes
+// one level further: it evaluates the collision rules themselves as
+// boolean algebra on 64-site words. Propagation is a funnel shift per
+// channel plane (the guard-word halo makes it branch-free), collision
+// is a fixed expression of ANDs/ORs/NOTs derived from the exact-
+// configuration structure of the HPP and FHP rules, and the chirality
+// variant is hashed per *event* site (head-on pairs are exact two-
+// particle configurations, hence rare) — the only per-site rather than
+// per-word work left in the FHP update, and hence its cost floor
+// (docs/PERFORMANCE.md has the cost model).
+//
+// Supported gases: HPP, FHP-I, FHP-II. FHP-III's collision table is a
+// cyclic permutation of (mass, momentum) equivalence classes and has no
+// compact boolean form; it keeps the byte-LUT path. Everything here is
+// bit-identical to GasModel::collide / the golden reference updater —
+// by construction, and by exhaustive test (all 256 site states × both
+// chirality variants, plus multi-generation lattice parity).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "lattice/lgca/gas_model.hpp"
+#include "lattice/lgca/plane_lattice.hpp"
+
+namespace lattice::lgca {
+
+class PlaneKernel {
+ public:
+  /// True when `kind` has a boolean-algebra kernel (HPP, FHP-I/II).
+  static bool supports(GasKind kind) noexcept;
+
+  /// The (immutable, lazily built) singleton for a supported gas kind;
+  /// throws lattice::Error for unsupported kinds (FHP-III).
+  static const PlaneKernel& get(GasKind kind);
+
+  /// The kernel for `rule` if it is a GasRule of a supported kind,
+  /// nullptr otherwise — mirrors CollisionLut::try_get.
+  static const PlaneKernel* try_get(const Rule& rule);
+
+  const GasModel& model() const noexcept { return *model_; }
+  GasKind kind() const noexcept { return model_->kind(); }
+
+  /// Compute generation-(t+1) rows [y0, y1) of `next` from the
+  /// generation-t lattice `cur`, whose shift halo must have been
+  /// prepared (PlaneLattice::prepare_shift_halo). Column-tiled so the
+  /// three source row strips plus the destination strip stay cache
+  /// resident on wide lattices; tile_words == 0 picks the default
+  /// L2-sized tile. Bit-identical to GasRule::apply per site.
+  void update_rows(PlaneLattice& next, const PlaneLattice& cur,
+                   std::int64_t t, std::int64_t y0, std::int64_t y1,
+                   std::int64_t tile_words = 0) const;
+
+ private:
+  explicit PlaneKernel(GasKind kind);
+
+  void update_row_span(PlaneLattice& next, const PlaneLattice& cur,
+                       std::int64_t t, std::int64_t y, std::int64_t k0,
+                       std::int64_t k1) const;
+
+  /// One gather tap per channel: channel i collects from the source row
+  /// y + dy shifted by dx (the offset of the opposite-direction
+  /// neighbor, exactly CollisionLut's taps).
+  struct Tap {
+    std::int8_t dx = 0;
+    std::int8_t dy = 0;
+  };
+
+  const GasModel* model_;
+  int channels_;
+  std::array<std::array<Tap, 6>, 2> taps_{};  // [row parity][channel]
+};
+
+/// Advance `lat` by `generations` gas steps on the bit-plane kernel,
+/// double-buffered, row bands fanned out over `threads` workers of the
+/// shared pool (threads == 1 runs inline). Bit-identical to
+/// reference_run / fused_gas_run of the same kind for any thread count.
+void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
+                   std::int64_t generations, std::int64_t t0 = 0,
+                   unsigned threads = 1);
+
+/// Byte-lattice convenience wrapper: pack once, run, unpack once. The
+/// transpose costs ~one byte-path generation, so it amortizes over
+/// multi-generation runs.
+void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
+                      std::int64_t generations, std::int64_t t0 = 0,
+                      unsigned threads = 1);
+
+}  // namespace lattice::lgca

@@ -1,0 +1,101 @@
+// Bit-plane (multi-spin coded) lattice representation.
+//
+// The byte SiteLattice stores the paper's D = 8 bits/site as an array
+// of structures; PlaneLattice transposes it into 8 bit-planes, packing
+// the same bit of 64 consecutive row sites into one uint64_t word
+// (bit j of word k on row y is site x = 64·k + j — LSB is the lowest
+// x). Collision then becomes boolean algebra evaluated on whole words
+// and propagation becomes word shifts: the multi-spin coding trick of
+// CAM-8-era lattice machines, worth roughly a word width of data
+// parallelism on top of the existing thread parallelism.
+//
+// Each row is padded with one guard word on either side so the ±1
+// column shifts of propagation never branch on word boundaries. The
+// guards plus the unused tail bits of the last payload word form the
+// row's "shift halo": prepare_shift_halo() fills it from the boundary
+// mode (zero for Null, wrapped row content for Periodic) so the kernel
+// can shift unconditionally. The class maintains the invariant that
+// payload tail bits are zero outside prepare/update cycles — pack()
+// establishes it and PlaneKernel's masked stores preserve it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/lgca/lattice.hpp"
+#include "lattice/lgca/site.hpp"
+
+namespace lattice::lgca {
+
+class PlaneLattice {
+ public:
+  static constexpr int kPlanes = kSiteBits;  // D = 8 bits/site
+  static constexpr std::int64_t kWordBits = 64;
+
+  PlaneLattice() = default;
+  PlaneLattice(Extent extent, Boundary boundary);
+  /// Pack a byte lattice (extent and boundary are taken from it).
+  explicit PlaneLattice(const SiteLattice& sites);
+
+  Extent extent() const noexcept { return extent_; }
+  Boundary boundary() const noexcept { return boundary_; }
+  /// Payload words per row: ceil(width / 64).
+  std::int64_t words_per_row() const noexcept { return words_; }
+  /// Allocated words per row including the two guard words.
+  std::int64_t row_stride() const noexcept { return stride_; }
+  /// Mask of the valid bits of a row's last payload word.
+  std::uint64_t tail_mask() const noexcept { return tail_mask_; }
+
+  /// Overwrite this lattice's bits from a byte lattice of the same
+  /// extent and boundary (resets guard words).
+  void pack(const SiteLattice& sites);
+  /// Write this lattice's bits into a byte lattice of the same extent.
+  void unpack(SiteLattice& sites) const;
+  SiteLattice to_sites() const;
+
+  /// Pointer to payload word 0 of `plane` on row `y`; the guard words
+  /// live at indices -1 and words_per_row().
+  std::uint64_t* row(int plane, std::int64_t y) noexcept {
+    return data_.data() + row_offset(plane, y);
+  }
+  const std::uint64_t* row(int plane, std::int64_t y) const noexcept {
+    return data_.data() + row_offset(plane, y);
+  }
+  /// An all-zero row (payload and guards) — what an out-of-range row
+  /// reads as under the Null boundary.
+  const std::uint64_t* zero_row() const noexcept { return zeros_.data() + 1; }
+
+  /// Fill the shift halo for this boundary mode: guard words, and (for
+  /// Periodic) the wrapped row content in the last payload word's tail
+  /// bits. Idempotent; must run before each PlaneKernel generation.
+  void prepare_shift_halo();
+
+  // ---- single-site access (tests, diagnostics; not the fast path) ----
+
+  bool get(Coord c, int plane) const noexcept;
+  Site site(Coord c) const noexcept;
+  void set_site(Coord c, Site v) noexcept;
+
+  /// Payload-only equality: guard words and tail bits are ignored.
+  friend bool operator==(const PlaneLattice& a, const PlaneLattice& b);
+
+ private:
+  std::size_t row_offset(int plane, std::int64_t y) const noexcept {
+    return (static_cast<std::size_t>(plane) *
+                static_cast<std::size_t>(extent_.height) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(stride_) +
+           1;
+  }
+
+  Extent extent_{0, 0};
+  Boundary boundary_ = Boundary::Null;
+  std::int64_t words_ = 0;
+  std::int64_t stride_ = 0;
+  std::uint64_t tail_mask_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> data_;
+  std::vector<std::uint64_t> zeros_;
+};
+
+}  // namespace lattice::lgca

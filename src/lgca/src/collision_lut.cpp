@@ -121,6 +121,16 @@ void CollisionLut::update_rows(SiteLattice& next, const SiteLattice& cur,
   }
 }
 
+// Chunk-invariance audit: this runner makes NO assumption about where a
+// long run is split. The only generation-dependent input is the
+// chirality variant, and that is a pure hash of (x, y, t) — not a
+// counter or stream state — so running k generations from t0 and then
+// k' from t0 + k is bit-identical to k + k' generations from t0, for
+// any k (the engine relies on this when chunking by pipeline_depth, and
+// FusedGasRun.ChunkingAtAnyBoundaryIsInvariant pins it). Likewise there
+// is no row- or word-alignment assumption: bands are plain row ranges,
+// and update_span handles arbitrary [x0, x1) column spans with the
+// slow-path edges above.
 void fused_gas_run(SiteLattice& lat, const CollisionLut& lut,
                    std::int64_t generations, std::int64_t t0,
                    unsigned threads) {

@@ -1,0 +1,156 @@
+#include "lattice/lgca/plane_lattice.hpp"
+
+#include <algorithm>
+
+namespace lattice::lgca {
+
+PlaneLattice::PlaneLattice(Extent extent, Boundary boundary)
+    : extent_(extent), boundary_(boundary) {
+  LATTICE_REQUIRE(extent.width >= 0 && extent.height >= 0,
+                  "PlaneLattice extent must be non-negative");
+  words_ = (extent.width + kWordBits - 1) / kWordBits;
+  stride_ = words_ + 2;
+  const int tail = static_cast<int>(extent.width % kWordBits);
+  tail_mask_ = tail == 0 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << tail) - 1;
+  data_.assign(static_cast<std::size_t>(kPlanes) *
+                   static_cast<std::size_t>(extent.height) *
+                   static_cast<std::size_t>(stride_),
+               0);
+  zeros_.assign(static_cast<std::size_t>(stride_), 0);
+}
+
+PlaneLattice::PlaneLattice(const SiteLattice& sites)
+    : PlaneLattice(sites.extent(), sites.boundary()) {
+  pack(sites);
+}
+
+void PlaneLattice::pack(const SiteLattice& sites) {
+  LATTICE_REQUIRE(sites.extent() == extent_,
+                  "pack: byte lattice extent does not match");
+  LATTICE_REQUIRE(sites.boundary() == boundary_,
+                  "pack: byte lattice boundary mode does not match");
+  const std::int64_t w = extent_.width;
+  for (std::int64_t y = 0; y < extent_.height; ++y) {
+    const Site* src = sites.grid().data() + linear_index(extent_, {0, y});
+    std::uint64_t* rows[kPlanes];
+    for (int p = 0; p < kPlanes; ++p) {
+      rows[p] = row(p, y);
+      rows[p][-1] = 0;
+      rows[p][words_] = 0;
+    }
+    for (std::int64_t k = 0; k < words_; ++k) {
+      const int n = static_cast<int>(std::min<std::int64_t>(
+          kWordBits, w - k * kWordBits));
+      std::uint64_t acc[kPlanes] = {};
+      for (int j = 0; j < n; ++j) {
+        const std::uint64_t s = src[k * kWordBits + j];
+        for (int p = 0; p < kPlanes; ++p) {
+          acc[p] |= ((s >> p) & 1u) << j;
+        }
+      }
+      for (int p = 0; p < kPlanes; ++p) rows[p][k] = acc[p];
+    }
+  }
+}
+
+void PlaneLattice::unpack(SiteLattice& sites) const {
+  LATTICE_REQUIRE(sites.extent() == extent_,
+                  "unpack: byte lattice extent does not match");
+  const std::int64_t w = extent_.width;
+  for (std::int64_t y = 0; y < extent_.height; ++y) {
+    Site* dst = sites.grid().data() + linear_index(extent_, {0, y});
+    const std::uint64_t* rows[kPlanes];
+    for (int p = 0; p < kPlanes; ++p) rows[p] = row(p, y);
+    for (std::int64_t k = 0; k < words_; ++k) {
+      const int n = static_cast<int>(std::min<std::int64_t>(
+          kWordBits, w - k * kWordBits));
+      std::uint64_t word[kPlanes];
+      for (int p = 0; p < kPlanes; ++p) word[p] = rows[p][k];
+      for (int j = 0; j < n; ++j) {
+        std::uint64_t s = 0;
+        for (int p = 0; p < kPlanes; ++p) {
+          s |= ((word[p] >> j) & 1u) << p;
+        }
+        dst[k * kWordBits + j] = static_cast<Site>(s);
+      }
+    }
+  }
+}
+
+SiteLattice PlaneLattice::to_sites() const {
+  SiteLattice out(extent_, boundary_);
+  unpack(out);
+  return out;
+}
+
+void PlaneLattice::prepare_shift_halo() {
+  if (words_ == 0) return;
+  const std::int64_t w = extent_.width;
+  const int r = static_cast<int>(w % kWordBits);
+  // Bit position of site width-1 inside the last payload word.
+  const int hi = static_cast<int>((w - 1) % kWordBits);
+  for (int p = 0; p < kPlanes; ++p) {
+    for (std::int64_t y = 0; y < extent_.height; ++y) {
+      std::uint64_t* rp = row(p, y);
+      if (boundary_ == Boundary::Null) {
+        rp[-1] = 0;
+        rp[words_] = 0;
+        rp[words_ - 1] &= tail_mask_;
+        continue;
+      }
+      // Periodic: tail bits of the last word continue with the row's
+      // first sites, the left guard presents site width-1 at bit 63
+      // (only that bit is ever shifted in), the right guard presents
+      // site 0 at bit 0. The defensive tail mask makes this idempotent.
+      const std::uint64_t first =
+          words_ == 1 ? rp[0] & tail_mask_ : rp[0];
+      const std::uint64_t last = rp[words_ - 1] & tail_mask_;
+      if (r != 0) rp[words_ - 1] = last | (first << r);
+      rp[words_] = first;
+      rp[-1] = hi == 63 ? last : last << (63 - hi);
+    }
+  }
+}
+
+bool PlaneLattice::get(Coord c, int plane) const noexcept {
+  const std::int64_t k = c.x / kWordBits;
+  const int j = static_cast<int>(c.x % kWordBits);
+  return ((row(plane, c.y)[k] >> j) & 1u) != 0;
+}
+
+Site PlaneLattice::site(Coord c) const noexcept {
+  std::uint64_t s = 0;
+  for (int p = 0; p < kPlanes; ++p) {
+    s |= static_cast<std::uint64_t>(get(c, p)) << p;
+  }
+  return static_cast<Site>(s);
+}
+
+void PlaneLattice::set_site(Coord c, Site v) noexcept {
+  const std::int64_t k = c.x / kWordBits;
+  const int j = static_cast<int>(c.x % kWordBits);
+  for (int p = 0; p < kPlanes; ++p) {
+    std::uint64_t& word = row(p, c.y)[k];
+    word &= ~(std::uint64_t{1} << j);
+    word |= static_cast<std::uint64_t>((v >> p) & 1u) << j;
+  }
+}
+
+bool operator==(const PlaneLattice& a, const PlaneLattice& b) {
+  if (a.extent_ != b.extent_ || a.boundary_ != b.boundary_) return false;
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+    for (std::int64_t y = 0; y < a.extent_.height; ++y) {
+      const std::uint64_t* ra = a.row(p, y);
+      const std::uint64_t* rb = b.row(p, y);
+      for (std::int64_t k = 0; k < a.words_; ++k) {
+        const std::uint64_t mask =
+            k == a.words_ - 1 ? a.tail_mask_ : ~std::uint64_t{0};
+        if ((ra[k] & mask) != (rb[k] & mask)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lattice::lgca

@@ -1,0 +1,312 @@
+// PlaneKernel and Backend::BitPlane — the multi-spin coded update
+// against the semantic oracle. Collision equality is exhaustive (all
+// 256 site states through the full pack→shift→collide→unpack pipeline,
+// several times so both chirality draws occur); lattice equality runs
+// 100+ generations over both boundary modes, awkward extents, thread
+// counts, and the engine front door, including four-way agreement with
+// the WSA and SPA architecture simulators.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca/ca_rules.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/plane_kernel.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+const char* kind_name(GasKind k) {
+  switch (k) {
+    case GasKind::HPP: return "HPP";
+    case GasKind::FHP_I: return "FHP_I";
+    case GasKind::FHP_II: return "FHP_II";
+    case GasKind::FHP_III: return "FHP_III";
+  }
+  return "unknown";
+}
+
+/// One bit-plane generation of `lat` at time t, via the full
+/// pack → halo → update → unpack pipeline.
+SiteLattice plane_next(const SiteLattice& lat, const PlaneKernel& kernel,
+                       std::int64_t t, std::int64_t tile_words = 0) {
+  PlaneLattice cur(lat);
+  PlaneLattice next(lat.extent(), lat.boundary());
+  cur.prepare_shift_halo();
+  kernel.update_rows(next, cur, t, 0, lat.extent().height, tile_words);
+  return next.to_sites();
+}
+
+class BitPlaneGasTest : public ::testing::TestWithParam<GasKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Gases, BitPlaneGasTest,
+                         ::testing::Values(GasKind::HPP, GasKind::FHP_I,
+                                           GasKind::FHP_II),
+                         [](const auto& info) {
+                           return std::string(kind_name(info.param));
+                         });
+
+TEST_P(BitPlaneGasTest, ExhaustiveSiteStatesThroughFullKernel) {
+  // A uniform periodic lattice makes every gathered state equal the
+  // uniform value, so sweeping all 256 values exercises the complete
+  // boolean-algebra collision, including rest and obstacle planes.
+  // Several times t so both chirality variants fire at pair states.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const Extent e{6, 4};
+  for (int s = 0; s < 256; ++s) {
+    SiteLattice lat(e, Boundary::Periodic);
+    for (std::size_t i = 0; i < lat.site_count(); ++i)
+      lat[i] = static_cast<Site>(s);
+    for (std::int64_t t = 0; t < 4; ++t) {
+      const SiteLattice want = reference_next(lat, rule, t);
+      const SiteLattice got = plane_next(lat, kernel, t);
+      ASSERT_TRUE(got == want)
+          << kind_name(GetParam()) << " state " << s << " t " << t;
+    }
+  }
+}
+
+TEST_P(BitPlaneGasTest, SingleStepsMatchReferenceOnAwkwardExtents) {
+  // Widths crossing every word-boundary regime: sub-word, exactly one
+  // word, word + 1, and a multi-word row with a partial tail.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    for (const Extent e : {Extent{1, 1}, Extent{33, 5}, Extent{64, 4},
+                           Extent{65, 7}, Extent{130, 9}}) {
+      SiteLattice lat(e, b);
+      fill_random(lat, rule.model(), 0.35, 77, 0.25);
+      if (e.width > 8) add_obstacle_disk(lat, e.width / 2, e.height / 2, 2);
+      for (std::int64_t t = 0; t < 6; ++t) {
+        const SiteLattice want = reference_next(lat, rule, t);
+        const SiteLattice got = plane_next(lat, kernel, t);
+        ASSERT_TRUE(got == want) << kind_name(GetParam()) << " " << e.width
+                                 << "x" << e.height << " t " << t;
+        lat = want;
+      }
+    }
+  }
+}
+
+TEST_P(BitPlaneGasTest, HundredGenerationsBitIdentical128x128) {
+  // The acceptance bar: >= 100 generations on 128x128, both boundary
+  // modes, bit-identical to the golden reference.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    SiteLattice ref({128, 128}, b);
+    add_obstacle_disk(ref, 64, 64, 9);
+    fill_flow(ref, rule.model(), 0.3, 0.1, 2024);
+    SiteLattice planes = ref;
+    reference_run(ref, rule, 100);
+    bitplane_gas_run(planes, kernel, 100);
+    EXPECT_TRUE(planes == ref)
+        << kind_name(GetParam())
+        << (b == Boundary::Null ? " null" : " periodic");
+  }
+}
+
+TEST_P(BitPlaneGasTest, NonzeroTimeOriginMatchesReference) {
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  SiteLattice ref({65, 17}, Boundary::Periodic);
+  fill_random(ref, rule.model(), 0.4, 5, 0.1);
+  SiteLattice planes = ref;
+  reference_run(ref, rule, 20, /*t0=*/13);
+  bitplane_gas_run(planes, kernel, 20, /*t0=*/13);
+  EXPECT_TRUE(planes == ref) << kind_name(GetParam());
+}
+
+TEST_P(BitPlaneGasTest, TileSeamsAreInvisible) {
+  // A pathological one-word tile maximizes tile seams; output must not
+  // depend on the tile size.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  SiteLattice lat({300, 11}, Boundary::Periodic);
+  fill_random(lat, rule.model(), 0.3, 9, 0.2);
+  const SiteLattice whole = plane_next(lat, kernel, 2);
+  const SiteLattice tiled = plane_next(lat, kernel, 2, /*tile_words=*/1);
+  EXPECT_TRUE(whole == tiled) << kind_name(GetParam());
+}
+
+TEST(PlaneKernel, RejectsGasesWithoutBooleanForm) {
+  EXPECT_TRUE(PlaneKernel::supports(GasKind::HPP));
+  EXPECT_TRUE(PlaneKernel::supports(GasKind::FHP_I));
+  EXPECT_TRUE(PlaneKernel::supports(GasKind::FHP_II));
+  EXPECT_FALSE(PlaneKernel::supports(GasKind::FHP_III));
+  EXPECT_THROW(PlaneKernel::get(GasKind::FHP_III), Error);
+}
+
+TEST(PlaneKernel, TryGetDetectsSupportedGasRulesOnly) {
+  const GasRule fhp2(GasKind::FHP_II);
+  EXPECT_EQ(PlaneKernel::try_get(fhp2), &PlaneKernel::get(GasKind::FHP_II));
+  const GasRule fhp3(GasKind::FHP_III);
+  EXPECT_EQ(PlaneKernel::try_get(fhp3), nullptr);
+  const LifeRule life;
+  EXPECT_EQ(PlaneKernel::try_get(life), nullptr);
+}
+
+TEST(PlaneKernel, ZeroGenerationsAndEmptyLatticeAreNoOps) {
+  const PlaneKernel& kernel = PlaneKernel::get(GasKind::HPP);
+  const GasRule rule(GasKind::HPP);
+  SiteLattice lat({17, 3}, Boundary::Null);
+  fill_random(lat, rule.model(), 0.4, 3);
+  const SiteLattice before = lat;
+  bitplane_gas_run(lat, kernel, 0);
+  EXPECT_TRUE(lat == before);
+}
+
+// Named to match the CI thread-sanitizer filter (see ci.yml): these are
+// the runs where the banded fan-out must be race-free.
+class BitPlaneParallelTest : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Workers, BitPlaneParallelTest,
+                         ::testing::Values(1u, 2u, 7u, 64u));
+
+TEST_P(BitPlaneParallelTest, AnyWorkerCountIsBitIdenticalToSerial) {
+  const unsigned threads = GetParam();
+  const GasRule rule(GasKind::FHP_II);
+  const PlaneKernel& kernel = PlaneKernel::get(GasKind::FHP_II);
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    SiteLattice serial({130, 17}, b);
+    add_obstacle_disk(serial, 65, 8, 4);
+    fill_random(serial, rule.model(), 0.3, 21, 0.15);
+    SiteLattice banded = serial;
+    bitplane_gas_run(serial, kernel, 15, /*t0=*/1, /*threads=*/1);
+    bitplane_gas_run(banded, kernel, 15, /*t0=*/1, threads);
+    EXPECT_TRUE(serial == banded) << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace lattice::lgca
+
+namespace lattice::core {
+namespace {
+
+using lgca::Boundary;
+using lgca::GasKind;
+using lgca::SiteLattice;
+
+const char* kind_name_of(GasKind gas) {
+  return gas == GasKind::HPP ? "HPP" : "FHP";
+}
+
+LatticeEngine::Config bitplane_config(GasKind gas, Boundary b,
+                                      unsigned threads = 1) {
+  LatticeEngine::Config cfg;
+  cfg.extent = {128, 128};
+  cfg.gas = gas;
+  cfg.boundary = b;
+  cfg.backend = Backend::BitPlane;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(EngineBitPlane, MatchesReferenceBackendOverHistory) {
+  for (const GasKind gas : {GasKind::HPP, GasKind::FHP_II}) {
+    for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+      LatticeEngine::Config ref_cfg = bitplane_config(gas, b);
+      ref_cfg.backend = Backend::Reference;
+      LatticeEngine ref(ref_cfg);
+      LatticeEngine bits(bitplane_config(gas, b));
+      lgca::add_obstacle_disk(ref.state(), 40, 64, 6);
+      lgca::fill_flow(ref.state(), ref.gas_model(), 0.3, 0.1, 99);
+      bits.state() = ref.state();
+      // Split advances so generation_ threads through as t0 correctly.
+      ref.advance(60);
+      ref.advance(47);
+      bits.advance(60);
+      bits.advance(47);
+      EXPECT_TRUE(ref.state() == bits.state());
+      EXPECT_EQ(bits.generation(), 107);
+      EXPECT_TRUE(bits.verify_against_reference());
+    }
+  }
+}
+
+TEST(EngineBitPlane, FourBackendsAgreeBitForBit) {
+  // BitPlane == Reference == Wsa == Spa on the same history: the
+  // boolean-algebra kernel, the byte LUT, and both architecture
+  // simulators are all views of one update semantics.
+  for (const GasKind gas : {GasKind::HPP, GasKind::FHP_II}) {
+    SiteLattice final_state[4];
+    int i = 0;
+    for (const Backend backend : {Backend::BitPlane, Backend::Reference,
+                                  Backend::Wsa, Backend::Spa}) {
+      LatticeEngine::Config cfg = bitplane_config(gas, Boundary::Null);
+      cfg.backend = backend;
+      cfg.pipeline_depth = 4;
+      cfg.wsa_width = 2;
+      LatticeEngine engine(cfg);
+      lgca::add_obstacle_disk(engine.state(), 64, 64, 10);
+      lgca::fill_flow(engine.state(), engine.gas_model(), 0.28, 0.08, 7);
+      engine.advance(12);
+      final_state[i++] = engine.state();
+    }
+    EXPECT_TRUE(final_state[0] == final_state[1]) << kind_name_of(gas);
+    EXPECT_TRUE(final_state[0] == final_state[2]) << kind_name_of(gas);
+    EXPECT_TRUE(final_state[0] == final_state[3]) << kind_name_of(gas);
+  }
+}
+
+TEST(EngineBitPlane, CheckpointRestoreReplaysExactly) {
+  LatticeEngine engine(bitplane_config(GasKind::FHP_II, Boundary::Periodic));
+  lgca::fill_random(engine.state(), engine.gas_model(), 0.35, 17, 0.1);
+  engine.advance(25);
+  const EngineCheckpoint ckpt = engine.checkpoint();
+  engine.advance(30);
+  const SiteLattice first = engine.state();
+  engine.restore(ckpt);
+  EXPECT_EQ(engine.generation(), 25);
+  engine.advance(30);
+  EXPECT_TRUE(engine.state() == first);
+}
+
+TEST(EngineBitPlane, ThreadsComposeWithEngine) {
+  LatticeEngine serial(bitplane_config(GasKind::FHP_I, Boundary::Null));
+  LatticeEngine banded(bitplane_config(GasKind::FHP_I, Boundary::Null, 8));
+  lgca::fill_flow(serial.state(), serial.gas_model(), 0.3, 0.1, 3);
+  banded.state() = serial.state();
+  serial.advance(40);
+  banded.advance(40);
+  EXPECT_TRUE(serial.state() == banded.state());
+}
+
+TEST(EngineBitPlane, ReportCountsSoftwareWorkOnly) {
+  LatticeEngine engine(bitplane_config(GasKind::HPP, Boundary::Null));
+  lgca::fill_random(engine.state(), engine.gas_model(), 0.4, 11);
+  engine.advance(10);
+  const PerformanceReport r = engine.report();
+  EXPECT_EQ(r.backend, Backend::BitPlane);
+  EXPECT_EQ(r.generations, 10);
+  EXPECT_EQ(r.site_updates, 128 * 128 * 10);
+  EXPECT_EQ(r.ticks, 0);                      // no simulated datapath
+  EXPECT_EQ(r.bandwidth_bits_per_tick, 0.0);  // no modeled bandwidth
+  EXPECT_GT(r.wall_seconds, 0.0);
+  EXPECT_GT(r.measured_rate, 0.0);
+}
+
+TEST(EngineBitPlane, RejectsUnsupportedConfigurations) {
+  // FHP-III has no boolean-form kernel.
+  LatticeEngine::Config cfg = bitplane_config(GasKind::FHP_III,
+                                              Boundary::Null);
+  EXPECT_THROW(LatticeEngine{cfg}, Error);
+  // Custom rules have no boolean form either.
+  const lgca::LifeRule life;
+  cfg = bitplane_config(GasKind::HPP, Boundary::Null);
+  cfg.custom_rule = &life;
+  EXPECT_THROW(LatticeEngine{cfg}, Error);
+  // Fault injection lives in the hardware simulators' buffers.
+  cfg = bitplane_config(GasKind::HPP, Boundary::Null);
+  cfg.fault.buffer_flip_rate = 1e-3;
+  EXPECT_THROW(LatticeEngine{cfg}, Error);
+}
+
+}  // namespace
+}  // namespace lattice::core

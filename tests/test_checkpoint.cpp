@@ -38,13 +38,16 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CkptCase{Backend::Reference, lgca::Boundary::Null},
                       CkptCase{Backend::Reference, lgca::Boundary::Periodic},
                       CkptCase{Backend::Wsa, lgca::Boundary::Null},
-                      CkptCase{Backend::Spa, lgca::Boundary::Null}),
+                      CkptCase{Backend::Spa, lgca::Boundary::Null},
+                      CkptCase{Backend::BitPlane, lgca::Boundary::Null},
+                      CkptCase{Backend::BitPlane, lgca::Boundary::Periodic}),
     [](const auto& info) {
       std::string s;
       switch (info.param.backend) {
         case Backend::Reference: s = "Reference"; break;
         case Backend::Wsa: s = "Wsa"; break;
         case Backend::Spa: s = "Spa"; break;
+        case Backend::BitPlane: s = "BitPlane"; break;
       }
       s += info.param.boundary == lgca::Boundary::Null ? "Null" : "Periodic";
       return s;

@@ -139,6 +139,25 @@ TEST_P(FusedRunTest, MatchesReferenceOnOddExtent) {
   }
 }
 
+TEST(FusedGasRun, ChunkingAtAnyBoundaryIsInvariant) {
+  // The engine chunks long runs by pipeline_depth, restarting
+  // fused_gas_run with a carried t0 at arbitrary (odd, non-divisor)
+  // boundaries. Chirality is a pure hash of (x, y, t) — not a stream
+  // state — so a chunked run must equal the continuous one exactly.
+  const GasRule rule(GasKind::FHP_II);
+  const CollisionLut& lut = CollisionLut::get(GasKind::FHP_II);
+  SiteLattice whole({41, 13}, Boundary::Periodic);
+  fill_random(whole, rule.model(), 0.35, 55, 0.15);
+  SiteLattice chunked = whole;
+  fused_gas_run(whole, lut, 17, /*t0=*/0);
+  std::int64_t t = 0;
+  for (const int chunk : {1, 3, 5, 8}) {  // 17 generations total
+    fused_gas_run(chunked, lut, chunk, t);
+    t += chunk;
+  }
+  EXPECT_TRUE(whole == chunked);
+}
+
 TEST(FusedGasRun, MoreThreadsThanRowsIsFine) {
   const GasRule rule(GasKind::FHP_III);
   const CollisionLut& lut = CollisionLut::get(GasKind::FHP_III);

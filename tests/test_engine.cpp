@@ -30,12 +30,13 @@ class BackendTest : public ::testing::TestWithParam<Backend> {};
 
 INSTANTIATE_TEST_SUITE_P(All, BackendTest,
                          ::testing::Values(Backend::Reference, Backend::Wsa,
-                                           Backend::Spa),
+                                           Backend::Spa, Backend::BitPlane),
                          [](const auto& info) {
                            switch (info.param) {
                              case Backend::Reference: return "Reference";
                              case Backend::Wsa: return "Wsa";
                              case Backend::Spa: return "Spa";
+                             case Backend::BitPlane: return "BitPlane";
                            }
                            return "unknown";
                          });
@@ -100,6 +101,7 @@ std::string exec_name(const ::testing::TestParamInfo<ExecCase>& info) {
     case Backend::Reference: s = "Reference"; break;
     case Backend::Wsa: s = "Wsa"; break;
     case Backend::Spa: s = "Spa"; break;
+    case Backend::BitPlane: s = "BitPlane"; break;
   }
   s += "T" + std::to_string(c.threads);
   s += c.fast ? "Fast" : "Generic";
@@ -118,7 +120,10 @@ INSTANTIATE_TEST_SUITE_P(
                       ExecCase{Backend::Spa, 1, true},
                       ExecCase{Backend::Spa, 2, false},
                       ExecCase{Backend::Spa, 2, true},
-                      ExecCase{Backend::Spa, 7, true}),
+                      ExecCase{Backend::Spa, 7, true},
+                      ExecCase{Backend::BitPlane, 1, true},
+                      ExecCase{Backend::BitPlane, 2, false},
+                      ExecCase{Backend::BitPlane, 7, true}),
     exec_name);
 
 TEST_P(ExecutionMatrixTest, VerifiesAgainstReference) {

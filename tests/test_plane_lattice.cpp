@@ -1,0 +1,217 @@
+// PlaneLattice — the bit-plane transpose of SiteLattice. Round-trip
+// property tests over awkward widths (word-aligned, one-under/over,
+// sub-word, single-column), the tail-bit and guard-word invariants of
+// the shift halo, and the packed chirality hash against its scalar
+// original, lane for lane.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lattice/lgca/gas_model.hpp"
+#include "lattice/lgca/plane_lattice.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+SiteLattice random_sites(Extent e, Boundary b, std::uint32_t seed) {
+  // Raw random bytes: every site state 0..255, so the rest and obstacle
+  // planes carry data too.
+  SiteLattice lat(e, b);
+  std::mt19937 rng(seed);
+  for (std::size_t i = 0; i < lat.site_count(); ++i)
+    lat[i] = static_cast<Site>(rng() & 0xff);
+  return lat;
+}
+
+struct Shape {
+  std::int64_t width;
+  std::int64_t height;
+};
+
+class RoundTripTest
+    : public ::testing::TestWithParam<std::tuple<Shape, Boundary>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RoundTripTest,
+    ::testing::Combine(::testing::Values(Shape{1, 1}, Shape{7, 5},
+                                         Shape{63, 3}, Shape{64, 4},
+                                         Shape{65, 2}, Shape{128, 3},
+                                         Shape{130, 9}),
+                       ::testing::Values(Boundary::Null, Boundary::Periodic)),
+    [](const auto& info) {
+      const Shape s = std::get<0>(info.param);
+      const Boundary b = std::get<1>(info.param);
+      return std::to_string(s.width) + "x" + std::to_string(s.height) +
+             (b == Boundary::Null ? "Null" : "Periodic");
+    });
+
+TEST_P(RoundTripTest, PackUnpackIsIdentity) {
+  const auto [shape, boundary] = GetParam();
+  const SiteLattice original =
+      random_sites({shape.width, shape.height}, boundary, 0xbeef);
+  const PlaneLattice planes(original);
+  EXPECT_EQ(planes.extent().width, shape.width);
+  EXPECT_EQ(planes.boundary(), boundary);
+  EXPECT_TRUE(planes.to_sites() == original);
+  SiteLattice back({shape.width, shape.height}, boundary);
+  planes.unpack(back);
+  EXPECT_TRUE(back == original);
+}
+
+TEST_P(RoundTripTest, SingleSiteAccessorsAgreeWithBytes) {
+  const auto [shape, boundary] = GetParam();
+  const SiteLattice original =
+      random_sites({shape.width, shape.height}, boundary, 0xcafe);
+  const PlaneLattice planes(original);
+  for (std::int64_t y = 0; y < shape.height; ++y) {
+    for (std::int64_t x = 0; x < shape.width; ++x) {
+      const Site want = original.at({x, y});
+      ASSERT_EQ(planes.site({x, y}), want) << x << "," << y;
+      for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+        ASSERT_EQ(planes.get({x, y}, p), ((want >> p) & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST_P(RoundTripTest, SetSiteMirrorsPack) {
+  const auto [shape, boundary] = GetParam();
+  const SiteLattice original =
+      random_sites({shape.width, shape.height}, boundary, 0xf00d);
+  PlaneLattice planes({shape.width, shape.height}, boundary);
+  for (std::int64_t y = 0; y < shape.height; ++y)
+    for (std::int64_t x = 0; x < shape.width; ++x)
+      planes.set_site({x, y}, original.at({x, y}));
+  EXPECT_TRUE(planes == PlaneLattice(original));
+  EXPECT_TRUE(planes.to_sites() == original);
+}
+
+TEST_P(RoundTripTest, PackLeavesTailBitsZero) {
+  const auto [shape, boundary] = GetParam();
+  const PlaneLattice planes(
+      random_sites({shape.width, shape.height}, boundary, 0xabcd));
+  const std::int64_t last = planes.words_per_row() - 1;
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+    for (std::int64_t y = 0; y < shape.height; ++y) {
+      ASSERT_EQ(planes.row(p, y)[last] & ~planes.tail_mask(), 0u)
+          << "plane " << p << " row " << y;
+    }
+  }
+}
+
+TEST_P(RoundTripTest, HaloPreparationPreservesPayloadAndIsIdempotent) {
+  const auto [shape, boundary] = GetParam();
+  const SiteLattice original =
+      random_sites({shape.width, shape.height}, boundary, 0x1234);
+  PlaneLattice planes(original);
+  planes.prepare_shift_halo();
+  EXPECT_TRUE(planes.to_sites() == original);
+
+  // Second fill must produce exactly the same words, including guards —
+  // a stale tail bit leaking into the wrap computation would break this.
+  std::vector<std::uint64_t> first;
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p)
+    for (std::int64_t y = 0; y < shape.height; ++y) {
+      const std::uint64_t* r = planes.row(p, y);
+      first.insert(first.end(), r - 1, r + planes.words_per_row() + 1);
+    }
+  planes.prepare_shift_halo();
+  std::size_t i = 0;
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p)
+    for (std::int64_t y = 0; y < shape.height; ++y) {
+      const std::uint64_t* r = planes.row(p, y);
+      for (std::int64_t k = -1; k <= planes.words_per_row(); ++k)
+        ASSERT_EQ(r[k], first[i++]) << "plane " << p << " row " << y;
+    }
+}
+
+TEST_P(RoundTripTest, HaloEncodesBoundaryNeighbors) {
+  const auto [shape, boundary] = GetParam();
+  const SiteLattice original =
+      random_sites({shape.width, shape.height}, boundary, 0x5678);
+  PlaneLattice planes(original);
+  planes.prepare_shift_halo();
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+    for (std::int64_t y = 0; y < shape.height; ++y) {
+      const std::uint64_t* r = planes.row(p, y);
+      // A right shift of the last word pulls in bit 0 of the right
+      // guard: site x = width under Null, site x = 0 under Periodic.
+      // A left shift of word 0 pulls in bit 63 of the left guard:
+      // site x = -1 / x = width - 1 respectively.
+      const bool right_in = boundary == Boundary::Periodic &&
+                            ((original.at({0, y}) >> p) & 1) != 0;
+      const bool left_in =
+          boundary == Boundary::Periodic &&
+          ((original.at({shape.width - 1, y}) >> p) & 1) != 0;
+      ASSERT_EQ((r[planes.words_per_row()] & 1) != 0, right_in);
+      ASSERT_EQ((r[-1] >> 63) != 0, left_in);
+      // The bit one past the row's tail feeds the left-shift of the
+      // last payload word (gathering from x = width): wrapped x = 0
+      // under Periodic, zero under Null. It lives in the tail bits
+      // when width % 64 != 0 and in the right guard otherwise.
+      const std::int64_t w = shape.width % 64;
+      const bool past_end =
+          w != 0 ? ((r[planes.words_per_row() - 1] >> w) & 1) != 0
+                 : (r[planes.words_per_row()] & 1) != 0;
+      ASSERT_EQ(past_end, right_in) << "plane " << p << " row " << y;
+    }
+  }
+}
+
+TEST(PlaneLattice, EqualityIgnoresHaloState) {
+  const SiteLattice sites = random_sites({65, 4}, Boundary::Periodic, 42);
+  PlaneLattice a(sites);
+  PlaneLattice b(sites);
+  a.prepare_shift_halo();  // fills guards and tail bits in a only
+  EXPECT_TRUE(a == b);
+  b.set_site({64, 3}, static_cast<Site>(sites.at({64, 3}) ^ 1));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PlaneLattice, PackReplacesPriorContents) {
+  const SiteLattice first = random_sites({30, 6}, Boundary::Null, 1);
+  const SiteLattice second = random_sites({30, 6}, Boundary::Null, 2);
+  PlaneLattice planes(first);
+  planes.prepare_shift_halo();
+  planes.pack(second);
+  EXPECT_TRUE(planes.to_sites() == second);
+}
+
+TEST(ChiralityMask, MatchesScalarHashLaneForLane) {
+  for (const std::int64_t x0 : {std::int64_t{0}, std::int64_t{64},
+                                std::int64_t{1 << 20}}) {
+    for (const std::int64_t y : {std::int64_t{0}, std::int64_t{7},
+                                 std::int64_t{511}}) {
+      for (const std::int64_t t : {std::int64_t{0}, std::int64_t{1},
+                                   std::int64_t{12345}}) {
+        const std::uint64_t mask = GasModel::chirality_mask64(x0, y, t);
+        for (int j = 0; j < 64; ++j) {
+          ASSERT_EQ((mask >> j) & 1,
+                    static_cast<std::uint64_t>(
+                        GasModel::chirality(x0 + j, y, t)))
+              << "x0 " << x0 << " y " << y << " t " << t << " lane " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChiralityMask, VariantsAreBalanced) {
+  // Sanity on the hash: roughly half the lanes pick each variant.
+  std::int64_t ones = 0;
+  const std::int64_t words = 4096;
+  for (std::int64_t i = 0; i < words; ++i)
+    ones += std::popcount(GasModel::chirality_mask64(i * 64, i % 97, i % 13));
+  const double frac =
+      static_cast<double>(ones) / static_cast<double>(words * 64);
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.55);
+}
+
+}  // namespace
+}  // namespace lattice::lgca

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON against a recorded baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--max-regression X]
+
+Rows are matched on every non-measurement field (gas, side, kernel,
+threads, ...). The gate fails if:
+  * any baseline row is missing from the current run,
+  * any current row reports exact == false,
+  * any matched row's sites_per_sec fell more than --max-regression x
+    below the baseline (default 5x — wide enough to absorb machine
+    differences between the recording host and CI runners, narrow
+    enough to catch an accidental fall off the fast path).
+
+Speedups are never gated: a faster run only moves the headroom.
+"""
+
+import argparse
+import json
+import sys
+
+MEASUREMENT_KEYS = {"seconds", "sites_per_sec", "speedup_vs_lut",
+                    "speedup_vs_serial", "exact"}
+
+
+def row_key(row):
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if k not in MEASUREMENT_KEYS))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regression", type=float, default=5.0,
+                    help="tolerated slowdown factor vs baseline")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    current_rows = {row_key(r): r for r in current.get("rows", [])}
+    failures = []
+
+    for row in current.get("rows", []):
+        if row.get("exact") is False:
+            failures.append(f"inexact result: {row}")
+
+    print(f"{'row':58s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for base in baseline.get("rows", []):
+        key = row_key(base)
+        label = " ".join(str(v) for _, v in key)
+        cur = current_rows.get(key)
+        if cur is None:
+            failures.append(f"row missing from current run: {label}")
+            print(f"{label:58s} {base['sites_per_sec']:12.3e} {'MISSING':>12s}")
+            continue
+        ratio = cur["sites_per_sec"] / base["sites_per_sec"]
+        print(f"{label:58s} {base['sites_per_sec']:12.3e} "
+              f"{cur['sites_per_sec']:12.3e} {ratio:6.2f}x")
+        if ratio < 1.0 / args.max_regression:
+            failures.append(
+                f"{label}: {cur['sites_per_sec']:.3e} sites/s is more than "
+                f"{args.max_regression:g}x below baseline "
+                f"{base['sites_per_sec']:.3e}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nOK: no inexact rows, no missing rows, no "
+          f">{args.max_regression:g}x regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
