@@ -1,0 +1,145 @@
+// E16 — cost of the observability layer itself: per-operation
+// nanoseconds for counter adds, histogram records, scoped timers, and
+// trace spans (disabled and enabled), plus the end-to-end check that
+// instrumenting the fused kernel's bands is invisible at kernel
+// granularity. The contract being tested is the header's cost model:
+// a counter add is one relaxed fetch_add on a thread-private cache
+// line, a disabled span is one relaxed load, and nothing allocates.
+//
+// Built with -DLATTICE_OBS=OFF the same binary shows the compiled-out
+// floor (every op collapses to ~0 ns) — CI builds both and the
+// quick-bench gate keeps BENCH_obs.json honest.
+
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+#include "lattice/lgca/collision_lut.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
+
+namespace {
+
+using namespace lattice;
+
+template <typename Fn>
+double ns_per_op(std::int64_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) fn(i);
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return s * 1e9 / static_cast<double>(iters);
+}
+
+void print_tables() {
+  bench_util::header("E16", "observability layer per-op cost");
+  std::printf("  LATTICE_OBS compiled %s\n\n",
+              obs::kEnabled ? "IN" : "OUT");
+
+  constexpr std::int64_t kIters = 4'000'000;
+  const obs::MetricsRegistry::Id ctr = obs::counter_id("bench.obs.counter");
+  const obs::MetricsRegistry::Id hist = obs::histogram_id("bench.obs.hist");
+
+  bench_util::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "obs");
+  w.field("obs_enabled", obs::kEnabled);
+  w.key("rows").begin_array();
+  const auto row = [&](const char* op, double ns) {
+    std::printf("  %-28s %8.2f ns/op\n", op, ns);
+    w.begin_object();
+    w.field("op", op);
+    w.field("ns_per_op", ns);
+    w.end_object();
+  };
+
+  row("counter add",
+      ns_per_op(kIters, [&](std::int64_t i) { obs::count(ctr, i); }));
+  row("histogram record",
+      ns_per_op(kIters, [&](std::int64_t i) { obs::record(hist, i); }));
+  row("scoped timer", ns_per_op(kIters / 4, [&](std::int64_t) {
+        const obs::ScopedTimer t(hist);
+      }));
+  obs::set_trace_enabled(false);
+  row("trace span (tracing off)", ns_per_op(kIters, [&](std::int64_t) {
+        const obs::TraceSpan s("bench.span");
+      }));
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  row("trace span (tracing on)", ns_per_op(kIters / 16, [&](std::int64_t) {
+        const obs::TraceSpan s("bench.span");
+      }));
+  obs::set_trace_enabled(false);
+  obs::clear_trace();
+
+  // End-to-end: the fused kernel's only instrumentation is one timer
+  // per band per generation and one counter per run — per-op cost
+  // times that call count must be far below timer noise.
+  const std::int64_t side = 256, generations = 64;
+  lgca::SiteLattice lat({side, side}, lgca::Boundary::Null);
+  const lgca::CollisionLut& lut = lgca::CollisionLut::get(lgca::GasKind::HPP);
+  lgca::fill_random(lat, lut.model(), 0.3, 13);
+  const auto start = std::chrono::steady_clock::now();
+  lgca::fused_gas_run(lat, lut, generations);
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  const double rate =
+      static_cast<double>(side * side * generations) / s;
+  std::printf("  %-28s %8.3e sites/s\n", "fused kernel (instrumented)", rate);
+  w.end_array();
+  w.field("fused_sites_per_sec", rate);
+  w.end_object();
+
+  if (!w.write_file("BENCH_obs.json")) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_obs.json\n");
+    std::exit(1);
+  }
+  bench_util::note("");
+  bench_util::note("what to look for: counter adds around 10 ns (one TLS");
+  bench_util::note("lookup + relaxed fetch_add), disabled trace spans one");
+  bench_util::note("relaxed load (~1 ns), and with -DLATTICE_OBS=OFF");
+  bench_util::note("everything at ~0 ns.");
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  const obs::MetricsRegistry::Id id = obs::counter_id("bench.obs.bm_counter");
+  std::int64_t i = 0;
+  for (auto _ : state) obs::count(id, ++i);
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  const obs::MetricsRegistry::Id id = obs::histogram_id("bench.obs.bm_hist");
+  std::int64_t i = 0;
+  for (auto _ : state) obs::record(id, ++i);
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    const obs::TraceSpan s("bench.bm_span");
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_Snapshot(benchmark::State& state) {
+  const obs::MetricsRegistry::Id id = obs::counter_id("bench.obs.bm_snap");
+  obs::count(id, 1);
+  for (auto _ : state) {
+    if constexpr (obs::kEnabled) {
+      auto snap = obs::MetricsRegistry::global().snapshot();
+      benchmark::DoNotOptimize(snap.counters.size());
+    }
+  }
+}
+BENCHMARK(BM_Snapshot);
+
+}  // namespace
+
+LATTICE_BENCH_MAIN(print_tables)

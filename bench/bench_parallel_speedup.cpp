@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "lattice/arch/spa.hpp"
@@ -23,10 +24,15 @@ namespace {
 
 using namespace lattice;
 
-constexpr std::int64_t kSide = 512;
+bool quick_mode() { return std::getenv("LATTICE_BENCH_QUICK") != nullptr; }
+
+// Quick mode (CI gate) shrinks the lattice and pass count but keeps
+// the execution-row names identical, so the same baseline matching in
+// tools/check_bench_regression.py applies to both shapes.
+const std::int64_t kSide = quick_mode() ? 192 : 512;
 constexpr int kDepth = 4;
 constexpr std::int64_t kSlice = 32;
-constexpr int kPasses = 2;  // generations = kDepth * kPasses
+const int kPasses = quick_mode() ? 1 : 2;  // generations = kDepth * kPasses
 
 lgca::SiteLattice make_input() {
   lgca::SiteLattice lat({kSide, kSide}, lgca::Boundary::Null);
@@ -76,8 +82,10 @@ void print_tables() {
   lgca::SiteLattice golden = in;
   lgca::reference_run(golden, rule, kDepth * kPasses);
 
-  std::printf("  512x512 FHP-II, %d generations (SPA: W=%lld, depth=%d)\n\n",
-              kDepth * kPasses, static_cast<long long>(kSlice), kDepth);
+  std::printf("  %lldx%lld FHP-II, %d generations (SPA: W=%lld, depth=%d)%s\n\n",
+              static_cast<long long>(kSide), static_cast<long long>(kSide),
+              kDepth * kPasses, static_cast<long long>(kSlice), kDepth,
+              quick_mode() ? " (quick mode)" : "");
   std::printf("  %-34s %10s %12s %9s %7s\n", "execution", "seconds",
               "updates/s", "speedup", "exact");
 
@@ -124,6 +132,7 @@ void print_tables() {
   bench_util::JsonWriter w;
   w.begin_object();
   w.field("bench", "parallel_speedup");
+  w.field("quick", quick_mode());
   w.field("side", kSide);
   w.field("generations", std::int64_t{kDepth} * kPasses);
   w.key("rows").begin_array();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "lattice/obs/json.hpp"
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -19,97 +21,11 @@ inline void header(const char* experiment, const char* title) {
 
 inline void note(const char* text) { std::printf("  %s\n", text); }
 
-/// Minimal streaming JSON writer so each bench can persist its
-/// reproduction table as machine-readable BENCH_<name>.json next to the
-/// printed one (the CI quick-bench gate diffs these against recorded
-/// baselines). Emission order is caller order; no dependencies, no
-/// pretty-printing beyond one space after ':' and ','.
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { sep(); buf_ += '{'; depth_.push_back(false); return *this; }
-  JsonWriter& end_object() { depth_.pop_back(); buf_ += '}'; return *this; }
-  JsonWriter& begin_array() { sep(); buf_ += '['; depth_.push_back(false); return *this; }
-  JsonWriter& end_array() { depth_.pop_back(); buf_ += ']'; return *this; }
-
-  JsonWriter& key(const char* k) {
-    sep();
-    append_string(k);
-    buf_ += ": ";
-    after_key_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(const char* v) { sep(); append_string(v); return *this; }
-  JsonWriter& value(const std::string& v) { return value(v.c_str()); }
-  JsonWriter& value(bool v) { sep(); buf_ += v ? "true" : "false"; return *this; }
-  JsonWriter& value(std::int64_t v) {
-    sep();
-    buf_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
-  JsonWriter& value(unsigned v) { return value(static_cast<std::int64_t>(v)); }
-  JsonWriter& value(double v) {
-    sep();
-    char tmp[32];
-    std::snprintf(tmp, sizeof(tmp), "%.10g", v);
-    buf_ += tmp;
-    return *this;
-  }
-
-  template <typename T>
-  JsonWriter& field(const char* k, const T& v) {
-    key(k);
-    return value(v);
-  }
-
-  const std::string& str() const noexcept { return buf_; }
-
-  /// Write the document (plus trailing newline) to `path`; false on I/O
-  /// failure. Benches treat failure as fatal so CI never gates on a
-  /// stale file.
-  bool write_file(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), f);
-    const bool ok = n == buf_.size() && std::fputc('\n', f) != EOF;
-    return std::fclose(f) == 0 && ok;
-  }
-
- private:
-  void sep() {
-    if (after_key_) {
-      after_key_ = false;
-      return;
-    }
-    if (!depth_.empty()) {
-      if (depth_.back()) buf_ += ", ";
-      depth_.back() = true;
-    }
-  }
-
-  void append_string(const char* s) {
-    buf_ += '"';
-    for (; *s != '\0'; ++s) {
-      const char c = *s;
-      if (c == '"' || c == '\\') {
-        buf_ += '\\';
-        buf_ += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char tmp[8];
-        std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
-        buf_ += tmp;
-      } else {
-        buf_ += c;
-      }
-    }
-    buf_ += '"';
-  }
-
-  std::string buf_;
-  std::vector<bool> depth_;  // per level: "an element was emitted"
-  bool after_key_ = false;
-};
+/// The streaming JSON writer behind the BENCH_<name>.json files the
+/// CI quick-bench gate diffs against recorded baselines. The class
+/// itself now lives in lattice::obs (the observability exports use the
+/// same emitter); this alias keeps every bench unchanged.
+using JsonWriter = ::lattice::obs::JsonWriter;
 
 /// Standard main body: reproduction tables first, then benchmarks.
 #define LATTICE_BENCH_MAIN(print_tables)              \

@@ -8,10 +8,23 @@
 
 #include "lattice/common/thread_pool.hpp"
 #include "lattice/lgca/collision_lut.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
 
 namespace lattice::arch {
 
 namespace {
+
+struct SpaObs {
+  obs::MetricsRegistry::Id ticks = obs::counter_id("spa.ticks");
+  obs::MetricsRegistry::Id sites = obs::counter_id("spa.site_updates");
+  obs::MetricsRegistry::Id run_ns = obs::histogram_id("spa.run_ns");
+  obs::MetricsRegistry::Id lane_ns = obs::histogram_id("spa.lane_ns");
+  static const SpaObs& get() {
+    static const SpaObs ids;
+    return ids;
+  }
+};
 
 /// One serial pipeline stage scoped to a slice, with window completion
 /// across slice boundaries via peeks into the neighbor stage's buffer.
@@ -285,6 +298,9 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
   LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
   LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
                   "SPA streams null-boundary lattices only");
+  const obs::TraceSpan span("spa.run");
+  const obs::ScopedTimer run_timer(SpaObs::get().run_ns);
+  const std::int64_t ticks_before = stats_.ticks;
   // Armed runs must exercise the simulated slice buffers and side
   // channels, which only exist in the cycle-exact walk.
   const bool faulty = fault_ != nullptr && fault_->armed();
@@ -297,6 +313,8 @@ lgca::SiteLattice SpaMachine::run(const lgca::SiteLattice& in) {
     stats_.ticks += static_cast<std::int64_t>(fault_->remapped_lanes()) *
                     slice_width_ * extent_.height;
   }
+  obs::count(SpaObs::get().ticks, stats_.ticks - ticks_before);
+  obs::count(SpaObs::get().sites, extent_.area() * depth_);
   return out;
 }
 
@@ -471,6 +489,7 @@ lgca::SiteLattice SpaMachine::run_parallel(const lgca::SiteLattice& in) {
   } else {
     std::barrier<> side_channel(lanes);
     pool.run_lanes(lanes, [&](unsigned lane) {
+      const obs::ScopedTimer timer(SpaObs::get().lane_ns);
       lane_body(lane, [&] { side_channel.arrive_and_wait(); });
     });
   }

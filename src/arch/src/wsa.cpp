@@ -1,6 +1,23 @@
 #include "lattice/arch/wsa.hpp"
 
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
+
 namespace lattice::arch {
+
+namespace {
+
+struct WsaObs {
+  obs::MetricsRegistry::Id ticks = obs::counter_id("wsa.ticks");
+  obs::MetricsRegistry::Id sites = obs::counter_id("wsa.site_updates");
+  obs::MetricsRegistry::Id run_ns = obs::histogram_id("wsa.run_ns");
+  static const WsaObs& get() {
+    static const WsaObs ids;
+    return ids;
+  }
+};
+
+}  // namespace
 
 WsaPipeline::WsaPipeline(Extent extent, const lgca::Rule& rule, int depth,
                          int width, std::int64_t t0, bool fast_kernel,
@@ -20,6 +37,9 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   LATTICE_REQUIRE(in.extent() == extent_, "lattice extent mismatch");
   LATTICE_REQUIRE(in.boundary() == lgca::Boundary::Null,
                   "serial pipelines stream null-boundary lattices only");
+  const obs::TraceSpan span("wsa.run");
+  const obs::ScopedTimer run_timer(WsaObs::get().run_ns);
+  const std::int64_t ticks_before = stats_.ticks;
 
   // Build the stage chain: stage s updates generation t0+s and sees
   // s·delay positions of upstream latency.
@@ -75,6 +95,8 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   stats_.site_updates += area * depth_;
   stats_.buffer_sites = 0;
   for (const StreamStage& s : stages) stats_.buffer_sites += s.buffer_sites();
+  obs::count(WsaObs::get().ticks, stats_.ticks - ticks_before);
+  obs::count(WsaObs::get().sites, area * depth_);
 
   // Online conservation audit (gas rules only): each stage is one
   // generation, so its emitted stream must carry exactly the particles

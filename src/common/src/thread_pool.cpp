@@ -1,10 +1,52 @@
 #include "lattice/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "lattice/common/error.hpp"
+#include "lattice/obs/metrics.hpp"
 
 namespace lattice::common {
+
+namespace {
+
+// Pool instrumentation (docs/OBSERVABILITY.md): job/task counts, the
+// submitted bag size as a gauge, and latency histograms. Per-worker
+// busy time lets a profile compute each worker's busy fraction; all
+// pools in the process share one namespace, like the registry itself.
+struct PoolObs {
+  obs::MetricsRegistry::Id jobs;        // dispatches (task bags + lane sets)
+  obs::MetricsRegistry::Id tasks;       // tasks executed, all executors
+  obs::MetricsRegistry::Id queue_depth; // gauge: tasks in the current bag
+  obs::MetricsRegistry::Id job_ns;      // histogram: whole-job latency
+  obs::MetricsRegistry::Id task_ns;     // histogram: single-task latency
+  obs::MetricsRegistry::Id lane_ns;     // histogram: single-lane latency
+  obs::MetricsRegistry::Id caller_busy; // caller-thread busy ns
+
+  static const PoolObs& get() {
+    static const PoolObs ids = {
+        obs::counter_id("pool.jobs"),
+        obs::counter_id("pool.tasks"),
+        obs::gauge_id("pool.queue_depth"),
+        obs::histogram_id("pool.job_ns"),
+        obs::histogram_id("pool.task_ns"),
+        obs::histogram_id("pool.lane_ns"),
+        obs::counter_id("pool.caller.busy_ns"),
+    };
+    return ids;
+  }
+};
+
+/// Busy-time counter for worker `index`; workers past 31 share one
+/// overflow counter so the namespace stays bounded.
+obs::MetricsRegistry::Id worker_busy_id(unsigned index) {
+  if (index >= 32) return obs::counter_id("pool.worker.32plus.busy_ns");
+  char name[40];
+  std::snprintf(name, sizeof(name), "pool.worker.%u.busy_ns", index);
+  return obs::counter_id(name);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) {
   threads_.reserve(workers);
@@ -23,6 +65,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(unsigned index) {
+  obs::MetricsRegistry::Id busy_id = obs::MetricsRegistry::kInvalidId;
+  if constexpr (obs::kEnabled) busy_id = worker_busy_id(index);
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -38,14 +82,34 @@ void ThreadPool::worker_loop(unsigned index) {
     std::exception_ptr err;
     try {
       if (task_fn != nullptr) {
+        std::int64_t done = 0;
+        const std::int64_t epoch_t0 = obs::kEnabled ? obs::now_ns() : 0;
         for (;;) {
           const std::int64_t i =
               next_task_.fetch_add(1, std::memory_order_relaxed);
           if (i >= total) break;
-          (*task_fn)(i);
+          if constexpr (obs::kEnabled) {
+            const obs::ScopedTimer t(PoolObs::get().task_ns);
+            (*task_fn)(i);
+          } else {
+            (*task_fn)(i);
+          }
+          ++done;
+        }
+        if constexpr (obs::kEnabled) {
+          if (done > 0) {
+            obs::count(PoolObs::get().tasks, done);
+            obs::count(busy_id, obs::now_ns() - epoch_t0);
+          }
         }
       } else if (lane_fn != nullptr && index + 1 < lanes) {
+        const std::int64_t lane_t0 = obs::kEnabled ? obs::now_ns() : 0;
         (*lane_fn)(index + 1);
+        if constexpr (obs::kEnabled) {
+          const std::int64_t lane_dt = obs::now_ns() - lane_t0;
+          obs::record(PoolObs::get().lane_ns, lane_dt);
+          obs::count(busy_id, lane_dt);
+        }
       }
     } catch (...) {
       err = std::current_exception();
@@ -68,6 +132,12 @@ void ThreadPool::dispatch(const std::function<void(std::int64_t)>* task_fn,
                           const std::function<void(unsigned)>* lane_fn,
                           unsigned lanes, std::int64_t tasks) {
   std::lock_guard<std::mutex> submit(submit_mu_);
+  const std::int64_t job_t0 = obs::kEnabled ? obs::now_ns() : 0;
+  if constexpr (obs::kEnabled) {
+    obs::count(PoolObs::get().jobs, 1);
+    obs::gauge_set(PoolObs::get().queue_depth,
+                   task_fn != nullptr ? tasks : lanes);
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     task_fn_ = task_fn;
@@ -85,14 +155,27 @@ void ThreadPool::dispatch(const std::function<void(std::int64_t)>* task_fn,
   std::exception_ptr err;
   try {
     if (task_fn != nullptr) {
+      std::int64_t done = 0;
       for (;;) {
         const std::int64_t i =
             next_task_.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks) break;
-        (*task_fn)(i);
+        if constexpr (obs::kEnabled) {
+          const obs::ScopedTimer t(PoolObs::get().task_ns);
+          (*task_fn)(i);
+        } else {
+          (*task_fn)(i);
+        }
+        ++done;
+      }
+      if constexpr (obs::kEnabled) {
+        if (done > 0) obs::count(PoolObs::get().tasks, done);
       }
     } else if (lane_fn != nullptr) {
       (*lane_fn)(0);
+      if constexpr (obs::kEnabled) {
+        obs::record(PoolObs::get().lane_ns, obs::now_ns() - job_t0);
+      }
     }
   } catch (...) {
     err = std::current_exception();
@@ -109,6 +192,12 @@ void ThreadPool::dispatch(const std::function<void(std::int64_t)>* task_fn,
   const std::exception_ptr first = error_;
   error_ = nullptr;
   lk.unlock();
+  if constexpr (obs::kEnabled) {
+    const std::int64_t job_dt = obs::now_ns() - job_t0;
+    obs::record(PoolObs::get().job_ns, job_dt);
+    obs::count(PoolObs::get().caller_busy, job_dt);
+    obs::gauge_set(PoolObs::get().queue_depth, 0);
+  }
   if (first) std::rethrow_exception(first);
 }
 

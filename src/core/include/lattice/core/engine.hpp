@@ -37,6 +37,8 @@
 
 namespace lattice::core {
 
+struct MetricsReport;
+
 enum class Backend {
   Reference,  // golden double-buffered updater
   Wsa,        // wide-serial pipeline
@@ -167,6 +169,13 @@ class LatticeEngine {
   std::int64_t generation() const noexcept { return generation_; }
 
   PerformanceReport report() const;
+
+  /// Merge the process-global metrics registry into a structured
+  /// report: top-level per-stage times (which sum to roughly the
+  /// wall-clock this engine spent inside advance()) plus the raw
+  /// counter/gauge/histogram snapshot. Empty phases when the library
+  /// was built with -DLATTICE_OBS=OFF. See docs/OBSERVABILITY.md.
+  MetricsReport snapshot() const;
 
   /// Re-run the whole history on the golden reference and compare —
   /// the end-to-end correctness check for pipelined backends.

@@ -4,10 +4,55 @@
 #include <chrono>
 #include <cmath>
 
+#include "lattice/core/metrics_report.hpp"
 #include "lattice/lgca/reference.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
 #include "lattice/pebble/bounds.hpp"
 
 namespace lattice::core {
+
+namespace {
+
+// Resolved once; the engine's hot loop then only touches atomics.
+// Phase histograms here are the *top-level* stage accounting that
+// build_metrics_report() sums against wall-clock: the BitPlane backend
+// has none (its bitplane.pack/update/unpack stages are the top level).
+struct EngineObs {
+  obs::MetricsRegistry::Id generations = obs::counter_id("engine.generations");
+  obs::MetricsRegistry::Id site_updates =
+      obs::counter_id("engine.site_updates");
+  obs::MetricsRegistry::Id rollbacks = obs::counter_id("engine.rollbacks");
+  obs::MetricsRegistry::Id replays = obs::counter_id("engine.replays");
+  obs::MetricsRegistry::Id checkpoints = obs::counter_id("engine.checkpoints");
+  obs::MetricsRegistry::Id pass_reference_ns =
+      obs::histogram_id("engine.pass.reference_ns");
+  obs::MetricsRegistry::Id pass_wsa_ns =
+      obs::histogram_id("engine.pass.wsa_ns");
+  obs::MetricsRegistry::Id pass_spa_ns =
+      obs::histogram_id("engine.pass.spa_ns");
+  obs::MetricsRegistry::Id capture_ns = obs::histogram_id("engine.capture_ns");
+  obs::MetricsRegistry::Id checkpoint_ns =
+      obs::histogram_id("engine.checkpoint_ns");
+  obs::MetricsRegistry::Id restore_ns = obs::histogram_id("engine.restore_ns");
+  static const EngineObs& get() {
+    static const EngineObs ids;
+    return ids;
+  }
+};
+
+obs::MetricsRegistry::Id pass_histogram(Backend backend) {
+  if constexpr (!obs::kEnabled) return obs::MetricsRegistry::kInvalidId;
+  switch (backend) {
+    case Backend::Reference: return EngineObs::get().pass_reference_ns;
+    case Backend::Wsa: return EngineObs::get().pass_wsa_ns;
+    case Backend::Spa: return EngineObs::get().pass_spa_ns;
+    case Backend::BitPlane: break;  // bitplane.* stages are top-level
+  }
+  return obs::MetricsRegistry::kInvalidId;
+}
+
+}  // namespace
 
 std::int64_t pick_spa_slice_width(const arch::Technology& tech,
                                   std::int64_t width) {
@@ -80,6 +125,8 @@ const lgca::GasModel& LatticeEngine::gas_model() const {
 }
 
 void LatticeEngine::run_pass(int chunk) {
+  const obs::TraceSpan span("engine.pass");
+  const obs::ScopedTimer pass_timer(pass_histogram(config_.backend));
   switch (config_.backend) {
     case Backend::Reference: {
       if (lut_ != nullptr) {
@@ -125,11 +172,14 @@ void LatticeEngine::run_pass(int chunk) {
 
 void LatticeEngine::advance(std::int64_t generations) {
   LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
+  const obs::TraceSpan span("engine.advance");
+  const std::int64_t updates_before = site_updates_;
+  const auto start = std::chrono::steady_clock::now();
   if (!initial_captured_) {
+    const obs::ScopedTimer timer(EngineObs::get().capture_ns);
     initial_ = state_;
     initial_captured_ = true;
   }
-  const auto start = std::chrono::steady_clock::now();
   if (injector_ != nullptr) {
     advance_guarded(generations);
   } else if (config_.backend == Backend::BitPlane) {
@@ -153,6 +203,8 @@ void LatticeEngine::advance(std::int64_t generations) {
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  obs::count(EngineObs::get().generations, generations);
+  obs::count(EngineObs::get().site_updates, site_updates_ - updates_before);
 }
 
 // The guarded loop: every pass runs under the online detectors; any
@@ -165,6 +217,8 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
   const std::int64_t target = generation_ + generations;
   EngineCheckpoint ckpt{state_, generation_};
   const auto snapshot = [&] {
+    const obs::TraceSpan span("engine.checkpoint");
+    const obs::ScopedTimer timer(EngineObs::get().checkpoint_ns);
     const auto t0 = std::chrono::steady_clock::now();
     ckpt.state = state_;
     ckpt.generation = generation_;
@@ -172,8 +226,10 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
                                std::chrono::steady_clock::now() - t0)
                                .count();
     ++checkpoints_;
+    obs::count(EngineObs::get().checkpoints, 1);
   };
   ++checkpoints_;  // the entry snapshot above
+  obs::count(EngineObs::get().checkpoints, 1);
   int attempts = 0;
   while (generation_ < target) {
     const int chunk = static_cast<int>(std::min<std::int64_t>(
@@ -193,8 +249,14 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
     // A detector fired: everything since the last checkpoint is suspect.
     ++rollbacks_;
     faults_corrected_ += after - before;
-    state_ = ckpt.state;
-    generation_ = ckpt.generation;
+    {
+      const obs::TraceSpan rb_span("engine.rollback");
+      const obs::ScopedTimer timer(EngineObs::get().restore_ns);
+      state_ = ckpt.state;
+      generation_ = ckpt.generation;
+    }
+    obs::count(EngineObs::get().rollbacks, 1);
+    obs::count(EngineObs::get().replays, 1);
     injector_->bump_epoch();
     if (++attempts > config_.max_retries) {
       if (config_.backend == Backend::Spa && injector_->has_stuck()) {
@@ -221,6 +283,7 @@ void LatticeEngine::restore(const EngineCheckpoint& ckpt) {
   LATTICE_REQUIRE(ckpt.state.boundary() == state_.boundary(),
                   "checkpoint boundary mode does not match the engine");
   LATTICE_REQUIRE(ckpt.generation >= 0, "checkpoint generation must be >= 0");
+  const obs::ScopedTimer timer(EngineObs::get().restore_ns);
   state_ = ckpt.state;
   generation_ = ckpt.generation;
 }
@@ -291,6 +354,10 @@ PerformanceReport LatticeEngine::report() const {
     r.checkpoint_seconds = checkpoint_seconds_;
   }
   return r;
+}
+
+MetricsReport LatticeEngine::snapshot() const {
+  return build_metrics_report(wall_seconds_);
 }
 
 bool LatticeEngine::verify_against_reference() const {

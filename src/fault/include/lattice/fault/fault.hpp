@@ -38,6 +38,7 @@
 #include "lattice/common/error.hpp"
 #include "lattice/lgca/geometry.hpp"
 #include "lattice/lgca/site.hpp"
+#include "lattice/obs/metrics.hpp"
 
 namespace lattice::fault {
 
@@ -185,11 +186,21 @@ class FaultInjector {
   }
 
   // ---- detection reporting (called by the simulators' checkers) ----
+  // Each report lands both in this injector's counters (the engine's
+  // rollback logic keys off those) and in the global metrics registry
+  // as fault.detected.* (docs/OBSERVABILITY.md).
 
-  void report_parity_error() noexcept { ++counters_.detected_parity; }
-  void report_side_error() noexcept { ++counters_.detected_side; }
+  void report_parity_error() noexcept {
+    ++counters_.detected_parity;
+    obs::count(obs_.detected_parity, 1);
+  }
+  void report_side_error() noexcept {
+    ++counters_.detected_side;
+    obs::count(obs_.detected_side, 1);
+  }
   void report_conservation_error() noexcept {
     ++counters_.detected_conservation;
+    obs::count(obs_.detected_conservation, 1);
   }
 
   // ---- graceful degradation ----
@@ -205,11 +216,26 @@ class FaultInjector {
   const FaultCounters& counters() const noexcept { return counters_; }
 
  private:
+  /// Registry ids for the fault.* metrics, resolved once per injector
+  /// (all kInvalidId in LATTICE_OBS_ENABLED=0 builds).
+  struct ObsIds {
+    obs::MetricsRegistry::Id injected_flips = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id injected_stuck = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id injected_side = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_parity =
+        obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_side = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_conservation =
+        obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id remapped = obs::MetricsRegistry::kInvalidId;
+  };
+
   FaultPlan plan_;
   std::uint64_t epoch_ = 0;
   bool stuck_disabled_ = false;
   int remapped_lanes_ = 0;
   FaultCounters counters_;
+  ObsIds obs_;
 };
 
 }  // namespace lattice::fault

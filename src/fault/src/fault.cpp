@@ -53,6 +53,16 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     LATTICE_REQUIRE(s.stage >= 0 && s.lane >= 0,
                     "stuck-at stage/lane must be non-negative");
   }
+  if constexpr (obs::kEnabled) {
+    obs_.injected_flips = obs::counter_id("fault.injected.flips");
+    obs_.injected_stuck = obs::counter_id("fault.injected.stuck");
+    obs_.injected_side = obs::counter_id("fault.injected.side");
+    obs_.detected_parity = obs::counter_id("fault.detected.parity");
+    obs_.detected_side = obs::counter_id("fault.detected.side");
+    obs_.detected_conservation =
+        obs::counter_id("fault.detected.conservation");
+    obs_.remapped = obs::counter_id("fault.remapped_lanes");
+  }
 }
 
 bool FaultInjector::armed() const noexcept {
@@ -68,6 +78,7 @@ lgca::Site FaultInjector::corrupt_stored(std::int64_t t, std::int64_t pos,
             static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(pos));
   if (to_unit(h) >= plan_.buffer_flip_rate) return v;
   ++counters_.injected_flips;
+  obs::count(obs_.injected_flips, 1);
   return static_cast<lgca::Site>(v ^ (1u << ((h >> 56) & 7)));
 }
 
@@ -80,10 +91,12 @@ lgca::Site FaultInjector::corrupt_side_word(std::int64_t t, std::int64_t key,
   const double u = to_unit(h);
   if (u < plan_.side_drop_rate) {
     ++counters_.injected_side;
+    obs::count(obs_.injected_side, 1);
     return 0;  // framing error: the word never arrives
   }
   if (u < plan_.side_drop_rate + plan_.side_flip_rate) {
     ++counters_.injected_side;
+    obs::count(obs_.injected_side, 1);
     return static_cast<lgca::Site>(v ^ (1u << ((h >> 56) & 7)));
   }
   return v;
@@ -98,6 +111,7 @@ lgca::Site FaultInjector::apply_stuck(int stage, std::int64_t lane,
         static_cast<lgca::Site>((v & s.and_mask) | s.or_mask);
     if (forced != v) {
       ++counters_.injected_stuck;
+      obs::count(obs_.injected_stuck, 1);
       v = forced;
     }
   }
@@ -121,6 +135,7 @@ int FaultInjector::disable_stuck() noexcept {
     if (!dup) ++distinct;
   }
   remapped_lanes_ += distinct;
+  obs::count(obs_.remapped, distinct);
   return distinct;
 }
 

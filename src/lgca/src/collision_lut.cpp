@@ -5,6 +5,8 @@
 #include "lattice/common/thread_pool.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/geometry.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
 
 namespace lattice::lgca {
 
@@ -141,9 +143,16 @@ void fused_gas_run(SiteLattice& lat, const CollisionLut& lut,
   const std::int64_t bands = std::min<std::int64_t>(threads, e.height);
   const std::int64_t rows_per = (e.height + bands - 1) / bands;
 
+  static const obs::MetricsRegistry::Id sites_id =
+      obs::counter_id("reference.sites");
+  static const obs::MetricsRegistry::Id band_id =
+      obs::histogram_id("reference.band_ns");
+  const obs::TraceSpan span("reference.fused_run");
+
   SiteLattice next(e, lat.boundary());
   std::int64_t t = t0;
   const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
+    const obs::ScopedTimer timer(band_id);
     const std::int64_t y0 = b * rows_per;
     const std::int64_t y1 = std::min(e.height, y0 + rows_per);
     lut.update_rows(next, lat, t, y0, y1);
@@ -151,12 +160,14 @@ void fused_gas_run(SiteLattice& lat, const CollisionLut& lut,
   for (std::int64_t g = 0; g < generations; ++g) {
     t = t0 + g;
     if (bands == 1) {
+      const obs::ScopedTimer timer(band_id);
       lut.update_rows(next, lat, t, 0, e.height);
     } else {
       common::ThreadPool::shared().for_each_task(bands, band);
     }
     std::swap(lat, next);
   }
+  obs::count(sites_id, e.area() * generations);
 }
 
 }  // namespace lattice::lgca

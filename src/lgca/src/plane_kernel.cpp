@@ -7,6 +7,8 @@
 #include "lattice/common/thread_pool.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/geometry.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
 
 namespace lattice::lgca {
 
@@ -288,9 +290,17 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
   const std::int64_t bands = std::min<std::int64_t>(threads, e.height);
   const std::int64_t rows_per = (e.height + bands - 1) / bands;
 
+  static const obs::MetricsRegistry::Id sites_id =
+      obs::counter_id("bitplane.sites");
+  static const obs::MetricsRegistry::Id words_id =
+      obs::counter_id("bitplane.words");
+  static const obs::MetricsRegistry::Id band_id =
+      obs::histogram_id("bitplane.band_ns");
+
   PlaneLattice next(e, lat.boundary());
   std::int64_t t = t0;
   const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
+    const obs::ScopedTimer timer(band_id);
     const std::int64_t y0 = b * rows_per;
     const std::int64_t y1 = std::min(e.height, y0 + rows_per);
     kernel.update_rows(next, lat, t, y0, y1);
@@ -301,19 +311,45 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
     // the O(height × words × planes) update it unblocks.
     lat.prepare_shift_halo();
     if (bands == 1) {
+      const obs::ScopedTimer timer(band_id);
       kernel.update_rows(next, lat, t, 0, e.height);
     } else {
       common::ThreadPool::shared().for_each_task(bands, band);
     }
     std::swap(lat, next);
   }
+  obs::count(sites_id, e.area() * generations);
+  // Words touched per generation: every payload word of every plane is
+  // read and written once by the funnel-shift/collide sweep.
+  obs::count(words_id, generations * e.height * lat.words_per_row() *
+                           PlaneLattice::kPlanes);
 }
 
 void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
                       std::int64_t generations, std::int64_t t0,
                       unsigned threads) {
-  PlaneLattice planes(lat);
-  plane_gas_run(planes, kernel, generations, t0, threads);
+  static const obs::MetricsRegistry::Id pack_id =
+      obs::histogram_id("bitplane.pack_ns");
+  static const obs::MetricsRegistry::Id update_id =
+      obs::histogram_id("bitplane.update_ns");
+  static const obs::MetricsRegistry::Id unpack_id =
+      obs::histogram_id("bitplane.unpack_ns");
+
+  PlaneLattice planes;
+  {
+    const obs::ScopedTimer pack_timer(pack_id);
+    const obs::TraceSpan pack_span("bitplane.pack");
+    planes = PlaneLattice(lat);
+  }
+
+  {
+    obs::ScopedTimer update_timer(update_id);
+    const obs::TraceSpan update_span("bitplane.update");
+    plane_gas_run(planes, kernel, generations, t0, threads);
+  }
+
+  const obs::ScopedTimer unpack_timer(unpack_id);
+  const obs::TraceSpan unpack_span("bitplane.unpack");
   planes.unpack(lat);
 }
 

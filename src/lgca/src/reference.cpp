@@ -5,8 +5,19 @@
 #include <utility>
 
 #include "lattice/common/thread_pool.hpp"
+#include "lattice/obs/metrics.hpp"
 
 namespace lattice::lgca {
+
+namespace {
+
+obs::MetricsRegistry::Id reference_sites_id() {
+  static const obs::MetricsRegistry::Id id =
+      obs::counter_id("reference.sites");
+  return id;
+}
+
+}  // namespace
 
 SiteLattice reference_next(const SiteLattice& lat, const Rule& rule,
                            std::int64_t t) {
@@ -30,6 +41,7 @@ void reference_run(SiteLattice& lat, const Rule& rule,
   for (std::int64_t g = 0; g < generations; ++g) {
     reference_step(lat, rule, t0 + g);
   }
+  obs::count(reference_sites_id(), lat.extent().area() * generations);
 }
 
 void reference_run_parallel(SiteLattice& lat, const Rule& rule,
@@ -51,7 +63,10 @@ void reference_run_parallel(SiteLattice& lat, const Rule& rule,
       }
     }
   };
+  static const obs::MetricsRegistry::Id band_id =
+      obs::histogram_id("reference.band_ns");
   const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
+    const obs::ScopedTimer timer(band_id);
     const std::int64_t y0 = b * rows_per;
     band_rows(y0, std::min(e.height, y0 + rows_per));
   };
@@ -66,6 +81,7 @@ void reference_run_parallel(SiteLattice& lat, const Rule& rule,
     }
     std::swap(lat, next);
   }
+  obs::count(reference_sites_id(), e.area() * generations);
 }
 
 }  // namespace lattice::lgca

@@ -1,0 +1,144 @@
+// Minimal streaming JSON writer (no dependencies, no DOM).
+//
+// Grew up as bench_util::JsonWriter, the writer behind the
+// BENCH_<name>.json files the CI quick-bench gate diffs against
+// recorded baselines; it moved here so the observability exports
+// (engine MetricsReport, tools/lattice_profile) share the exact same
+// emitter. bench/bench_util.hpp keeps a `using` alias, so bench code
+// is unchanged. Emission order is caller order; no pretty-printing
+// beyond one space after ':' and ','.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lattice::obs {
+
+struct MetricsSnapshot;
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    sep();
+    buf_ += '{';
+    depth_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    depth_.pop_back();
+    buf_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    sep();
+    buf_ += '[';
+    depth_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    depth_.pop_back();
+    buf_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(const char* k) {
+    sep();
+    append_string(k);
+    buf_ += ": ";
+    after_key_ = true;
+    return *this;
+  }
+  JsonWriter& key(const std::string& k) { return key(k.c_str()); }
+
+  JsonWriter& value(const char* v) {
+    sep();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) { return value(v.c_str()); }
+  JsonWriter& value(bool v) {
+    sep();
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    sep();
+    buf_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(double v) {
+    sep();
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.10g", v);
+    buf_ += tmp;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(const char* k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const noexcept { return buf_; }
+
+  /// Write the document (plus trailing newline) to `path`; false on
+  /// I/O failure. Callers treat failure as fatal so CI never gates on
+  /// a stale file.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), f);
+    const bool ok = n == buf_.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void sep() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back()) buf_ += ", ";
+      depth_.back() = true;
+    }
+  }
+
+  void append_string(const char* s) {
+    buf_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        buf_ += '\\';
+        buf_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char tmp[8];
+        std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+        buf_ += tmp;
+      } else {
+        buf_ += c;
+      }
+    }
+    buf_ += '"';
+  }
+
+  std::string buf_;
+  std::vector<bool> depth_;  // per level: "an element was emitted"
+  bool after_key_ = false;
+};
+
+/// Emit a snapshot as one JSON object: {"counters": {...},
+/// "gauges": {...}, "histograms": [{name, count, sum, min, max, mean,
+/// p50, p99}, ...]}. Histogram buckets are elided (the quantiles carry
+/// the shape); full buckets stay available via the C++ snapshot.
+void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w);
+
+}  // namespace lattice::obs

@@ -1,0 +1,79 @@
+// Scoped trace spans with a Chrome-trace JSON export.
+//
+// A TraceSpan marks one timed scope (an engine pass, a checkpoint, a
+// thread-pool job). When tracing is enabled the span's begin/duration
+// is appended to a per-thread buffer; trace_to_json() merges every
+// buffer into the Trace Event Format that chrome://tracing, Perfetto
+// (ui.perfetto.dev), and speedscope all open directly.
+//
+// Cost model, in order of importance:
+//   * tracing disabled (the default): one relaxed atomic load per
+//     span — no clock read, no allocation, nothing stored;
+//   * LATTICE_OBS_ENABLED=0 builds: spans compile to nothing at all;
+//   * tracing enabled: two clock reads plus one buffered append under
+//     an uncontended per-thread mutex (the mutex is only ever
+//     contended by a concurrent trace_to_json()).
+//
+// Span names must be string literals (or otherwise outlive the trace
+// session): buffers store the pointer, not a copy.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lattice/obs/metrics.hpp"
+
+namespace lattice::obs {
+
+/// Runtime switch for span collection (process-global, default off).
+void set_trace_enabled(bool enabled) noexcept;
+bool trace_enabled() noexcept;
+
+/// Discard all buffered events (keeps the enabled flag as-is).
+void clear_trace() noexcept;
+
+/// Buffered events across all threads (drops excluded).
+std::int64_t trace_event_count();
+
+/// Events discarded because a thread hit its buffer cap.
+std::int64_t trace_dropped_count();
+
+/// Serialize every buffered event as a Chrome Trace Event Format
+/// document: {"traceEvents": [{"name", "ph": "X", "ts", "dur", ...}]}.
+/// Timestamps are microseconds (fractional) on the steady clock.
+std::string trace_to_json();
+
+/// trace_to_json() straight to a file; false on I/O failure.
+bool write_trace(const std::string& path);
+
+namespace detail {
+void trace_emit(const char* name, std::int64_t start_ns,
+                std::int64_t end_ns) noexcept;
+}  // namespace detail
+
+/// RAII span: times its scope into the trace buffer when tracing is
+/// enabled, and is a near-free no-op (one relaxed load) when not.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept : name_(name) {
+    if constexpr (kEnabled) {
+      if (trace_enabled()) start_ns_ = now_ns();
+    }
+  }
+
+  ~TraceSpan() {
+    if constexpr (kEnabled) {
+      if (start_ns_ >= 0) detail::trace_emit(name_, start_ns_, now_ns());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  [[maybe_unused]] const char* name_;
+  std::int64_t start_ns_ = -1;
+};
+
+}  // namespace lattice::obs

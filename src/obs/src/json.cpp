@@ -1,0 +1,41 @@
+#include "lattice/obs/json.hpp"
+
+#include "lattice/obs/metrics.hpp"
+
+namespace lattice::obs {
+
+void metrics_to_json(const MetricsSnapshot& snap, JsonWriter& w) {
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const CounterValue& c : snap.counters) {
+    w.key(c.name).value(c.value);
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const GaugeValue& g : snap.gauges) {
+    w.key(g.name).value(g.value);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_array();
+  for (const HistogramStats& h : snap.histograms) {
+    if (h.count == 0) continue;  // never recorded: noise, not signal
+    w.begin_object();
+    w.field("name", h.name);
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("mean", h.mean());
+    w.field("p50", h.quantile_ceiling(0.5));
+    w.field("p99", h.quantile_ceiling(0.99));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+}  // namespace lattice::obs

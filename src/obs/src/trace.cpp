@@ -1,0 +1,173 @@
+#include "lattice/obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lattice::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;
+};
+
+/// Per-thread event sink. The owning thread appends; trace_to_json()
+/// and clear_trace() read/clear under the same mutex, so the lock is
+/// contended only while a dump is in progress. Buffers are never
+/// destroyed (the store is intentionally leaked), so the thread-local
+/// pointer below can never dangle — not even during process exit while
+/// pool workers are still winding down.
+struct TraceBuffer {
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::int64_t dropped = 0;
+
+  void emit(const char* name, std::int64_t start_ns,
+            std::int64_t end_ns) noexcept {
+    std::lock_guard<std::mutex> lk(mu);
+    if (events.size() >= kMaxEvents) {
+      ++dropped;
+      return;
+    }
+    events.push_back(TraceEvent{name, start_ns, end_ns - start_ns});
+  }
+};
+
+struct TraceStore {
+  std::atomic<bool> enabled{false};
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+
+  static TraceStore& get() {
+    static TraceStore* store = new TraceStore;  // leaked: see TraceBuffer
+    return *store;
+  }
+
+  TraceBuffer& local_buffer() {
+    thread_local TraceBuffer* tls_buffer = nullptr;
+    if (tls_buffer != nullptr) return *tls_buffer;
+    std::lock_guard<std::mutex> lk(mu);
+    buffers.push_back(std::make_unique<TraceBuffer>());
+    buffers.back()->tid = next_tid++;
+    tls_buffer = buffers.back().get();
+    return *tls_buffer;
+  }
+};
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  TraceStore::get().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return TraceStore::get().enabled.load(std::memory_order_relaxed);
+}
+
+void clear_trace() noexcept {
+  TraceStore& store = TraceStore::get();
+  std::lock_guard<std::mutex> lk(store.mu);
+  for (const auto& b : store.buffers) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    b->events.clear();
+    b->dropped = 0;
+  }
+}
+
+std::int64_t trace_event_count() {
+  TraceStore& store = TraceStore::get();
+  std::lock_guard<std::mutex> lk(store.mu);
+  std::int64_t n = 0;
+  for (const auto& b : store.buffers) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    n += static_cast<std::int64_t>(b->events.size());
+  }
+  return n;
+}
+
+std::int64_t trace_dropped_count() {
+  TraceStore& store = TraceStore::get();
+  std::lock_guard<std::mutex> lk(store.mu);
+  std::int64_t n = 0;
+  for (const auto& b : store.buffers) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    n += b->dropped;
+  }
+  return n;
+}
+
+void detail::trace_emit(const char* name, std::int64_t start_ns,
+                        std::int64_t end_ns) noexcept {
+  TraceStore::get().local_buffer().emit(name, start_ns, end_ns);
+}
+
+namespace {
+
+// Span names are string literals at today's call sites, but the export
+// must stay valid JSON no matter what a caller passes.
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char tmp[8];
+      std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+      out += tmp;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string trace_to_json() {
+  TraceStore& store = TraceStore::get();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char tmp[160];
+  std::lock_guard<std::mutex> lk(store.mu);
+  for (const auto& b : store.buffers) {
+    std::lock_guard<std::mutex> blk(b->mu);
+    for (const TraceEvent& e : b->events) {
+      if (!first) out += ", ";
+      out += "{\"name\": ";
+      append_json_string(out, e.name);
+      std::snprintf(tmp, sizeof(tmp),
+                    ", \"cat\": \"lattice\", "
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 0, \"tid\": %u}",
+                    static_cast<double>(e.ts_ns) / 1e3,
+                    static_cast<double>(e.dur_ns) / 1e3, b->tid);
+      out += tmp;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  const std::string doc = trace_to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = n == doc.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace lattice::obs

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
-"""Gate a bench JSON against a recorded baseline.
+"""Gate bench JSONs against recorded baselines.
 
-Usage: check_bench_regression.py CURRENT.json BASELINE.json [--max-regression X]
+Usage: check_bench_regression.py CURRENT.json BASELINE.json
+           [CURRENT2.json BASELINE2.json ...] [--max-regression X]
+
+Any number of CURRENT BASELINE pairs may be given; every pair is
+checked and all failures are reported before the (single) exit status.
 
 Rows are matched on every non-measurement field (gas, side, kernel,
 threads, ...). The gate fails if:
@@ -28,19 +32,14 @@ def row_key(row):
                         if k not in MEASUREMENT_KEYS))
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--max-regression", type=float, default=5.0,
-                    help="tolerated slowdown factor vs baseline")
-    args = ap.parse_args()
-
-    with open(args.current) as f:
+def check_pair(current_path, baseline_path, max_regression):
+    """Returns a list of failure strings (empty = this pair passes)."""
+    with open(current_path) as f:
         current = json.load(f)
-    with open(args.baseline) as f:
+    with open(baseline_path) as f:
         baseline = json.load(f)
 
+    print(f"\n== {current_path} vs {baseline_path} ==")
     current_rows = {row_key(r): r for r in current.get("rows", [])}
     failures = []
 
@@ -60,11 +59,35 @@ def main():
         ratio = cur["sites_per_sec"] / base["sites_per_sec"]
         print(f"{label:58s} {base['sites_per_sec']:12.3e} "
               f"{cur['sites_per_sec']:12.3e} {ratio:6.2f}x")
-        if ratio < 1.0 / args.max_regression:
+        if ratio < 1.0 / max_regression:
             failures.append(
                 f"{label}: {cur['sites_per_sec']:.3e} sites/s is more than "
-                f"{args.max_regression:g}x below baseline "
+                f"{max_regression:g}x below baseline "
                 f"{base['sites_per_sec']:.3e}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+",
+                    help="CURRENT BASELINE [CURRENT BASELINE ...]")
+    ap.add_argument("--max-regression", type=float, default=5.0,
+                    help="tolerated slowdown factor vs baseline")
+    args = ap.parse_args()
+
+    if len(args.files) % 2 != 0:
+        ap.error("expected an even number of files: CURRENT BASELINE pairs")
+
+    failures = []
+    for i in range(0, len(args.files), 2):
+        try:
+            failures += check_pair(args.files[i], args.files[i + 1],
+                                   args.max_regression)
+        except OSError as e:
+            failures.append(f"cannot read bench JSON: {e}")
+        except json.JSONDecodeError as e:
+            failures.append(f"invalid bench JSON in pair "
+                            f"({args.files[i]}, {args.files[i + 1]}): {e}")
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

@@ -1,0 +1,169 @@
+// lattice_profile — run one engine configuration under full
+// observability and dump what the instrumentation saw.
+//
+//   lattice_profile [--backend reference|wsa|spa|bitplane]
+//                   [--gas hpp|fhp1|fhp2|fhp3] [--side N]
+//                   [--generations N] [--threads N] [--depth N]
+//                   [--metrics FILE.json] [--trace FILE.json]
+//
+// Prints a per-stage summary to stdout; --metrics writes the engine's
+// MetricsReport as JSON (the artifact CI uploads), --trace enables
+// span collection and writes a Chrome Trace Event file that
+// chrome://tracing or ui.perfetto.dev open directly.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/core/metrics_report.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/obs/json.hpp"
+#include "lattice/obs/trace.hpp"
+
+namespace {
+
+using lattice::core::Backend;
+
+struct Options {
+  Backend backend = Backend::Reference;
+  lattice::lgca::GasKind gas = lattice::lgca::GasKind::FHP_II;
+  std::int64_t side = 256;
+  std::int64_t generations = 64;
+  unsigned threads = 1;
+  int depth = 4;
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--backend reference|wsa|spa|bitplane]\n"
+      "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--generations N]\n"
+      "          [--threads N] [--depth N] [--metrics FILE] [--trace FILE]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_backend(const char* s, Backend* out) {
+  if (std::strcmp(s, "reference") == 0) *out = Backend::Reference;
+  else if (std::strcmp(s, "wsa") == 0) *out = Backend::Wsa;
+  else if (std::strcmp(s, "spa") == 0) *out = Backend::Spa;
+  else if (std::strcmp(s, "bitplane") == 0) *out = Backend::BitPlane;
+  else return false;
+  return true;
+}
+
+bool parse_gas(const char* s, lattice::lgca::GasKind* out) {
+  using lattice::lgca::GasKind;
+  if (std::strcmp(s, "hpp") == 0) *out = GasKind::HPP;
+  else if (std::strcmp(s, "fhp1") == 0) *out = GasKind::FHP_I;
+  else if (std::strcmp(s, "fhp2") == 0) *out = GasKind::FHP_II;
+  else if (std::strcmp(s, "fhp3") == 0) *out = GasKind::FHP_III;
+  else return false;
+  return true;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--backend") == 0) {
+      if (!parse_backend(next(), &opt.backend)) usage(argv[0]);
+    } else if (std::strcmp(a, "--gas") == 0) {
+      if (!parse_gas(next(), &opt.gas)) usage(argv[0]);
+    } else if (std::strcmp(a, "--side") == 0) {
+      opt.side = std::atoll(next());
+    } else if (std::strcmp(a, "--generations") == 0) {
+      opt.generations = std::atoll(next());
+    } else if (std::strcmp(a, "--threads") == 0) {
+      opt.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (std::strcmp(a, "--depth") == 0) {
+      opt.depth = std::atoi(next());
+    } else if (std::strcmp(a, "--metrics") == 0) {
+      opt.metrics_path = next();
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opt.trace_path = next();
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.side < 2 || opt.generations < 0 || opt.threads < 1 ||
+      opt.depth < 1) {
+    usage(argv[0]);
+  }
+  return opt;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Reference: return "reference";
+    case Backend::Wsa: return "wsa";
+    case Backend::Spa: return "spa";
+    case Backend::BitPlane: return "bitplane";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  namespace obs = lattice::obs;
+
+  if (!opt.trace_path.empty()) obs::set_trace_enabled(true);
+
+  lattice::core::LatticeEngine::Config config;
+  config.extent = {opt.side, opt.side};
+  config.gas = opt.gas;
+  config.backend = opt.backend;
+  config.pipeline_depth = opt.depth;
+  config.wsa_width = 4;
+  config.threads = opt.threads;
+  lattice::core::LatticeEngine engine(config);
+  lattice::lgca::fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1,
+                           /*seed=*/42);
+  engine.advance(opt.generations);
+
+  const lattice::core::MetricsReport report = engine.snapshot();
+  const lattice::core::PerformanceReport perf = engine.report();
+
+  std::printf("backend=%s gas=%d side=%lld generations=%lld threads=%u\n",
+              backend_name(opt.backend), static_cast<int>(opt.gas),
+              static_cast<long long>(opt.side),
+              static_cast<long long>(opt.generations), opt.threads);
+  std::printf("wall_seconds      %.6f\n", report.wall_seconds);
+  std::printf("phase_seconds     %.6f\n", report.phase_seconds());
+  std::printf("measured_rate     %.3e sites/s\n", perf.measured_rate);
+  for (const lattice::core::MetricsPhase& p : report.phases) {
+    std::printf("  %-26s %8lld calls  %10.6f s\n", p.name.c_str(),
+                static_cast<long long>(p.count), p.seconds);
+  }
+
+  if (!opt.metrics_path.empty()) {
+    obs::JsonWriter w;
+    lattice::core::metrics_report_to_json(report, w);
+    if (!w.write_file(opt.metrics_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", opt.metrics_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    if (!obs::write_trace(opt.trace_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace   -> %s (%lld events)\n", opt.trace_path.c_str(),
+                static_cast<long long>(obs::trace_event_count()));
+  }
+  return 0;
+}
