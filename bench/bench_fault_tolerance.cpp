@@ -16,6 +16,7 @@
 
 #include "lattice/core/engine.hpp"
 #include "lattice/fault/fault.hpp"
+#include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/init.hpp"
 #include "lattice/lgca/reference.hpp"
 

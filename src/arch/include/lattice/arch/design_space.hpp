@@ -161,6 +161,15 @@ double storage_area_per_pe(const Technology& t, std::int64_t lattice_len);
 /// Main-memory bandwidth, bits/tick (constant in L): 2·D.
 int bandwidth_bits_per_tick(const Technology& t);
 
+/// Off-chip line-buffer channel demand per PE, bits/tick: the two
+/// externally buffered window rows, each written and read once per
+/// tick = 4·D — the non-stream two thirds of the 6·D pin bill.
+int buffer_bits_per_tick_per_pe(const Technology& t);
+
+/// Off-chip storage per processor, in sites: 2L + 10 (§6.3) — the §5
+/// cost ledger's unit before the B area conversion.
+std::int64_t storage_sites_per_pe(std::int64_t lattice_len);
+
 /// Throughput of a k-deep WSA-E pipeline: F·k (one PE per stage).
 double throughput(const Technology& t, int depth);
 

@@ -82,9 +82,20 @@ class SpaMachine {
   SpaMachine(Extent extent, const lgca::Rule& rule, std::int64_t slice_width,
              int depth, std::int64_t t0 = 0, unsigned threads = 1,
              bool fast_kernel = false, fault::FaultInjector* fault = nullptr);
+  ~SpaMachine();
+  SpaMachine(SpaMachine&&) noexcept;
+  SpaMachine& operator=(SpaMachine&&) noexcept;
 
   /// One pass: the lattice advanced by `depth` generations.
+  ///
+  /// Machine state persists across passes: the cycle-exact walk keeps
+  /// its (slice × depth) stage grid and rearms it in place, and the
+  /// wavefront keeps its generation ladder, so a long-lived machine
+  /// allocates its buffers once instead of per pass.
   lgca::SiteLattice run(const lgca::SiteLattice& in);
+
+  /// Retarget the next run() at generation `t0`.
+  void set_t0(std::int64_t t0) noexcept { t0_ = t0; }
 
   const SpaStats& stats() const noexcept { return stats_; }
   std::int64_t slices() const noexcept { return slices_; }
@@ -109,6 +120,15 @@ class SpaMachine {
   bool fast_kernel_;
   fault::FaultInjector* fault_ = nullptr;
   SpaStats stats_;
+
+  // Persistent execution state, built lazily by the strategy that
+  // first runs (an armed injector can flip strategies mid-life, so
+  // both can coexist). CycleState holds the (slice × depth) SliceStage
+  // grid of the cycle-exact walk; gen_ is the wavefront's generation
+  // ladder, whose intermediate lattices are reused across passes.
+  struct CycleState;
+  std::unique_ptr<CycleState> cycle_;
+  std::vector<lgca::SiteLattice> gen_;
 };
 
 }  // namespace lattice::arch

@@ -52,6 +52,13 @@ class StreamStage {
   /// Outputs at logical positions outside [0, area) are zeros.
   void tick(const lgca::Site* in, lgca::Site* out);
 
+  /// Rearm the stage for a fresh stream at generation `t`: clear the
+  /// shift register (and its parity shadow), reset the conservation
+  /// ledger, and rewind the stream position to the configured lead.
+  /// Buffers keep their allocation — this is what lets a pipeline
+  /// persist across passes instead of being rebuilt per pass.
+  void reset(std::int64_t t);
+
   /// Stage latency in stream positions (multiple of batch).
   std::int64_t delay() const noexcept { return delay_; }
 
@@ -80,6 +87,7 @@ class StreamStage {
   std::int64_t t_;
   int batch_;
   std::int64_t delay_;
+  std::int64_t lead_;     // upstream latency this stage was built with
   std::int64_t next_in_;  // logical position of the next input site
   std::int64_t ticks_ = 0;
   std::vector<lgca::Site> ring_;

@@ -44,6 +44,10 @@ class WsaPipeline {
   /// A non-null `fault` arms injection and online detection in every
   /// stage (see StreamStage) and enables the pipeline-level
   /// particle-conservation checks at the end of each run.
+  ///
+  /// The stage chain (ring buffers, parity shadows) is built once here
+  /// and persists across runs; each run() rearms it in place, so a
+  /// long-lived pipeline pays construction and allocation exactly once.
   WsaPipeline(Extent extent, const lgca::Rule& rule, int depth, int width,
               std::int64_t t0 = 0, bool fast_kernel = false,
               fault::FaultInjector* fault = nullptr);
@@ -54,6 +58,11 @@ class WsaPipeline {
 
   /// Run `passes` consecutive passes (depth generations each).
   lgca::SiteLattice run_passes(const lgca::SiteLattice& in, int passes);
+
+  /// Retarget the next run() at generation `t0` (stage generations are
+  /// reassigned when the run rearms the chain). Lets one persistent
+  /// pipeline advance a lattice pass after pass.
+  void set_t0(std::int64_t t0) noexcept { t0_ = t0; }
 
   const PipelineStats& stats() const noexcept { return stats_; }
   int depth() const noexcept { return depth_; }
@@ -74,6 +83,14 @@ class WsaPipeline {
   std::int64_t t0_;
   fault::FaultInjector* fault_ = nullptr;
   PipelineStats stats_;
+
+  // Persistent machine state, allocated once in the constructor:
+  // stage s updates generation t0+s and sees lead_ of upstream latency
+  // accumulated over stages 0..s-1.
+  std::vector<StreamStage> stages_;
+  std::int64_t lead_ = 0;  // total chain latency, stream positions
+  std::vector<lgca::Site> bus_a_;
+  std::vector<lgca::Site> bus_b_;
 };
 
 }  // namespace lattice::arch

@@ -178,6 +178,16 @@ double storage_area_per_pe(const Technology& t, std::int64_t lattice_len) {
 
 int bandwidth_bits_per_tick(const Technology& t) { return 2 * t.bits_per_site; }
 
+int buffer_bits_per_tick_per_pe(const Technology& t) {
+  t.validate();
+  return 4 * t.bits_per_site;
+}
+
+std::int64_t storage_sites_per_pe(std::int64_t lattice_len) {
+  LATTICE_REQUIRE(lattice_len >= 1, "lattice length must be positive");
+  return 2 * lattice_len + 10;
+}
+
 double throughput(const Technology& t, int depth) {
   LATTICE_REQUIRE(depth >= 1, "pipeline depth must be at least 1");
   return t.clock_hz * depth;

@@ -26,8 +26,13 @@ struct SpaObs {
   }
 };
 
-/// One serial pipeline stage scoped to a slice, with window completion
-/// across slice boundaries via peeks into the neighbor stage's buffer.
+}  // namespace
+
+// One serial pipeline stage scoped to a slice, with window completion
+// across slice boundaries via peeks into the neighbor stage's buffer.
+// Defined at namespace scope (this TU only) so the persistent
+// SpaMachine::CycleState can hold a grid of them without dragging the
+// class into the public header.
 class SliceStage {
  public:
   SliceStage(Extent slice_extent, std::int64_t slice_x0,
@@ -42,6 +47,7 @@ class SliceStage {
         lut_(lut),
         t_(t),
         delay_(extent_.width + 1),
+        lead_(lead),
         next_in_(-lead),
         ring_(static_cast<std::size_t>(2 * extent_.width + 6), 0),
         fault_(fault),
@@ -53,6 +59,21 @@ class SliceStage {
       // the parity and side-channel detectors alone.
       audit_.valid = lut_ != nullptr;
       if (lut_ != nullptr) topo_ = lut_->model().topology();
+    }
+  }
+
+  /// Rearm for a fresh pass at generation `t`: clear the slice buffer
+  /// and parity shadow, reset the ledger, rewind the stream. Keeps the
+  /// allocations — the point of a persistent machine.
+  void reset(std::int64_t t) {
+    t_ = t;
+    next_in_ = -lead_;
+    std::fill(ring_.begin(), ring_.end(), lgca::Site{0});
+    if (fault_ != nullptr) {
+      std::fill(meta_.begin(), meta_.end(), std::uint8_t{0});
+      const bool valid = audit_.valid;
+      audit_ = fault::StageAudit{};
+      audit_.valid = valid;
     }
   }
 
@@ -252,6 +273,7 @@ class SliceStage {
   const lgca::CollisionLut* lut_;
   std::int64_t t_;
   std::int64_t delay_;
+  std::int64_t lead_;
   std::int64_t next_in_;
   std::vector<lgca::Site> ring_;
   SliceStage* left_ = nullptr;
@@ -269,7 +291,15 @@ class SliceStage {
   mutable std::vector<std::uint8_t> meta_;
 };
 
-}  // namespace
+/// Persistent cycle-exact machine state: stages[j][d] is the depth-d
+/// stage of slice j, kept alive (and rearmed) across passes.
+struct SpaMachine::CycleState {
+  std::vector<std::vector<SliceStage>> stages;
+};
+
+SpaMachine::~SpaMachine() = default;
+SpaMachine::SpaMachine(SpaMachine&&) noexcept = default;
+SpaMachine& SpaMachine::operator=(SpaMachine&&) noexcept = default;
 
 SpaMachine::SpaMachine(Extent extent, const lgca::Rule& rule,
                        std::int64_t slice_width, int depth, std::int64_t t0,
@@ -327,29 +357,40 @@ lgca::SiteLattice SpaMachine::run_cycle_exact(const lgca::SiteLattice& in) {
 
   // stages[j][d]: depth-d stage of slice j. Slice j is staggered one
   // slice-row (W positions) behind slice j-1; depth adds stage latency.
-  std::vector<std::vector<SliceStage>> stages(
-      static_cast<std::size_t>(slices_));
-  for (std::int64_t j = 0; j < slices_; ++j) {
-    auto& chain = stages[static_cast<std::size_t>(j)];
-    chain.reserve(static_cast<std::size_t>(depth_));
-    for (int d = 0; d < depth_; ++d) {
-      chain.emplace_back(slice_extent, j * slice_width_, extent_.width,
-                         *rule_, lut, t0_ + d,
-                         j * slice_width_ + d * stage_delay, fault_, d, j);
+  // The grid is built on the first pass and rearmed in place on every
+  // later one.
+  if (cycle_ == nullptr) {
+    cycle_ = std::make_unique<CycleState>();
+    cycle_->stages.resize(static_cast<std::size_t>(slices_));
+    for (std::int64_t j = 0; j < slices_; ++j) {
+      auto& chain = cycle_->stages[static_cast<std::size_t>(j)];
+      chain.reserve(static_cast<std::size_t>(depth_));
+      for (int d = 0; d < depth_; ++d) {
+        chain.emplace_back(slice_extent, j * slice_width_, extent_.width,
+                           *rule_, lut, t0_ + d,
+                           j * slice_width_ + d * stage_delay, fault_, d, j);
+      }
+    }
+    for (std::int64_t j = 0; j < slices_; ++j) {
+      for (int d = 0; d < depth_; ++d) {
+        SliceStage* left =
+            j > 0 ? &cycle_->stages[static_cast<std::size_t>(j - 1)]
+                                   [static_cast<std::size_t>(d)]
+                  : nullptr;
+        SliceStage* right = j + 1 < slices_
+                                ? &cycle_->stages[static_cast<std::size_t>(
+                                      j + 1)][static_cast<std::size_t>(d)]
+                                : nullptr;
+        cycle_->stages[static_cast<std::size_t>(j)]
+                      [static_cast<std::size_t>(d)]
+                          .set_neighbors(left, right);
+      }
     }
   }
-  for (std::int64_t j = 0; j < slices_; ++j) {
+  auto& stages = cycle_->stages;
+  for (auto& chain : stages) {
     for (int d = 0; d < depth_; ++d) {
-      SliceStage* left =
-          j > 0 ? &stages[static_cast<std::size_t>(j - 1)]
-                         [static_cast<std::size_t>(d)]
-                : nullptr;
-      SliceStage* right =
-          j + 1 < slices_ ? &stages[static_cast<std::size_t>(j + 1)]
-                                   [static_cast<std::size_t>(d)]
-                          : nullptr;
-      stages[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)]
-          .set_neighbors(left, right);
+      chain[static_cast<std::size_t>(d)].reset(t0_ + d);
     }
   }
 
@@ -438,13 +479,21 @@ lgca::SiteLattice SpaMachine::run_parallel(const lgca::SiteLattice& in) {
   const std::int64_t h = extent_.height;
   const std::int64_t area = extent_.area();
 
-  // Generation ladders gen[0..depth]; gen[0] is the input pass.
-  std::vector<lgca::SiteLattice> gen;
-  gen.reserve(static_cast<std::size_t>(depth_) + 1);
-  gen.push_back(in);
-  for (int d = 0; d < depth_; ++d) {
-    gen.emplace_back(extent_, lgca::Boundary::Null);
+  // Generation ladder gen_[0..depth]; gen_[0] is the input pass. The
+  // ladder persists across passes (every cell of an intermediate
+  // lattice is rewritten before it is read, so stale data from the
+  // previous pass is never observed); only gen_[0] is refreshed here.
+  if (gen_.size() != static_cast<std::size_t>(depth_) + 1) {
+    gen_.clear();
+    gen_.reserve(static_cast<std::size_t>(depth_) + 1);
+    gen_.push_back(in);
+    for (int d = 0; d < depth_; ++d) {
+      gen_.emplace_back(extent_, lgca::Boundary::Null);
+    }
+  } else {
+    gen_.front() = in;
   }
+  auto& gen = gen_;
 
   auto& pool = common::ThreadPool::shared();
   const unsigned lanes = static_cast<unsigned>(std::min<std::int64_t>(
@@ -508,7 +557,11 @@ lgca::SiteLattice SpaMachine::run_parallel(const lgca::SiteLattice& in) {
   stats_.boundary_fetches += static_cast<std::int64_t>(depth_) *
                              (slices_ - 1) * 2 * (3 * h - 2);
   stats_.buffer_sites = slices_ * depth_ * (2 * slice_width_ + 6);
-  return std::move(gen.back());
+  // Hand the final generation to the caller and re-arm the slot so the
+  // persistent ladder stays fully allocated for the next pass.
+  lgca::SiteLattice result = std::move(gen.back());
+  gen.back() = lgca::SiteLattice(extent_, lgca::Boundary::Null);
+  return result;
 }
 
 }  // namespace lattice::arch

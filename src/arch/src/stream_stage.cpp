@@ -1,5 +1,6 @@
 #include "lattice/arch/stream_stage.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace lattice::arch {
@@ -23,6 +24,7 @@ StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
       // batch is validated below; clamp here so the computation in the
       // initializer list cannot divide by zero first.
       delay_(round_up(extent.width + 1, batch > 0 ? batch : 1)),
+      lead_(lead_padding),
       next_in_(-lead_padding),
       fault_(fault),
       stage_index_(stage_index) {
@@ -39,6 +41,18 @@ StreamStage::StreamStage(Extent extent, const lgca::Rule& rule,
     // particles); generic rules fall back to parity detection alone.
     audit_.valid = lut_ != nullptr;
     if (lut_ != nullptr) topo_ = lut_->model().topology();
+  }
+}
+
+void StreamStage::reset(std::int64_t t) {
+  t_ = t;
+  next_in_ = -lead_;
+  std::fill(ring_.begin(), ring_.end(), lgca::Site{0});
+  if (fault_ != nullptr) {
+    std::fill(meta_.begin(), meta_.end(), std::uint8_t{0});
+    const bool valid = audit_.valid;
+    audit_ = fault::StageAudit{};
+    audit_.valid = valid;
   }
 }
 

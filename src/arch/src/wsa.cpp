@@ -31,6 +31,17 @@ WsaPipeline::WsaPipeline(Extent extent, const lgca::Rule& rule, int depth,
       fault_(fault) {
   LATTICE_REQUIRE(depth >= 1, "WSA pipeline needs at least one stage");
   LATTICE_REQUIRE(width >= 1, "WSA stage width (P) must be >= 1");
+  // Build the persistent stage chain: stage s updates generation t0+s
+  // and sees s·delay positions of upstream latency. run() rearms these
+  // stages in place instead of reconstructing them.
+  stages_.reserve(static_cast<std::size_t>(depth_));
+  for (int s = 0; s < depth_; ++s) {
+    stages_.emplace_back(extent_, *rule_, t0_ + s, width_, lead_, lut_,
+                         fault_, s);
+    lead_ += stages_.back().delay();
+  }
+  bus_a_.assign(static_cast<std::size_t>(width_), 0);
+  bus_b_.assign(static_cast<std::size_t>(width_), 0);
 }
 
 lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
@@ -41,15 +52,9 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
   const obs::ScopedTimer run_timer(WsaObs::get().run_ns);
   const std::int64_t ticks_before = stats_.ticks;
 
-  // Build the stage chain: stage s updates generation t0+s and sees
-  // s·delay positions of upstream latency.
-  std::vector<StreamStage> stages;
-  stages.reserve(static_cast<std::size_t>(depth_));
-  std::int64_t lead = 0;
+  // Rearm the persistent chain for this pass's generations.
   for (int s = 0; s < depth_; ++s) {
-    stages.emplace_back(extent_, *rule_, t0_ + s, width_, lead, lut_, fault_,
-                        s);
-    lead += stages.back().delay();
+    stages_[static_cast<std::size_t>(s)].reset(t0_ + s);
   }
 
   const std::int64_t area = extent_.area();
@@ -57,9 +62,7 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
 
   // Total stream positions: the lattice plus the accumulated latency,
   // rounded up to whole ticks.
-  const std::int64_t total_positions = area + lead;
-  std::vector<lgca::Site> bus_a(static_cast<std::size_t>(width_), 0);
-  std::vector<lgca::Site> bus_b(static_cast<std::size_t>(width_), 0);
+  const std::int64_t total_positions = area + lead_;
 
   std::int64_t collected = 0;
   for (std::int64_t pos = 0; pos < total_positions || collected < area;
@@ -67,23 +70,23 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
     // Fetch a batch from main memory (zero-padded past the end).
     for (int b = 0; b < width_; ++b) {
       const std::int64_t p = pos + b;
-      bus_a[static_cast<std::size_t>(b)] =
+      bus_a_[static_cast<std::size_t>(b)] =
           p < area ? in[static_cast<std::size_t>(p)] : lgca::Site{0};
       if (p < area) ++stats_.mem_sites_read;
     }
     // Ripple the batch through the chain.
-    lgca::Site* cur = bus_a.data();
-    lgca::Site* nxt = bus_b.data();
-    for (std::size_t s = 0; s < stages.size(); ++s) {
-      stages[s].tick(cur, nxt);
+    lgca::Site* cur = bus_a_.data();
+    lgca::Site* nxt = bus_b_.data();
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      stages_[s].tick(cur, nxt);
       std::swap(cur, nxt);
-      if (s + 1 < stages.size()) stats_.interchip_sites += width_;
+      if (s + 1 < stages_.size()) stats_.interchip_sites += width_;
     }
     ++stats_.ticks;
     // The final stage's logical output position trails the *global*
     // input position by the total latency.
     for (int b = 0; b < width_; ++b) {
-      const std::int64_t out_pos = pos + b - lead;
+      const std::int64_t out_pos = pos + b - lead_;
       if (out_pos >= 0 && out_pos < area) {
         out[static_cast<std::size_t>(out_pos)] = cur[b];
         ++stats_.mem_sites_written;
@@ -94,7 +97,7 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
 
   stats_.site_updates += area * depth_;
   stats_.buffer_sites = 0;
-  for (const StreamStage& s : stages) stats_.buffer_sites += s.buffer_sites();
+  for (const StreamStage& s : stages_) stats_.buffer_sites += s.buffer_sites();
   obs::count(WsaObs::get().ticks, stats_.ticks - ticks_before);
   obs::count(WsaObs::get().sites, area * depth_);
 
@@ -110,7 +113,7 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
       link_mass += lgca::particle_count(v);
       link_obs += lgca::is_obstacle(v) ? 1 : 0;
     }
-    for (const StreamStage& s : stages) {
+    for (const StreamStage& s : stages_) {
       const fault::StageAudit& a = s.audit();
       if (a.in_mass != link_mass || a.in_obstacles != link_obs) {
         fault_->report_conservation_error();
@@ -126,20 +129,15 @@ lgca::SiteLattice WsaPipeline::run(const lgca::SiteLattice& in) {
 lgca::SiteLattice WsaPipeline::run_passes(const lgca::SiteLattice& in,
                                           int passes) {
   LATTICE_REQUIRE(passes >= 1, "need at least one pass");
+  // Each pass advances depth_ generations; the persistent chain is
+  // retargeted per pass and stats accumulate in place.
+  const std::int64_t t0 = t0_;
   lgca::SiteLattice cur = in;
   for (int p = 0; p < passes; ++p) {
-    // Each pass advances depth_ generations; rebuild with advanced t0.
-    WsaPipeline pass(extent_, *rule_, depth_, width_,
-                     t0_ + static_cast<std::int64_t>(p) * depth_,
-                     lut_ != nullptr, fault_);
-    cur = pass.run(cur);
-    stats_.ticks += pass.stats_.ticks;
-    stats_.site_updates += pass.stats_.site_updates;
-    stats_.mem_sites_read += pass.stats_.mem_sites_read;
-    stats_.mem_sites_written += pass.stats_.mem_sites_written;
-    stats_.interchip_sites += pass.stats_.interchip_sites;
-    stats_.buffer_sites = pass.stats_.buffer_sites;
+    set_t0(t0 + static_cast<std::int64_t>(p) * depth_);
+    cur = run(cur);
   }
+  set_t0(t0);
   return cur;
 }
 

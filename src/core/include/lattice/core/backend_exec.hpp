@@ -1,0 +1,105 @@
+// BackendExec — the polymorphic executor layer behind LatticeEngine.
+//
+// One executor per Backend value, created by make_backend_exec() and
+// owned by the engine. Everything backend-specific lives here: kernel
+// detection (CollisionLut / PlaneKernel), slice-width defaulting,
+// boundary requirements, the per-pass obs histogram, fault-injector
+// wiring, persistent pipeline/machine state, and the report fields
+// only that backend knows (bandwidth, off-chip buffer ledger). The
+// engine itself never branches on the backend.
+//
+// Adding a backend is one new translation unit (docs/ARCHITECTURE.md):
+// subclass BackendExec, implement prepare()/run_pass(), and add a case
+// to the factory in backend_exec.cpp.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/obs/metrics.hpp"
+
+namespace lattice::fault {
+class FaultInjector;
+}  // namespace lattice::fault
+
+namespace lattice::core {
+
+/// Counters an executor accumulates across passes. ticks stays 0 for
+/// the software backends (no simulated clock); buffer_sites is a gauge
+/// holding the most recent pass's datapath storage.
+struct ExecStats {
+  std::int64_t ticks = 0;
+  std::int64_t site_updates = 0;
+  std::int64_t buffer_sites = 0;
+};
+
+class BackendExec {
+ public:
+  virtual ~BackendExec();
+  BackendExec(const BackendExec&) = delete;
+  BackendExec& operator=(const BackendExec&) = delete;
+
+  /// One-time setup against the engine's initial state: validate the
+  /// boundary mode, build the persistent pipeline/machine. Called by
+  /// the engine exactly once, before the first run_pass().
+  virtual void prepare(const lgca::SiteLattice& state) = 0;
+
+  /// Advance `state` in place by `chunk` generations, the first of
+  /// which is `generation`. Counters accumulate into stats().
+  virtual void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
+                        std::int64_t generation) = 0;
+
+  const ExecStats& stats() const noexcept { return stats_; }
+
+  /// The obs stage name: run_pass() time lands in the top-level
+  /// "engine.pass.<name>_ns" phase histogram (docs/OBSERVABILITY.md).
+  std::string_view name() const noexcept { return name_; }
+  obs::MetricsRegistry::Id pass_histogram() const noexcept {
+    return pass_ns_;
+  }
+
+  /// Whether the simulated datapath has buffers and links an armed
+  /// FaultPlan can corrupt. The engine rejects fault plans on
+  /// executors that return false.
+  virtual bool supports_fault_injection() const noexcept { return false; }
+
+  /// Largest chunk the executor wants for one pass, given `remaining`
+  /// generations. Hardware executors bound it by the pipeline depth;
+  /// software ones may take everything in one pass.
+  virtual std::int64_t max_chunk(std::int64_t remaining) const noexcept;
+
+  /// Backend-specific PerformanceReport fields (bandwidth demand,
+  /// off-chip buffer ledger). The engine fills the generic ones.
+  virtual void fill_report(PerformanceReport& report) const;
+
+  /// Last-resort recovery hook: after max_retries failed replays the
+  /// engine asks the executor to reconfigure around a persistent fault
+  /// (SPA remaps stuck chips out of the datapath). Returns true if the
+  /// executor degraded and the pass should be retried.
+  virtual bool try_degrade();
+
+ protected:
+  /// `name` keys the pass histogram; `pipeline_depth` bounds the
+  /// default max_chunk().
+  BackendExec(std::string_view name, std::int64_t pipeline_depth);
+
+  ExecStats stats_;
+  std::int64_t depth_;
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry::Id pass_ns_;
+};
+
+/// Build the executor for config.backend. `config` is the engine's own
+/// copy and may be normalized in place (e.g. SPA picks the default
+/// slice width here); `injector` is null unless a fault plan is armed.
+std::unique_ptr<BackendExec> make_backend_exec(LatticeEngine::Config& config,
+                                               const lgca::Rule& rule,
+                                               fault::FaultInjector* injector);
+
+}  // namespace lattice::core

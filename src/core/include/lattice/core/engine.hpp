@@ -1,12 +1,20 @@
 // LatticeEngine — the library's front door.
 //
 // Bundles a lattice state, an update rule, and a choice of execution
-// backend (golden reference, WSA pipeline, SPA machine, bit-plane
-// multi-spin software kernel) behind one `advance()` call, and turns
-// the backend's counters plus a technology
-// point into the performance report the paper's analysis predicts:
-// modeled update rate, memory bandwidth demand, and the Hong–Kung
-// ceiling R ≤ B·τ(2S) the design can never beat (§7).
+// backend (golden reference, WSA pipeline, WSA-E chain, SPA machine,
+// bit-plane multi-spin software kernel) behind one `advance()` call,
+// and turns the backend's counters plus a technology point into the
+// performance report the paper's analysis predicts: modeled update
+// rate, memory bandwidth demand, and the Hong–Kung ceiling
+// R ≤ B·τ(2S) the design can never beat (§7).
+//
+// All per-backend behavior lives behind the BackendExec executor layer
+// (lattice/core/backend_exec.hpp): the engine owns one executor,
+// created by a factory keyed on `Config::backend`, and never branches
+// on the backend itself. This header deliberately includes none of the
+// backend machinery (arch pipelines, collision LUTs, plane kernels) —
+// client TUs compile only the lattice container, the technology point
+// and the fault plan.
 //
 //   LatticeEngine engine(LatticeEngine::Config{
 //       .extent = {256, 256},
@@ -23,21 +31,21 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 
-#include "lattice/arch/design_space.hpp"
-#include "lattice/arch/spa.hpp"
+#include "lattice/arch/memory.hpp"
 #include "lattice/arch/technology.hpp"
-#include "lattice/arch/wsa.hpp"
 #include "lattice/fault/fault.hpp"
-#include "lattice/lgca/collision_lut.hpp"
-#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/gas_model.hpp"
 #include "lattice/lgca/lattice.hpp"
-#include "lattice/lgca/plane_kernel.hpp"
+
+namespace lattice::lgca {
+class GasRule;
+}  // namespace lattice::lgca
 
 namespace lattice::core {
 
 struct MetricsReport;
+class BackendExec;
 
 enum class Backend {
   Reference,  // golden double-buffered updater
@@ -45,6 +53,8 @@ enum class Backend {
   Spa,        // Sternberg partitioned machine
   BitPlane,   // multi-spin coded software backend: 64 sites/word,
               // boolean-algebra collisions (HPP, FHP-I/II gases only)
+  WsaE,       // extensible WSA (§5): one PE per chip, line buffer
+              // off-chip on an external memory channel
 };
 
 /// What a run cost and what the technology model says about it.
@@ -63,10 +73,23 @@ struct PerformanceReport {
   double wall_seconds = 0;
   double measured_rate = 0;             // updates/s of the simulation
   double bandwidth_bits_per_tick = 0;   // main memory demand
-  std::int64_t storage_sites = 0;       // S: on-chip site storage
+  std::int64_t storage_sites = 0;       // S: site storage in the datapath
   /// Hong–Kung ceiling for this (B, S, d=2): R ≤ B·2τ(2S), in
   /// updates/s. The modeled rate must sit below it.
   double pebbling_rate_ceiling = 0;
+
+  // ---- WSA-E off-chip buffer ledger (zero for other backends) ----
+
+  /// External line-buffer storage across all stages, in sites: the §5
+  /// cost the architecture moves off chip, k·(2L + 10).
+  std::int64_t offchip_buffer_sites = 0;
+  /// Demand on the external buffer channels, bits/tick summed over
+  /// stages: k·4·D, the non-stream two thirds of the 6·D pin bill.
+  double offchip_buffer_bits_per_tick = 0;
+  /// Achieved fraction of that demand after bank conflicts in the
+  /// configured buffer parts; 1.0 means the paper's full-bandwidth
+  /// assumption holds.
+  double buffer_bandwidth_fraction = 0;
 
   // ---- robustness (all zero unless a fault plan was armed) ----
 
@@ -105,7 +128,7 @@ class LatticeEngine {
     const lgca::Rule* custom_rule = nullptr;
     lgca::Boundary boundary = lgca::Boundary::Null;
     Backend backend = Backend::Reference;
-    int pipeline_depth = 1;     // k: generations per pass (WSA & SPA)
+    int pipeline_depth = 1;     // k: generations per pass (hardware backends)
     int wsa_width = 1;          // P
     std::int64_t spa_slice_width = 0;  // W; 0 = pick a divisor near §6.2
     /// Worker threads for the software execution: bands the reference
@@ -117,8 +140,13 @@ class LatticeEngine {
     /// path). On by default — output is bit-identical either way.
     bool fast_kernel = true;
     arch::Technology tech = arch::Technology::paper1987();
+    /// WSA-E only: the external line-buffer parts on each stage's
+    /// buffer channel. The default (dual-bank, single-tick cycle)
+    /// sustains full bandwidth; slower parts stall the machine and
+    /// show up in PerformanceReport::buffer_bandwidth_fraction.
+    arch::MemoryConfig wsa_e_buffer{/*banks=*/2, /*bank_busy_ticks=*/1};
 
-    /// Fault scenario for the hardware backends (WSA / SPA only —
+    /// Fault scenario for the hardware backends (WSA / WSA-E / SPA —
     /// injection lives in the simulated buffers and links). Fault-free
     /// by default; an armed plan turns advance() into the guarded
     /// checkpoint/rollback loop below.
@@ -133,6 +161,9 @@ class LatticeEngine {
   };
 
   explicit LatticeEngine(Config config);
+  ~LatticeEngine();
+  LatticeEngine(LatticeEngine&&) noexcept;
+  LatticeEngine& operator=(LatticeEngine&&) noexcept;
 
   /// Advance the lattice `generations` steps on the configured backend.
   ///
@@ -140,9 +171,9 @@ class LatticeEngine {
   /// checkpoint_interval generations, run each pass under the online
   /// detectors, and on any detection discard the pass, restore the last
   /// snapshot, bump the injector epoch (so transients redraw) and
-  /// re-run. After max_retries consecutive failures the engine remaps
-  /// stuck SPA chips out of the datapath if it can, and otherwise
-  /// throws fault::CorruptionError.
+  /// re-run. After max_retries consecutive failures the engine asks the
+  /// executor to degrade (SPA remaps stuck chips out of the datapath)
+  /// and otherwise throws fault::CorruptionError.
   void advance(std::int64_t generations);
 
   /// Snapshot the current state and generation for later restore().
@@ -182,31 +213,30 @@ class LatticeEngine {
   bool verify_against_reference() const;
 
  private:
-  void run_pass(int chunk);
+  void run_pass(std::int64_t chunk);
   void advance_guarded(std::int64_t generations);
 
   Config config_;
   std::unique_ptr<lgca::GasRule> owned_rule_;
   const lgca::Rule* rule_;
-  const lgca::CollisionLut* lut_ = nullptr;  // non-null iff fast path on
-  const lgca::PlaneKernel* plane_ = nullptr;  // non-null iff BitPlane backend
   lgca::SiteLattice initial_;
   lgca::SiteLattice state_;
   std::int64_t generation_ = 0;
   bool initial_captured_ = false;
-
-  // accumulated backend counters
-  std::int64_t ticks_ = 0;
-  std::int64_t site_updates_ = 0;
-  std::int64_t buffer_sites_ = 0;
   double wall_seconds_ = 0;
 
-  // recovery machinery; null/zero when the fault plan is unarmed
+  // recovery machinery; null/zero when the fault plan is unarmed.
+  // Declared before exec_ so the executor (which may hold a pointer to
+  // the injector) is destroyed first.
   std::unique_ptr<fault::FaultInjector> injector_;
   std::int64_t rollbacks_ = 0;
   std::int64_t checkpoints_ = 0;
   std::int64_t faults_corrected_ = 0;
   double checkpoint_seconds_ = 0;
+
+  /// The backend's executor: owns all backend-specific state (kernels,
+  /// persistent pipelines/machines, counters).
+  std::unique_ptr<BackendExec> exec_;
 };
 
 /// Pick a slice width that divides `width` and is as close as possible

@@ -36,6 +36,9 @@ struct Candidate {
   double chips = 0;                    // system cost
   double rate = 0;                     // achieved updates/s
   double bandwidth_bits_per_tick = 0;  // main-memory demand
+  /// WSA-E only: demand on the external line-buffer channels (bits per
+  /// tick summed over stages, k·4·D). Zero for on-chip-buffer designs.
+  double offchip_bits_per_tick = 0;
 };
 
 /// All three candidates, feasible ones first, cheapest (fewest chips)

@@ -1,0 +1,48 @@
+#include "lattice/core/backend_exec.hpp"
+
+#include <algorithm>
+
+#include "exec_factories.hpp"
+
+namespace lattice::core {
+
+BackendExec::BackendExec(std::string_view name, std::int64_t pipeline_depth)
+    : depth_(pipeline_depth),
+      name_(name),
+      pass_ns_(obs::histogram_id("engine.pass." + std::string(name) + "_ns")) {
+  LATTICE_REQUIRE(pipeline_depth >= 1, "pipeline depth must be >= 1");
+}
+
+BackendExec::~BackendExec() = default;
+
+std::int64_t BackendExec::max_chunk(std::int64_t remaining) const noexcept {
+  return std::min(remaining, depth_);
+}
+
+void BackendExec::fill_report(PerformanceReport& report) const {
+  // Software backends: no simulated datapath, no modeled bandwidth.
+  (void)report;
+}
+
+bool BackendExec::try_degrade() { return false; }
+
+std::unique_ptr<BackendExec> make_backend_exec(LatticeEngine::Config& config,
+                                               const lgca::Rule& rule,
+                                               fault::FaultInjector* injector) {
+  switch (config.backend) {
+    case Backend::Reference:
+      return detail::make_reference_exec(config, rule);
+    case Backend::BitPlane:
+      return detail::make_bitplane_exec(config, rule);
+    case Backend::Wsa:
+      return detail::make_wsa_exec(config, rule, injector);
+    case Backend::Spa:
+      return detail::make_spa_exec(config, rule, injector);
+    case Backend::WsaE:
+      return detail::make_wsa_e_exec(config, rule, injector);
+  }
+  LATTICE_REQUIRE(false, "unknown backend");
+  return nullptr;
+}
+
+}  // namespace lattice::core

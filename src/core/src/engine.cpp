@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cmath>
 
+#include "lattice/arch/design_space.hpp"
+#include "lattice/core/backend_exec.hpp"
 #include "lattice/core/metrics_report.hpp"
+#include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/reference.hpp"
 #include "lattice/obs/metrics.hpp"
 #include "lattice/obs/trace.hpp"
@@ -14,10 +17,10 @@ namespace lattice::core {
 
 namespace {
 
-// Resolved once; the engine's hot loop then only touches atomics.
-// Phase histograms here are the *top-level* stage accounting that
-// build_metrics_report() sums against wall-clock: the BitPlane backend
-// has none (its bitplane.pack/update/unpack stages are the top level).
+// Resolved once; the engine's hot loop then only touches atomics. The
+// per-backend pass histograms live with the executors (each BackendExec
+// owns its engine.pass.<name>_ns id); what remains here is the
+// backend-independent accounting.
 struct EngineObs {
   obs::MetricsRegistry::Id generations = obs::counter_id("engine.generations");
   obs::MetricsRegistry::Id site_updates =
@@ -25,12 +28,6 @@ struct EngineObs {
   obs::MetricsRegistry::Id rollbacks = obs::counter_id("engine.rollbacks");
   obs::MetricsRegistry::Id replays = obs::counter_id("engine.replays");
   obs::MetricsRegistry::Id checkpoints = obs::counter_id("engine.checkpoints");
-  obs::MetricsRegistry::Id pass_reference_ns =
-      obs::histogram_id("engine.pass.reference_ns");
-  obs::MetricsRegistry::Id pass_wsa_ns =
-      obs::histogram_id("engine.pass.wsa_ns");
-  obs::MetricsRegistry::Id pass_spa_ns =
-      obs::histogram_id("engine.pass.spa_ns");
   obs::MetricsRegistry::Id capture_ns = obs::histogram_id("engine.capture_ns");
   obs::MetricsRegistry::Id checkpoint_ns =
       obs::histogram_id("engine.checkpoint_ns");
@@ -40,17 +37,6 @@ struct EngineObs {
     return ids;
   }
 };
-
-obs::MetricsRegistry::Id pass_histogram(Backend backend) {
-  if constexpr (!obs::kEnabled) return obs::MetricsRegistry::kInvalidId;
-  switch (backend) {
-    case Backend::Reference: return EngineObs::get().pass_reference_ns;
-    case Backend::Wsa: return EngineObs::get().pass_wsa_ns;
-    case Backend::Spa: return EngineObs::get().pass_spa_ns;
-    case Backend::BitPlane: break;  // bitplane.* stages are top-level
-  }
-  return obs::MetricsRegistry::kInvalidId;
-}
 
 }  // namespace
 
@@ -83,40 +69,29 @@ LatticeEngine::LatticeEngine(Config config)
     rule_ = owned_rule_.get();
   }
   if (config_.threads == 0) config_.threads = 1;
-  // One-time fast-path detection: a GasRule gets the fused LUT kernel,
-  // anything else keeps the generic virtual-dispatch path.
-  if (config_.fast_kernel) lut_ = lgca::CollisionLut::try_get(*rule_);
-  if (config_.backend == Backend::Wsa || config_.backend == Backend::Spa) {
-    LATTICE_REQUIRE(config_.boundary == lgca::Boundary::Null,
-                    "pipelined backends require null boundaries");
-  }
-  if (config_.backend == Backend::BitPlane) {
-    // The bit-plane backend evaluates the gas collision rules as
-    // boolean algebra; a custom Rule has no such form, and FHP-III's
-    // table is a class permutation that PlaneKernel::get rejects.
-    LATTICE_REQUIRE(config_.custom_rule == nullptr,
-                    "the bit-plane backend runs lattice gases only; "
-                    "custom rules have no boolean-algebra kernel");
-    plane_ = &lgca::PlaneKernel::get(config_.gas);
-  }
-  if (config_.backend == Backend::Spa && config_.spa_slice_width == 0) {
-    config_.spa_slice_width =
-        pick_spa_slice_width(config_.tech, config_.extent.width);
-  }
   LATTICE_REQUIRE(config_.checkpoint_interval >= 0,
                   "checkpoint interval must be >= 0");
   LATTICE_REQUIRE(config_.max_retries >= 0, "max retries must be >= 0");
   if (config_.fault.armed()) {
-    LATTICE_REQUIRE(
-        config_.backend == Backend::Wsa || config_.backend == Backend::Spa,
-        "fault injection targets the hardware backends; the reference and "
-        "bit-plane updaters have no simulated buffers to corrupt");
     injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
     if (config_.checkpoint_interval == 0) {
       config_.checkpoint_interval = config_.pipeline_depth;
     }
   }
+  // Everything backend-specific — kernel detection, slice-width
+  // defaulting, boundary requirements, persistent pipelines — lives in
+  // the executor. The factory may normalize config_ in place.
+  exec_ = make_backend_exec(config_, *rule_, injector_.get());
+  LATTICE_REQUIRE(
+      injector_ == nullptr || exec_->supports_fault_injection(),
+      "fault injection targets the hardware backends; the reference and "
+      "bit-plane updaters have no simulated buffers to corrupt");
+  exec_->prepare(state_);
 }
+
+LatticeEngine::~LatticeEngine() = default;
+LatticeEngine::LatticeEngine(LatticeEngine&&) noexcept = default;
+LatticeEngine& LatticeEngine::operator=(LatticeEngine&&) noexcept = default;
 
 const lgca::GasModel& LatticeEngine::gas_model() const {
   LATTICE_REQUIRE(owned_rule_ != nullptr,
@@ -124,56 +99,16 @@ const lgca::GasModel& LatticeEngine::gas_model() const {
   return owned_rule_->model();
 }
 
-void LatticeEngine::run_pass(int chunk) {
+void LatticeEngine::run_pass(std::int64_t chunk) {
   const obs::TraceSpan span("engine.pass");
-  const obs::ScopedTimer pass_timer(pass_histogram(config_.backend));
-  switch (config_.backend) {
-    case Backend::Reference: {
-      if (lut_ != nullptr) {
-        lgca::fused_gas_run(state_, *lut_, chunk, generation_,
-                            config_.threads);
-      } else if (config_.threads > 1) {
-        lgca::reference_run_parallel(state_, *rule_, chunk, config_.threads,
-                                     generation_);
-      } else {
-        lgca::reference_run(state_, *rule_, chunk, generation_);
-      }
-      site_updates_ += state_.extent().area() * chunk;
-      break;
-    }
-    case Backend::BitPlane: {
-      lgca::bitplane_gas_run(state_, *plane_, chunk, generation_,
-                             config_.threads);
-      site_updates_ += state_.extent().area() * chunk;
-      break;
-    }
-    case Backend::Wsa: {
-      arch::WsaPipeline pipe(state_.extent(), *rule_, chunk,
-                             config_.wsa_width, generation_, lut_ != nullptr,
-                             injector_.get());
-      state_ = pipe.run(state_);
-      ticks_ += pipe.stats().ticks;
-      site_updates_ += pipe.stats().site_updates;
-      buffer_sites_ = pipe.stats().buffer_sites;
-      break;
-    }
-    case Backend::Spa: {
-      arch::SpaMachine spa(state_.extent(), *rule_, config_.spa_slice_width,
-                           chunk, generation_, config_.threads,
-                           lut_ != nullptr, injector_.get());
-      state_ = spa.run(state_);
-      ticks_ += spa.stats().ticks;
-      site_updates_ += spa.stats().site_updates;
-      buffer_sites_ = spa.stats().buffer_sites;
-      break;
-    }
-  }
+  const obs::ScopedTimer pass_timer(exec_->pass_histogram());
+  exec_->run_pass(state_, chunk, generation_);
 }
 
 void LatticeEngine::advance(std::int64_t generations) {
   LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
   const obs::TraceSpan span("engine.advance");
-  const std::int64_t updates_before = site_updates_;
+  const std::int64_t updates_before = exec_->stats().site_updates;
   const auto start = std::chrono::steady_clock::now();
   if (!initial_captured_) {
     const obs::ScopedTimer timer(EngineObs::get().capture_ns);
@@ -182,19 +117,10 @@ void LatticeEngine::advance(std::int64_t generations) {
   }
   if (injector_ != nullptr) {
     advance_guarded(generations);
-  } else if (config_.backend == Backend::BitPlane) {
-    // One pass for the whole call: pipeline_depth is a hardware
-    // parameter with no meaning for this software backend, and
-    // chunking by it would re-pay the pack/unpack transpose per chunk.
-    lgca::bitplane_gas_run(state_, *plane_, generations, generation_,
-                           config_.threads);
-    site_updates_ += state_.extent().area() * generations;
-    generation_ += generations;
   } else {
     std::int64_t left = generations;
     while (left > 0) {
-      const int chunk = static_cast<int>(
-          std::min<std::int64_t>(left, config_.pipeline_depth));
+      const std::int64_t chunk = exec_->max_chunk(left);
       run_pass(chunk);
       generation_ += chunk;
       left -= chunk;
@@ -204,7 +130,8 @@ void LatticeEngine::advance(std::int64_t generations) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   obs::count(EngineObs::get().generations, generations);
-  obs::count(EngineObs::get().site_updates, site_updates_ - updates_before);
+  obs::count(EngineObs::get().site_updates,
+             exec_->stats().site_updates - updates_before);
 }
 
 // The guarded loop: every pass runs under the online detectors; any
@@ -212,7 +139,8 @@ void LatticeEngine::advance(std::int64_t generations) {
 // (ticks and site_updates keep counting, as the silicon would), but no
 // corrupted generation is ever committed. Re-execution is exact: the
 // injector's epoch is bumped so transient draws differ, while stuck
-// faults (persistent silicon) replay until remapped.
+// faults (persistent silicon) replay until the executor degrades
+// around them.
 void LatticeEngine::advance_guarded(std::int64_t generations) {
   const std::int64_t target = generation_ + generations;
   EngineCheckpoint ckpt{state_, generation_};
@@ -232,8 +160,8 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
   obs::count(EngineObs::get().checkpoints, 1);
   int attempts = 0;
   while (generation_ < target) {
-    const int chunk = static_cast<int>(std::min<std::int64_t>(
-        target - generation_, config_.pipeline_depth));
+    const std::int64_t chunk = std::min<std::int64_t>(
+        target - generation_, config_.pipeline_depth);
     const std::int64_t before = injector_->counters().detected();
     run_pass(chunk);
     const std::int64_t after = injector_->counters().detected();
@@ -259,11 +187,11 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
     obs::count(EngineObs::get().replays, 1);
     injector_->bump_epoch();
     if (++attempts > config_.max_retries) {
-      if (config_.backend == Backend::Spa && injector_->has_stuck()) {
-        // Graceful degradation: pull the stuck chips out of the
-        // datapath; surviving pipelines absorb their columns (the SPA
-        // charges the extra ticks) and the retry budget resets.
-        injector_->disable_stuck();
+      // Graceful degradation: let the executor reconfigure around a
+      // persistent fault (SPA remaps stuck chips out of the datapath;
+      // surviving pipelines absorb their columns and charge the extra
+      // ticks) and reset the retry budget.
+      if (exec_->try_degrade()) {
         attempts = 0;
         continue;
       }
@@ -289,43 +217,30 @@ void LatticeEngine::restore(const EngineCheckpoint& ckpt) {
 }
 
 PerformanceReport LatticeEngine::report() const {
+  const ExecStats& es = exec_->stats();
   PerformanceReport r;
   r.backend = config_.backend;
   r.generations = generation_;
-  r.site_updates = site_updates_;
-  r.ticks = ticks_;
-  r.updates_per_tick =
-      ticks_ > 0 ? static_cast<double>(site_updates_) /
-                       static_cast<double>(ticks_)
-                 : 0.0;
+  r.site_updates = es.site_updates;
+  r.ticks = es.ticks;
+  r.updates_per_tick = es.ticks > 0
+                           ? static_cast<double>(es.site_updates) /
+                                 static_cast<double>(es.ticks)
+                           : 0.0;
   r.modeled_rate = r.updates_per_tick * config_.tech.clock_hz;
   r.wall_seconds = wall_seconds_;
   r.measured_rate = wall_seconds_ > 0
-                        ? static_cast<double>(site_updates_) / wall_seconds_
+                        ? static_cast<double>(es.site_updates) / wall_seconds_
                         : 0.0;
-  r.storage_sites = buffer_sites_;
+  r.storage_sites = es.buffer_sites;
 
-  const double d = config_.tech.bits_per_site;
-  switch (config_.backend) {
-    case Backend::Reference:
-    case Backend::BitPlane:
-      // Software backends: no simulated datapath, no modeled bandwidth.
-      break;
-    case Backend::Wsa:
-      r.bandwidth_bits_per_tick = 2.0 * d * config_.wsa_width;
-      break;
-    case Backend::Spa:
-      r.bandwidth_bits_per_tick =
-          2.0 * d *
-          static_cast<double>(state_.extent().width) /
-          static_cast<double>(config_.spa_slice_width);
-      break;
-  }
+  // Backend-specific fields: bandwidth demand, off-chip buffer ledger.
+  exec_->fill_report(r);
 
   if (r.bandwidth_bits_per_tick > 0 && r.storage_sites > 0) {
     // B in site values per second; d = 2 lattice.
-    const double bw_sites =
-        r.bandwidth_bits_per_tick / d * config_.tech.clock_hz;
+    const double bw_sites = r.bandwidth_bits_per_tick /
+                            config_.tech.bits_per_site * config_.tech.clock_hz;
     r.pebbling_rate_ceiling = pebble::update_rate_upper(
         2, static_cast<double>(r.storage_sites), bw_sites);
   }
@@ -334,9 +249,9 @@ PerformanceReport LatticeEngine::report() const {
   // that survived the detectors; on a fault-free run it equals
   // site_updates and the effective rates collapse onto the plain ones.
   r.committed_updates = generation_ * state_.extent().area();
-  r.effective_rate = ticks_ > 0
+  r.effective_rate = es.ticks > 0
                          ? static_cast<double>(r.committed_updates) /
-                               static_cast<double>(ticks_) *
+                               static_cast<double>(es.ticks) *
                                config_.tech.clock_hz
                          : 0.0;
   r.effective_measured_rate =

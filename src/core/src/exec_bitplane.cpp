@@ -1,0 +1,54 @@
+// BitPlaneExec — the multi-spin coded software backend. The kernel
+// evaluates gas collisions as boolean algebra over 64-site words, so
+// custom rules are rejected here (they have no plane form).
+//
+// max_chunk() takes everything in one pass: pipeline_depth is a
+// hardware parameter with no meaning for this backend, and chunking by
+// it would re-pay the pack/unpack transpose per chunk. One pass per
+// advance() also gives snapshot() a single engine.pass.bitplane_ns
+// sample per call, with the bitplane.pack/update/unpack stages nested
+// underneath it.
+
+#include "exec_factories.hpp"
+#include "lattice/lgca/plane_kernel.hpp"
+
+namespace lattice::core::detail {
+
+namespace {
+
+class BitPlaneExec final : public BackendExec {
+ public:
+  explicit BitPlaneExec(const LatticeEngine::Config& config)
+      : BackendExec("bitplane", config.pipeline_depth),
+        kernel_(&lgca::PlaneKernel::get(config.gas)),
+        threads_(config.threads) {}
+
+  void prepare(const lgca::SiteLattice& state) override { (void)state; }
+
+  std::int64_t max_chunk(std::int64_t remaining) const noexcept override {
+    return remaining;
+  }
+
+  void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
+                std::int64_t generation) override {
+    lgca::bitplane_gas_run(state, *kernel_, chunk, generation, threads_);
+    stats_.site_updates += state.extent().area() * chunk;
+  }
+
+ private:
+  const lgca::PlaneKernel* kernel_;
+  unsigned threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<BackendExec> make_bitplane_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule) {
+  (void)rule;
+  LATTICE_REQUIRE(config.custom_rule == nullptr,
+                  "the bit-plane backend runs lattice gases only; "
+                  "custom rules have no boolean-algebra kernel");
+  return std::make_unique<BitPlaneExec>(config);
+}
+
+}  // namespace lattice::core::detail

@@ -1,0 +1,50 @@
+// ReferenceExec — the golden double-buffered updater behind the
+// executor interface. Kernel selection happens once at construction:
+// gas rules get the fused CollisionLut sweep, anything else the
+// generic virtual-dispatch path; threads > 1 bands the rows either way.
+
+#include "exec_factories.hpp"
+#include "lattice/lgca/collision_lut.hpp"
+#include "lattice/lgca/reference.hpp"
+
+namespace lattice::core::detail {
+
+namespace {
+
+class ReferenceExec final : public BackendExec {
+ public:
+  ReferenceExec(const LatticeEngine::Config& config, const lgca::Rule& rule)
+      : BackendExec("reference", config.pipeline_depth),
+        rule_(&rule),
+        threads_(config.threads) {
+    if (config.fast_kernel) lut_ = lgca::CollisionLut::try_get(rule);
+  }
+
+  void prepare(const lgca::SiteLattice& state) override { (void)state; }
+
+  void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
+                std::int64_t generation) override {
+    if (lut_ != nullptr) {
+      lgca::fused_gas_run(state, *lut_, chunk, generation, threads_);
+    } else if (threads_ > 1) {
+      lgca::reference_run_parallel(state, *rule_, chunk, threads_, generation);
+    } else {
+      lgca::reference_run(state, *rule_, chunk, generation);
+    }
+    stats_.site_updates += state.extent().area() * chunk;
+  }
+
+ private:
+  const lgca::Rule* rule_;
+  const lgca::CollisionLut* lut_ = nullptr;
+  unsigned threads_;
+};
+
+}  // namespace
+
+std::unique_ptr<BackendExec> make_reference_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule) {
+  return std::make_unique<ReferenceExec>(config, rule);
+}
+
+}  // namespace lattice::core::detail

@@ -60,6 +60,8 @@ Candidate eval_wsa_e(const Technology& t, const Requirement& req) {
                                  t, req.lattice_len));
   c.rate = arch::wsa_e::throughput(t, c.depth);
   c.bandwidth_bits_per_tick = arch::wsa_e::bandwidth_bits_per_tick(t);
+  c.offchip_bits_per_tick = static_cast<double>(c.depth) *
+                            arch::wsa_e::buffer_bits_per_tick_per_pe(t);
   c.feasible = true;
   c.reason = "extensible to any lattice, constant bandwidth, slow";
   return c;

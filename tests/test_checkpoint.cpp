@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "lattice/core/engine.hpp"
+#include "lattice/lgca/ca_rules.hpp"
 #include "lattice/lgca/init.hpp"
 
 namespace lattice::core {
@@ -40,7 +41,8 @@ INSTANTIATE_TEST_SUITE_P(
                       CkptCase{Backend::Wsa, lgca::Boundary::Null},
                       CkptCase{Backend::Spa, lgca::Boundary::Null},
                       CkptCase{Backend::BitPlane, lgca::Boundary::Null},
-                      CkptCase{Backend::BitPlane, lgca::Boundary::Periodic}),
+                      CkptCase{Backend::BitPlane, lgca::Boundary::Periodic},
+                      CkptCase{Backend::WsaE, lgca::Boundary::Null}),
     [](const auto& info) {
       std::string s;
       switch (info.param.backend) {
@@ -48,6 +50,7 @@ INSTANTIATE_TEST_SUITE_P(
         case Backend::Wsa: s = "Wsa"; break;
         case Backend::Spa: s = "Spa"; break;
         case Backend::BitPlane: s = "BitPlane"; break;
+        case Backend::WsaE: s = "WsaE"; break;
       }
       s += info.param.boundary == lgca::Boundary::Null ? "Null" : "Periodic";
       return s;
@@ -101,6 +104,55 @@ TEST(Checkpoint, RestoreRejectsMismatchedGeometry) {
   EngineCheckpoint negative{lgca::SiteLattice({32, 24}, lgca::Boundary::Null),
                             -1};
   EXPECT_THROW(e.restore(negative), Error);
+}
+
+TEST(Checkpoint, CustomRuleEngineRoundTrips) {
+  // restore() must not assume a gas: a custom-rule engine (no
+  // gas_model, generic kernel path) round-trips the same way.
+  const lgca::LifeRule life;
+  LatticeEngine::Config c = cfg(Backend::Wsa, lgca::Boundary::Null);
+  c.custom_rule = &life;
+  LatticeEngine straight(c);
+  LatticeEngine resumed(c);
+  for (std::size_t i = 0; i < straight.state().site_count(); ++i) {
+    const auto v = static_cast<lgca::Site>((i * 2654435761u >> 7) & 1);
+    straight.state()[i] = v;
+    resumed.state()[i] = v;
+  }
+  straight.advance(9);
+  resumed.advance(3);
+  const EngineCheckpoint ckpt = resumed.checkpoint();
+  resumed.advance(6);
+  resumed.restore(ckpt);
+  resumed.advance(6);
+  EXPECT_TRUE(resumed.state() == straight.state());
+  EXPECT_TRUE(resumed.verify_against_reference());
+}
+
+TEST(Checkpoint, RestoreMidGuardedRunReplaysCleanly) {
+  // A user-level restore in the middle of a fault-guarded run: the
+  // replay runs under the same detectors and must land on the
+  // fault-free evolution, exactly like the uninterrupted guarded run.
+  LatticeEngine::Config c = cfg(Backend::Wsa, lgca::Boundary::Null);
+  c.fault.seed = 10;
+  c.fault.buffer_flip_rate = 1e-5;
+  LatticeEngine guarded(c);
+  LatticeEngine clean(cfg(Backend::Wsa, lgca::Boundary::Null));
+  seed(guarded);
+  seed(clean);
+  clean.advance(12);
+
+  guarded.advance(6);
+  const EngineCheckpoint ckpt = guarded.checkpoint();
+  guarded.advance(6);
+  guarded.restore(ckpt);
+  EXPECT_EQ(guarded.generation(), 6);
+  guarded.advance(6);
+  EXPECT_EQ(guarded.generation(), 12);
+  EXPECT_TRUE(guarded.state() == clean.state())
+      << "guarded replay from a user checkpoint must commit only "
+         "fault-free generations";
+  EXPECT_TRUE(guarded.verify_against_reference());
 }
 
 TEST(Checkpoint, SnapshotIsIsolatedFromLaterEvolution) {

@@ -30,13 +30,15 @@ class BackendTest : public ::testing::TestWithParam<Backend> {};
 
 INSTANTIATE_TEST_SUITE_P(All, BackendTest,
                          ::testing::Values(Backend::Reference, Backend::Wsa,
-                                           Backend::Spa, Backend::BitPlane),
+                                           Backend::Spa, Backend::BitPlane,
+                                           Backend::WsaE),
                          [](const auto& info) {
                            switch (info.param) {
                              case Backend::Reference: return "Reference";
                              case Backend::Wsa: return "Wsa";
                              case Backend::Spa: return "Spa";
                              case Backend::BitPlane: return "BitPlane";
+                             case Backend::WsaE: return "WsaE";
                            }
                            return "unknown";
                          });
@@ -102,6 +104,7 @@ std::string exec_name(const ::testing::TestParamInfo<ExecCase>& info) {
     case Backend::Wsa: s = "Wsa"; break;
     case Backend::Spa: s = "Spa"; break;
     case Backend::BitPlane: s = "BitPlane"; break;
+    case Backend::WsaE: s = "WsaE"; break;
   }
   s += "T" + std::to_string(c.threads);
   s += c.fast ? "Fast" : "Generic";
@@ -123,7 +126,9 @@ INSTANTIATE_TEST_SUITE_P(
                       ExecCase{Backend::Spa, 7, true},
                       ExecCase{Backend::BitPlane, 1, true},
                       ExecCase{Backend::BitPlane, 2, false},
-                      ExecCase{Backend::BitPlane, 7, true}),
+                      ExecCase{Backend::BitPlane, 7, true},
+                      ExecCase{Backend::WsaE, 1, false},
+                      ExecCase{Backend::WsaE, 1, true}),
     exec_name);
 
 TEST_P(ExecutionMatrixTest, VerifiesAgainstReference) {
@@ -202,10 +207,29 @@ TEST(Engine, SpaReportUsesSliceBandwidth) {
   EXPECT_DOUBLE_EQ(r.bandwidth_bits_per_tick, 2.0 * 8 * (32.0 / 8.0));
 }
 
+TEST(Engine, WsaEReportHasConstantBandwidthAndOffchipLedger) {
+  LatticeEngine e(base_config(Backend::WsaE));
+  seed(e);
+  e.advance(6);
+  const PerformanceReport r = e.report();
+  EXPECT_EQ(r.backend, Backend::WsaE);
+  // Main memory touches only the chain ends: 2D bits/tick, independent
+  // of the pipeline depth (§5).
+  EXPECT_DOUBLE_EQ(r.bandwidth_bits_per_tick, 2.0 * 8);
+  // Off-chip ledger: k·(2L + 10) sites and k·4·D bits/tick for k = 3
+  // stages over a 32-wide lattice.
+  EXPECT_EQ(r.offchip_buffer_sites, 3 * (2 * 32 + 10));
+  EXPECT_DOUBLE_EQ(r.offchip_buffer_bits_per_tick, 3 * 4.0 * 8);
+  // The default line-buffer parts sustain full bandwidth.
+  EXPECT_DOUBLE_EQ(r.buffer_bandwidth_fraction, 1.0);
+  EXPECT_GT(r.updates_per_tick, 0);
+  EXPECT_GT(r.storage_sites, 0);
+}
+
 TEST(Engine, ModeledRateRespectsPebblingCeiling) {
   // The §7 punchline as an executable assertion: no simulated design
   // exceeds R = B·O(S^(1/d)).
-  for (const Backend b : {Backend::Wsa, Backend::Spa}) {
+  for (const Backend b : {Backend::Wsa, Backend::Spa, Backend::WsaE}) {
     LatticeEngine e(base_config(b));
     seed(e);
     e.advance(6);

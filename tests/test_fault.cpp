@@ -292,10 +292,14 @@ class RecoveryTest : public ::testing::TestWithParam<core::Backend> {};
 
 INSTANTIATE_TEST_SUITE_P(HardwareBackends, RecoveryTest,
                          ::testing::Values(core::Backend::Wsa,
-                                           core::Backend::Spa),
+                                           core::Backend::Spa,
+                                           core::Backend::WsaE),
                          [](const auto& info) {
-                           return info.param == core::Backend::Wsa ? "Wsa"
-                                                                   : "Spa";
+                           switch (info.param) {
+                             case core::Backend::Wsa: return "Wsa";
+                             case core::Backend::Spa: return "Spa";
+                             default: return "WsaE";
+                           }
                          });
 
 // The acceptance scenario: a 256×256 FHP-II run under transient buffer

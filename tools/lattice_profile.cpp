@@ -1,7 +1,7 @@
 // lattice_profile — run one engine configuration under full
 // observability and dump what the instrumentation saw.
 //
-//   lattice_profile [--backend reference|wsa|spa|bitplane]
+//   lattice_profile [--backend reference|wsa|spa|bitplane|wsa_e]
 //                   [--gas hpp|fhp1|fhp2|fhp3] [--side N]
 //                   [--generations N] [--threads N] [--depth N]
 //                   [--metrics FILE.json] [--trace FILE.json]
@@ -40,7 +40,7 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--backend reference|wsa|spa|bitplane]\n"
+      "usage: %s [--backend reference|wsa|spa|bitplane|wsa_e]\n"
       "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--generations N]\n"
       "          [--threads N] [--depth N] [--metrics FILE] [--trace FILE]\n",
       argv0);
@@ -52,6 +52,7 @@ bool parse_backend(const char* s, Backend* out) {
   else if (std::strcmp(s, "wsa") == 0) *out = Backend::Wsa;
   else if (std::strcmp(s, "spa") == 0) *out = Backend::Spa;
   else if (std::strcmp(s, "bitplane") == 0) *out = Backend::BitPlane;
+  else if (std::strcmp(s, "wsa_e") == 0) *out = Backend::WsaE;
   else return false;
   return true;
 }
@@ -107,6 +108,7 @@ const char* backend_name(Backend b) {
     case Backend::Wsa: return "wsa";
     case Backend::Spa: return "spa";
     case Backend::BitPlane: return "bitplane";
+    case Backend::WsaE: return "wsa_e";
   }
   return "?";
 }
@@ -141,6 +143,20 @@ int main(int argc, char** argv) {
   std::printf("wall_seconds      %.6f\n", report.wall_seconds);
   std::printf("phase_seconds     %.6f\n", report.phase_seconds());
   std::printf("measured_rate     %.3e sites/s\n", perf.measured_rate);
+  if (perf.ticks > 0) {
+    // Hardware backends: the modeled silicon rate against the §7
+    // ceiling it can never beat, and (WSA-E) the off-chip buffer bill.
+    std::printf("modeled_rate      %.3e sites/s\n", perf.modeled_rate);
+    std::printf("pebbling_ceiling  %.3e sites/s\n",
+                perf.pebbling_rate_ceiling);
+    if (perf.offchip_buffer_bits_per_tick > 0) {
+      std::printf("offchip_buffer    %.0f bits/tick over %lld sites "
+                  "(%.0f%% of demand sustained)\n",
+                  perf.offchip_buffer_bits_per_tick,
+                  static_cast<long long>(perf.offchip_buffer_sites),
+                  100.0 * perf.buffer_bandwidth_fraction);
+    }
+  }
   for (const lattice::core::MetricsPhase& p : report.phases) {
     std::printf("  %-26s %8lld calls  %10.6f s\n", p.name.c_str(),
                 static_cast<long long>(p.count), p.seconds);
