@@ -18,6 +18,7 @@
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/init.hpp"
+#include "lattice/lgca/plane_kernel.hpp"
 #include "lattice/lgca/reference.hpp"
 
 namespace {
@@ -129,6 +130,23 @@ void print_tables() {
   });
   row("reference fused LUT", ref_fused);
 
+  // The bit-plane thread ladder: the fastest software path under the
+  // same golden-equality requirement. The band planner may collapse a
+  // lattice this small to one band, in which case the rows read flat —
+  // the point the regression gate checks is that they never go DOWN
+  // with more threads (the pre-band-scheduler shape).
+  const lgca::PlaneKernel& kernel = lgca::PlaneKernel::get(lgca::GasKind::FHP_II);
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "bit-plane, %u threads", threads);
+    const Timed t = timed_run(in, [&](const lgca::SiteLattice& l) {
+      lgca::SiteLattice lat = l;
+      lgca::bitplane_gas_run(lat, kernel, kDepth * kPasses, 0, threads);
+      return lat;
+    });
+    row(name, t);
+  }
+
   bench_util::JsonWriter w;
   w.begin_object();
   w.field("bench", "parallel_speedup");
@@ -155,8 +173,10 @@ void print_tables() {
   bench_util::note("walk's per-site ring-buffer traffic and virtual dispatch");
   bench_util::note("with the fused LUT gather, so the 8-thread row should");
   bench_util::note("clear 3x over the serial baseline even on few cores;");
-  bench_util::note("'exact' must read yes in every row (bit-identical to");
-  bench_util::note("the golden reference).");
+  bench_util::note("the bit-plane ladder must be monotone in threads (flat");
+  bench_util::note("when the band planner collapses to one band); 'exact'");
+  bench_util::note("must read yes in every row (bit-identical to the golden");
+  bench_util::note("reference).");
 }
 
 void BM_SpaSerial(benchmark::State& state) {

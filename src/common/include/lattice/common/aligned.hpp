@@ -1,0 +1,49 @@
+// Minimal over-aligned allocator for std::vector storage.
+//
+// The bit-plane lattice wants its payload rows on cacheline (and
+// vector-register) boundaries: the SIMD spans use unaligned loads, so
+// alignment is not a correctness requirement, but aligned rows keep
+// every 256/512-bit access inside one cacheline and make the layout
+// deterministic for the cost model. std::vector<T> alone only
+// guarantees alignof(T), hence this allocator.
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lattice::common {
+
+template <typename T, std::size_t Align>
+class AlignedAllocator {
+  static_assert(Align >= alignof(T), "Align must not weaken alignof(T)");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace lattice::common

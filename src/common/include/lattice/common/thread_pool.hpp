@@ -64,6 +64,16 @@ class ThreadPool {
   /// themselves. Requires lanes <= max_lanes(). lanes == 1 runs inline.
   void run_lanes(unsigned lanes, const std::function<void(unsigned)>& job);
 
+  /// Split [0, n) into contiguous chunks of at least `grain` elements
+  /// (never more chunks than executors) and run job(begin, end) for
+  /// each via for_each_task. The grain floor means callers state the
+  /// smallest range worth a dispatch once, instead of re-deriving a
+  /// task count at every call site; n <= grain (or a worker-less pool)
+  /// runs the whole range inline. grain <= 0 means "one chunk per
+  /// executor".
+  void parallel_for(std::int64_t n, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& job);
+
   /// Process-wide pool shared by the engine and the parallel updaters.
   /// Sized max(hardware_concurrency, 8) - 1 so that an 8-lane SPA run is
   /// honored even on small machines (lanes block on barriers, so

@@ -223,6 +223,27 @@ void ThreadPool::run_lanes(unsigned lanes,
   dispatch(nullptr, &job, lanes, 0);
 }
 
+void ThreadPool::parallel_for(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& job) {
+  LATTICE_REQUIRE(n >= 0, "range length must be >= 0");
+  if (n == 0) return;
+  std::int64_t chunks = static_cast<std::int64_t>(max_lanes());
+  if (grain > 0) {
+    chunks = std::min(chunks, std::max<std::int64_t>(1, n / grain));
+  }
+  chunks = std::min(chunks, n);
+  if (chunks <= 1 || workers() == 0) {
+    job(0, n);
+    return;
+  }
+  const std::int64_t per = (n + chunks - 1) / chunks;
+  for_each_task(chunks, [&](std::int64_t c) {
+    const std::int64_t begin = c * per;
+    job(begin, std::min(n, begin + per));
+  });
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(
       std::max(std::thread::hardware_concurrency(), 8u) - 1);

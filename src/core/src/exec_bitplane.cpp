@@ -11,6 +11,8 @@
 
 #include "exec_factories.hpp"
 #include "lattice/lgca/plane_kernel.hpp"
+#include "lattice/lgca/plane_simd.hpp"
+#include "lattice/obs/metrics.hpp"
 
 namespace lattice::core::detail {
 
@@ -21,7 +23,15 @@ class BitPlaneExec final : public BackendExec {
   explicit BitPlaneExec(const LatticeEngine::Config& config)
       : BackendExec("bitplane", config.pipeline_depth),
         kernel_(&lgca::PlaneKernel::get(config.gas)),
-        threads_(config.threads) {}
+        threads_(config.threads) {
+    // Surface which span variant this process dispatches to (a profile
+    // can't tell 64-bit from 512-bit words from timings alone).
+    static const obs::MetricsRegistry::Id simd_id =
+        obs::gauge_id("bitplane.simd_bits");
+    obs::gauge_set(
+        simd_id,
+        lgca::plane_span_ops(lgca::plane_simd_active()).width_bits);
+  }
 
   void prepare(const lgca::SiteLattice& state) override { (void)state; }
 

@@ -3,21 +3,37 @@
 // Where CollisionLut replaces the semantic oracle's window build with a
 // fused gather + one 256-entry table read per site, PlaneKernel goes
 // one level further: it evaluates the collision rules themselves as
-// boolean algebra on 64-site words. Propagation is a funnel shift per
-// channel plane (the guard-word halo makes it branch-free), collision
-// is a fixed expression of ANDs/ORs/NOTs derived from the exact-
-// configuration structure of the HPP and FHP rules, and the chirality
-// variant is hashed per *event* site (head-on pairs are exact two-
-// particle configurations, hence rare) — the only per-site rather than
-// per-word work left in the FHP update, and hence its cost floor
+// boolean algebra on whole words of sites. Propagation is a funnel
+// shift per channel plane (the guard-word halo makes it branch-free),
+// collision is a fixed expression of ANDs/ORs/NOTs derived from the
+// exact-configuration structure of the HPP and FHP rules, and the
+// chirality variant is hashed per *event* site (head-on pairs are exact
+// two-particle configurations, hence rare) — the only per-site rather
+// than per-word work left in the FHP update, and hence its cost floor
 // (docs/PERFORMANCE.md has the cost model).
+//
+// The word width is ISA-dispatched at runtime (plane_simd.hpp): the
+// same boolean algebra runs on 64-bit scalar words, 256-bit AVX2
+// vectors (4 words per op), or 512-bit AVX-512 vectors (8 words per
+// op). All variants are bit-identical; the scalar path is always
+// compiled in and handles the remainder + masked tail word even when a
+// vector path runs the bulk.
+//
+// Parallelism is static row-band ownership: plane_gas_run splits the
+// lattice into at most `threads` contiguous row bands, each owned by
+// one pool lane for the whole run, with one barrier per generation.
+// A grain-size floor collapses the band count (down to an inline
+// single-band loop) when per-generation work is too small to pay for
+// the rendezvous, so thread scaling is monotone — more threads never
+// run slower than fewer (docs/ARCHITECTURE.md, "Threading contract").
 //
 // Supported gases: HPP, FHP-I, FHP-II. FHP-III's collision table is a
 // cyclic permutation of (mass, momentum) equivalence classes and has no
 // compact boolean form; it keeps the byte-LUT path. Everything here is
 // bit-identical to GasModel::collide / the golden reference updater —
 // by construction, and by exhaustive test (all 256 site states × both
-// chirality variants, plus multi-generation lattice parity).
+// chirality variants × every compiled SIMD level, plus multi-generation
+// lattice parity).
 
 #pragma once
 
@@ -28,6 +44,16 @@
 #include "lattice/lgca/plane_lattice.hpp"
 
 namespace lattice::lgca {
+
+struct PlaneSpanOps;
+
+/// Grain floor for the band scheduler: a row band must own at least
+/// this many payload words of one plane per generation, or the planner
+/// merges bands. 16384 words ≈ 1 Mi sites ≈ hundreds of µs of kernel
+/// work per generation — an order of magnitude above a barrier
+/// rendezvous, so a band is never synchronization-bound and sub-
+/// megasite lattices run single-band regardless of Config::threads.
+inline constexpr std::int64_t kDefaultBandGrainWords = 16384;
 
 class PlaneKernel {
  public:
@@ -45,12 +71,41 @@ class PlaneKernel {
   const GasModel& model() const noexcept { return *model_; }
   GasKind kind() const noexcept { return model_->kind(); }
 
+  /// Bitmask (bit p = plane p) of the planes the update writes: the
+  /// gas's moving channels, plus the rest plane when it has rest
+  /// particles. The complement is static for a whole run — HPP's
+  /// unused channels 4/5, an absent rest plane, the obstacle mask —
+  /// and is established once by prime_static_planes() instead of being
+  /// re-stored every word of every generation.
+  std::uint32_t written_planes() const noexcept { return written_; }
+
+  /// Bitmask of the planes the update gathers with a column shift
+  /// (tap dx != 0 on either row parity) — the only planes whose shift
+  /// halo must be current before update_rows reads them. Rest and
+  /// obstacle are always read unshifted; for HPP even the N/S channel
+  /// planes drop out, leaving just E/W.
+  std::uint32_t halo_planes() const noexcept { return halo_; }
+
+  /// One-time setup for a double-buffered run: zeroes this gas's
+  /// static-zero planes in `lat` (the kernel no longer clears them per
+  /// word, and after swaps the original buffer resurfaces as output)
+  /// and copies the obstacle plane into `next`, tail-masked. After
+  /// this, both buffers agree on every plane outside written_planes()
+  /// for the rest of the run.
+  void prime_static_planes(PlaneLattice& lat, PlaneLattice& next) const;
+
   /// Compute generation-(t+1) rows [y0, y1) of `next` from the
   /// generation-t lattice `cur`, whose shift halo must have been
-  /// prepared (PlaneLattice::prepare_shift_halo). Column-tiled so the
-  /// three source row strips plus the destination strip stay cache
+  /// prepared for halo_planes() (PlaneLattice::prepare_shift_halo),
+  /// and whose static planes must have been primed. Column-tiled so
+  /// the three source row strips plus the destination strip stay cache
   /// resident on wide lattices; tile_words == 0 picks the default
-  /// L2-sized tile. Bit-identical to GasRule::apply per site.
+  /// L2-sized tile. On return the produced rows of `next` are
+  /// halo-ready for the following generation — the fill happens here,
+  /// band-locally and cache-hot, rather than as a serial full-lattice
+  /// walk between generations. Runs at the process-wide active SIMD
+  /// level (plane_simd_active). Bit-identical to GasRule::apply per
+  /// site.
   void update_rows(PlaneLattice& next, const PlaneLattice& cur,
                    std::int64_t t, std::int64_t y0, std::int64_t y1,
                    std::int64_t tile_words = 0) const;
@@ -59,7 +114,8 @@ class PlaneKernel {
   explicit PlaneKernel(GasKind kind);
 
   void update_row_span(PlaneLattice& next, const PlaneLattice& cur,
-                       std::int64_t t, std::int64_t y, std::int64_t k0,
+                       const PlaneSpanOps& ops, std::int64_t t,
+                       std::int64_t y, std::int64_t k0,
                        std::int64_t k1) const;
 
   /// One gather tap per channel: channel i collects from the source row
@@ -72,22 +128,28 @@ class PlaneKernel {
 
   const GasModel* model_;
   int channels_;
+  std::uint32_t written_ = 0;
+  std::uint32_t halo_ = 0;
   std::array<std::array<Tap, 6>, 2> taps_{};  // [row parity][channel]
 };
 
 /// Advance `lat` by `generations` gas steps on the bit-plane kernel,
-/// double-buffered, row bands fanned out over `threads` workers of the
-/// shared pool (threads == 1 runs inline). Bit-identical to
-/// reference_run / fused_gas_run of the same kind for any thread count.
+/// double-buffered. Up to `threads` static row bands are owned by
+/// persistent pool lanes with one barrier per generation; the planner
+/// never makes a band smaller than `band_grain_words` payload words
+/// (0 picks kDefaultBandGrainWords), collapsing to an inline
+/// single-band loop when the lattice is too small to parallelize
+/// profitably. Bit-identical to reference_run / fused_gas_run of the
+/// same kind for any thread count and any SIMD level.
 void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
                    std::int64_t generations, std::int64_t t0 = 0,
-                   unsigned threads = 1);
+                   unsigned threads = 1, std::int64_t band_grain_words = 0);
 
 /// Byte-lattice convenience wrapper: pack once, run, unpack once. The
 /// transpose costs ~one byte-path generation, so it amortizes over
 /// multi-generation runs.
 void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
                       std::int64_t generations, std::int64_t t0 = 0,
-                      unsigned threads = 1);
+                      unsigned threads = 1, std::int64_t band_grain_words = 0);
 
 }  // namespace lattice::lgca

@@ -9,20 +9,32 @@
 // CAM-8-era lattice machines, worth roughly a word width of data
 // parallelism on top of the existing thread parallelism.
 //
-// Each row is padded with one guard word on either side so the ±1
-// column shifts of propagation never branch on word boundaries. The
-// guards plus the unused tail bits of the last payload word form the
-// row's "shift halo": prepare_shift_halo() fills it from the boundary
-// mode (zero for Null, wrapped row content for Periodic) so the kernel
-// can shift unconditionally. The class maintains the invariant that
-// payload tail bits are zero outside prepare/update cycles — pack()
-// establishes it and PlaneKernel's masked stores preserve it.
+// Each row is padded with guard words on either side so the ±1 column
+// shifts of propagation never branch on word boundaries; only the two
+// adjacent guards (indices -1 and words_per_row()) ever hold halo
+// content, the rest are permanent zeros. The guards plus the unused
+// tail bits of the last payload word form the row's "shift halo":
+// prepare_shift_halo() fills it from the boundary mode (zero for Null,
+// wrapped row content for Periodic) so the kernel can shift
+// unconditionally. pack() leaves tail bits zero and PlaneKernel's
+// masked stores keep them zero, but a finished kernel run leaves its
+// shifted planes halo-*filled* (under Periodic the tail bits then carry
+// wrapped row content): the fill is idempotent (it masks before
+// wrapping), and every payload consumer — unpack(), operator==, the
+// site accessors — masks tails itself, so halo state is unobservable.
+//
+// Storage is 64-byte aligned and row strides are multiples of 8 words
+// with an 8-word leading guard block, so every row's payload word 0
+// sits on a cacheline boundary — the SIMD spans (plane_simd.hpp) use
+// unaligned loads either way, but aligned rows keep each 256/512-bit
+// access within one line.
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "lattice/common/aligned.hpp"
 #include "lattice/lgca/lattice.hpp"
 #include "lattice/lgca/site.hpp"
 
@@ -32,6 +44,9 @@ class PlaneLattice {
  public:
   static constexpr int kPlanes = kSiteBits;  // D = 8 bits/site
   static constexpr std::int64_t kWordBits = 64;
+  /// Guard words before each row's payload; also the stride quantum,
+  /// so payload word 0 of every row is 64-byte aligned.
+  static constexpr std::int64_t kRowPad = 8;
 
   PlaneLattice() = default;
   PlaneLattice(Extent extent, Boundary boundary);
@@ -42,7 +57,8 @@ class PlaneLattice {
   Boundary boundary() const noexcept { return boundary_; }
   /// Payload words per row: ceil(width / 64).
   std::int64_t words_per_row() const noexcept { return words_; }
-  /// Allocated words per row including the two guard words.
+  /// Allocated words per row including guard/padding words (a multiple
+  /// of kRowPad).
   std::int64_t row_stride() const noexcept { return stride_; }
   /// Mask of the valid bits of a row's last payload word.
   std::uint64_t tail_mask() const noexcept { return tail_mask_; }
@@ -64,12 +80,24 @@ class PlaneLattice {
   }
   /// An all-zero row (payload and guards) — what an out-of-range row
   /// reads as under the Null boundary.
-  const std::uint64_t* zero_row() const noexcept { return zeros_.data() + 1; }
+  const std::uint64_t* zero_row() const noexcept {
+    return zeros_.data() + kRowPad;
+  }
 
   /// Fill the shift halo for this boundary mode: guard words, and (for
   /// Periodic) the wrapped row content in the last payload word's tail
-  /// bits. Idempotent; must run before each PlaneKernel generation.
+  /// bits. Idempotent (the fill masks tails before wrapping); a plane's
+  /// halo must be current before PlaneKernel gathers it with a column
+  /// shift. The no-argument form fills every plane and row.
   void prepare_shift_halo();
+  /// Same fill restricted to the planes named in `plane_mask` (bit p =
+  /// plane p) and to rows [y0, y1). PlaneKernel uses this to touch only
+  /// the planes it actually shifts (its halo_planes() mask) and only
+  /// the row band a worker owns — the full-lattice form is a
+  /// latency-bound serial walk that would otherwise rival the kernel
+  /// sweep itself on small rows.
+  void prepare_shift_halo(std::uint32_t plane_mask, std::int64_t y0,
+                          std::int64_t y1);
 
   // ---- single-site access (tests, diagnostics; not the fast path) ----
 
@@ -81,12 +109,16 @@ class PlaneLattice {
   friend bool operator==(const PlaneLattice& a, const PlaneLattice& b);
 
  private:
+  using AlignedWords =
+      std::vector<std::uint64_t,
+                  common::AlignedAllocator<std::uint64_t, 64>>;
+
   std::size_t row_offset(int plane, std::int64_t y) const noexcept {
     return (static_cast<std::size_t>(plane) *
                 static_cast<std::size_t>(extent_.height) +
             static_cast<std::size_t>(y)) *
                static_cast<std::size_t>(stride_) +
-           1;
+           static_cast<std::size_t>(kRowPad);
   }
 
   Extent extent_{0, 0};
@@ -94,8 +126,8 @@ class PlaneLattice {
   std::int64_t words_ = 0;
   std::int64_t stride_ = 0;
   std::uint64_t tail_mask_ = ~std::uint64_t{0};
-  std::vector<std::uint64_t> data_;
-  std::vector<std::uint64_t> zeros_;
+  AlignedWords data_;
+  AlignedWords zeros_;
 };
 
 }  // namespace lattice::lgca

@@ -1,14 +1,16 @@
 #include "lattice/lgca/plane_kernel.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <barrier>
 #include <functional>
 
 #include "lattice/common/thread_pool.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/geometry.hpp"
+#include "lattice/lgca/plane_simd.hpp"
 #include "lattice/obs/metrics.hpp"
 #include "lattice/obs/trace.hpp"
+#include "plane_span.hpp"
 
 namespace lattice::lgca {
 
@@ -17,163 +19,6 @@ namespace {
 // Planes 0..5 are the moving channels; these two carry the center bits.
 constexpr int kRestPlane = 6;
 constexpr int kObstaclePlane = 7;
-
-/// Gathered word for a row shifted by dx ∈ {-1, 0, +1}: bit j of the
-/// result is bit j+dx of the (halo-padded) source row. The guard words
-/// at indices -1 and words_per_row() make this branch-free on word
-/// boundaries; `dx` is loop-invariant so the branches predict.
-inline std::uint64_t shift_gather(const std::uint64_t* row, std::int64_t k,
-                                  int dx) noexcept {
-  if (dx == 0) return row[k];
-  if (dx > 0) return (row[k] >> 1) | (row[k + 1] << 63);
-  return (row[k] << 1) | (row[k - 1] >> 63);
-}
-
-/// HPP collision over one word span. The only rule is the head-on
-/// exchange {E,W} ↔ {N,S} on exactly-pair states — chirality-free (the
-/// model's two variant tables are identical). Gathered states carry no
-/// rest or extra bits (the byte path's center mask is obstacle-only for
-/// HPP), so planes 4..6 of the output are zero.
-void hpp_span(const std::uint64_t* const src[6], const int dx[6],
-              const std::uint64_t* obst, std::uint64_t* const out[8],
-              std::int64_t k0, std::int64_t k1, std::int64_t last_word,
-              std::uint64_t tail_mask) {
-  for (std::int64_t k = k0; k < k1; ++k) {
-    const std::uint64_t m =
-        k == last_word ? tail_mask : ~std::uint64_t{0};
-    const std::uint64_t a0 = shift_gather(src[0], k, dx[0]);
-    const std::uint64_t a1 = shift_gather(src[1], k, dx[1]);
-    const std::uint64_t a2 = shift_gather(src[2], k, dx[2]);
-    const std::uint64_t a3 = shift_gather(src[3], k, dx[3]);
-    const std::uint64_t o = obst[k];
-    const std::uint64_t ew = a0 & a2 & ~a1 & ~a3;  // exactly {E, W}
-    const std::uint64_t ns = a1 & a3 & ~a0 & ~a2;  // exactly {N, S}
-    const std::uint64_t b0 = (a0 & ~ew) | ns;
-    const std::uint64_t b1 = (a1 & ~ns) | ew;
-    const std::uint64_t b2 = (a2 & ~ew) | ns;
-    const std::uint64_t b3 = (a3 & ~ns) | ew;
-    // Obstacle sites bounce every gathered particle straight back.
-    out[0][k] = ((b0 & ~o) | (a2 & o)) & m;
-    out[1][k] = ((b1 & ~o) | (a3 & o)) & m;
-    out[2][k] = ((b2 & ~o) | (a0 & o)) & m;
-    out[3][k] = ((b3 & ~o) | (a1 & o)) & m;
-    out[4][k] = 0;
-    out[5][k] = 0;
-    out[6][k] = 0;
-    out[7][k] = o & m;
-  }
-}
-
-/// FHP collision over one word span; HasRest distinguishes FHP-II from
-/// FHP-I (whose rest plane is never gathered, so it reads as zero and
-/// the rest rules vanish). Every FHP rule fires on an *exact* moving
-/// configuration, so the detectors below are mutually exclusive and the
-/// update is "clear the channels at event sites, OR in the gains":
-///
-///   p_i   exactly {i, i+3}          → {i±1, i+3±1}, sign from chirality
-///   tr0   exactly {0,2,4} (no rest) → {1,3,5}   (chirality-free)
-///   tr1   exactly {1,3,5} (no rest) → {0,2,4}
-///   ann_j rest + exactly {j}        → {j-1, j+1}, rest cleared
-///   cre_j exactly {j, j+2}, no rest → {j+1}, rest set
-template <bool HasRest>
-void fhp_span(const std::uint64_t* const src[6], const int dx[6],
-              const std::uint64_t* rest, const std::uint64_t* obst,
-              std::uint64_t* const out[8], std::int64_t k0, std::int64_t k1,
-              std::int64_t y, std::int64_t t, std::int64_t last_word,
-              std::uint64_t tail_mask) {
-  for (std::int64_t k = k0; k < k1; ++k) {
-    const std::uint64_t m =
-        k == last_word ? tail_mask : ~std::uint64_t{0};
-    const std::uint64_t a0 = shift_gather(src[0], k, dx[0]);
-    const std::uint64_t a1 = shift_gather(src[1], k, dx[1]);
-    const std::uint64_t a2 = shift_gather(src[2], k, dx[2]);
-    const std::uint64_t a3 = shift_gather(src[3], k, dx[3]);
-    const std::uint64_t a4 = shift_gather(src[4], k, dx[4]);
-    const std::uint64_t a5 = shift_gather(src[5], k, dx[5]);
-    const std::uint64_t r = HasRest ? rest[k] : 0;
-    const std::uint64_t o = obst[k];
-    const std::uint64_t n0 = ~a0, n1 = ~a1, n2 = ~a2;
-    const std::uint64_t n3 = ~a3, n4 = ~a4, n5 = ~a5;
-
-    // Head-on pairs (rest particles spectate).
-    const std::uint64_t p0 = a0 & a3 & n1 & n2 & n4 & n5;
-    const std::uint64_t p1 = a1 & a4 & n0 & n2 & n3 & n5;
-    const std::uint64_t p2 = a2 & a5 & n0 & n1 & n3 & n4;
-    // Symmetric triples; a rest particle blocks them in FHP-II.
-    const std::uint64_t rok = HasRest ? ~r : ~std::uint64_t{0};
-    const std::uint64_t tr0 = a0 & a2 & a4 & n1 & n3 & n5 & rok;
-    const std::uint64_t tr1 = a1 & a3 & a5 & n0 & n2 & n4 & rok;
-
-    std::uint64_t ann0 = 0, ann1 = 0, ann2 = 0, ann3 = 0, ann4 = 0,
-                  ann5 = 0, cre0 = 0, cre1 = 0, cre2 = 0, cre3 = 0,
-                  cre4 = 0, cre5 = 0, ann_any = 0, cre_any = 0;
-    if constexpr (HasRest) {
-      ann0 = r & a0 & n1 & n2 & n3 & n4 & n5;
-      ann1 = r & a1 & n0 & n2 & n3 & n4 & n5;
-      ann2 = r & a2 & n0 & n1 & n3 & n4 & n5;
-      ann3 = r & a3 & n0 & n1 & n2 & n4 & n5;
-      ann4 = r & a4 & n0 & n1 & n2 & n3 & n5;
-      ann5 = r & a5 & n0 & n1 & n2 & n3 & n4;
-      ann_any = ann0 | ann1 | ann2 | ann3 | ann4 | ann5;
-      const std::uint64_t nr = ~r;
-      cre0 = nr & a0 & a2 & n1 & n3 & n4 & n5;
-      cre1 = nr & a1 & a3 & n0 & n2 & n4 & n5;
-      cre2 = nr & a2 & a4 & n0 & n1 & n3 & n5;
-      cre3 = nr & a3 & a5 & n0 & n1 & n2 & n4;
-      cre4 = nr & a4 & a0 & n1 & n2 & n3 & n5;
-      cre5 = nr & a5 & a1 & n0 & n2 & n3 & n4;
-      cre_any = cre0 | cre1 | cre2 | cre3 | cre4 | cre5;
-    }
-
-    const std::uint64_t ev =
-        p0 | p1 | p2 | tr0 | tr1 | ann_any | cre_any;
-    // Chirality is consumed only where a head-on pair fired, and pairs
-    // are rare (an *exact* two-particle configuration), so hash the set
-    // bits of p0|p1|p2 individually instead of all 64 lanes — the
-    // kernel's only per-site work, now paid per event.
-    const std::uint64_t pe = p0 | p1 | p2;
-    std::uint64_t C = 0;
-    for (std::uint64_t bits = pe; bits != 0; bits &= bits - 1) {
-      const int j = std::countr_zero(bits);
-      C |= static_cast<std::uint64_t>(GasModel::chirality(
-               k * PlaneLattice::kWordBits + j, y, t))
-           << j;
-    }
-    // Variant 0 rotates a pair +60° (p_i → {i+1, i+4}), variant 1
-    // rotates −60° (p_i → {i-1, i+2}); C picks per site.
-    const std::uint64_t pA0 = p0 & ~C, pB0 = p0 & C;
-    const std::uint64_t pA1 = p1 & ~C, pB1 = p1 & C;
-    const std::uint64_t pA2 = p2 & ~C, pB2 = p2 & C;
-
-    std::uint64_t b0 = (a0 & ~ev) | pA2 | pB1 | tr1;
-    std::uint64_t b1 = (a1 & ~ev) | pA0 | pB2 | tr0;
-    std::uint64_t b2 = (a2 & ~ev) | pA1 | pB0 | tr1;
-    std::uint64_t b3 = (a3 & ~ev) | pA2 | pB1 | tr0;
-    std::uint64_t b4 = (a4 & ~ev) | pA0 | pB2 | tr1;
-    std::uint64_t b5 = (a5 & ~ev) | pA1 | pB0 | tr0;
-    std::uint64_t br = 0;
-    if constexpr (HasRest) {
-      b0 |= ann5 | ann1 | cre5;
-      b1 |= ann0 | ann2 | cre0;
-      b2 |= ann1 | ann3 | cre1;
-      b3 |= ann2 | ann4 | cre2;
-      b4 |= ann3 | ann5 | cre3;
-      b5 |= ann4 | ann0 | cre4;
-      br = (r & ~ann_any) | cre_any;
-    }
-
-    // Obstacle sites bounce every gathered particle straight back and
-    // keep their rest bit.
-    out[0][k] = ((b0 & ~o) | (a3 & o)) & m;
-    out[1][k] = ((b1 & ~o) | (a4 & o)) & m;
-    out[2][k] = ((b2 & ~o) | (a5 & o)) & m;
-    out[3][k] = ((b3 & ~o) | (a0 & o)) & m;
-    out[4][k] = ((b4 & ~o) | (a1 & o)) & m;
-    out[5][k] = ((b5 & ~o) | (a2 & o)) & m;
-    out[6][k] = HasRest ? ((br & ~o) | (r & o)) & m : 0;
-    out[7][k] = o & m;
-  }
-}
 
 }  // namespace
 
@@ -186,6 +31,36 @@ PlaneKernel::PlaneKernel(GasKind kind)
           neighbor_offset(topo, opposite_dir(topo, i), parity == 1);
       taps_[static_cast<std::size_t>(parity)][static_cast<std::size_t>(i)] = {
           static_cast<std::int8_t>(o.dx), static_cast<std::int8_t>(o.dy)};
+      if (o.dx != 0) halo_ |= 1u << i;
+    }
+  }
+  written_ = (1u << channels_) - 1u;
+  if (kind == GasKind::FHP_II) written_ |= 1u << kRestPlane;
+}
+
+void PlaneKernel::prime_static_planes(PlaneLattice& lat,
+                                      PlaneLattice& next) const {
+  LATTICE_ASSERT(next.extent() == lat.extent() &&
+                     next.boundary() == lat.boundary(),
+                 "prime_static_planes: buffer shapes differ");
+  const std::int64_t words = lat.words_per_row();
+  if (words == 0) return;
+  const std::uint64_t tail = lat.tail_mask();
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+    if (((written_ >> p) & 1u) != 0) continue;
+    for (std::int64_t y = 0; y < lat.extent().height; ++y) {
+      const std::uint64_t* src = lat.row(p, y);
+      std::uint64_t* dst = next.row(p, y);
+      if (p == kObstaclePlane) {
+        for (std::int64_t k = 0; k < words; ++k) dst[k] = src[k];
+        dst[words - 1] &= tail;
+      } else {
+        // Static-zero plane: the update used to clear it every word of
+        // every generation; now it is cleared once in both buffers.
+        std::uint64_t* mut = lat.row(p, y);
+        for (std::int64_t k = 0; k < words; ++k) mut[k] = 0;
+        for (std::int64_t k = 0; k < words; ++k) dst[k] = 0;
+      }
     }
   }
 }
@@ -217,8 +92,9 @@ const PlaneKernel* PlaneKernel::try_get(const Rule& rule) {
 }
 
 void PlaneKernel::update_row_span(PlaneLattice& next, const PlaneLattice& cur,
-                                  std::int64_t t, std::int64_t y,
-                                  std::int64_t k0, std::int64_t k1) const {
+                                  const PlaneSpanOps& ops, std::int64_t t,
+                                  std::int64_t y, std::int64_t k0,
+                                  std::int64_t k1) const {
   const Extent e = cur.extent();
   const bool periodic = cur.boundary() == Boundary::Periodic;
   const auto& taps = taps_[(y & 1) ? 1 : 0];
@@ -245,13 +121,13 @@ void PlaneKernel::update_row_span(PlaneLattice& next, const PlaneLattice& cur,
   const std::uint64_t tail = cur.tail_mask();
   switch (model_->kind()) {
     case GasKind::HPP:
-      hpp_span(src, dx, obst, out, k0, k1, last, tail);
+      ops.hpp(src, dx, obst, out, k0, k1, last, tail);
       break;
     case GasKind::FHP_I:
-      fhp_span<false>(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
+      ops.fhp1(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
       break;
     case GasKind::FHP_II:
-      fhp_span<true>(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
+      ops.fhp2(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
       break;
     case GasKind::FHP_III:
       LATTICE_ASSERT(false, "PlaneKernel cannot run FHP-III");
@@ -268,6 +144,10 @@ void PlaneKernel::update_rows(PlaneLattice& next, const PlaneLattice& cur,
                  "update_rows out of range");
   const std::int64_t words = cur.words_per_row();
   if (words == 0 || y0 >= y1) return;
+  // One dispatch-table read per call: the span loops themselves are
+  // ISA-resolved function pointers (scalar / AVX2 / AVX-512, all
+  // bit-identical — see plane_simd.hpp).
+  const PlaneSpanOps& ops = plane_span_ops(plane_simd_active());
   // Default tile: 4 row strips (3 source + 1 destination) × 8 planes ×
   // 1024 words × 8 B ≈ 256 KiB — sized for a typical L2, so wide
   // lattices are swept in cache-resident column strips.
@@ -275,20 +155,49 @@ void PlaneKernel::update_rows(PlaneLattice& next, const PlaneLattice& cur,
   for (std::int64_t kk = 0; kk < words; kk += tile) {
     const std::int64_t kend = std::min(words, kk + tile);
     for (std::int64_t y = y0; y < y1; ++y) {
-      update_row_span(next, cur, t, y, kk, kend);
+      update_row_span(next, cur, ops, t, y, kk, kend);
     }
   }
+  // Leave the produced rows halo-ready for the next generation. Doing
+  // it here — per band, touching only the shifted planes, with the
+  // rows' end words still in cache — replaces what used to be a serial
+  // all-plane walk over the whole lattice between generations, which
+  // on small rows cost as much as the vectorized sweep itself.
+  next.prepare_shift_halo(halo_, y0, y1);
 }
+
+namespace {
+
+/// Row-band count for a run: never more bands than requested threads,
+/// rows, or pool lanes — and never a band owning less than `grain`
+/// payload words of one plane per generation. The grain floor is what
+/// keeps thread scaling monotone: for kernels this cheap (a few word
+/// ops per 64 sites), a band below it costs more in rendezvous than
+/// its update, so small lattices collapse to fewer bands (down to one,
+/// which runs inline with zero pool traffic).
+std::int64_t plan_bands(std::int64_t height, std::int64_t words,
+                        unsigned threads, std::int64_t grain) {
+  const std::int64_t work = height * words;  // per plane, per generation
+  std::int64_t bands = std::min<std::int64_t>(threads, height);
+  bands = std::min(bands, std::max<std::int64_t>(1, work / grain));
+  bands = std::min(bands, static_cast<std::int64_t>(
+                              common::ThreadPool::shared().max_lanes()));
+  return std::max<std::int64_t>(1, bands);
+}
+
+}  // namespace
 
 void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
                    std::int64_t generations, std::int64_t t0,
-                   unsigned threads) {
+                   unsigned threads, std::int64_t band_grain_words) {
   LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
   LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
   const Extent e = lat.extent();
   if (e.area() == 0 || generations == 0) return;
-  const std::int64_t bands = std::min<std::int64_t>(threads, e.height);
-  const std::int64_t rows_per = (e.height + bands - 1) / bands;
+  const std::int64_t grain =
+      band_grain_words > 0 ? band_grain_words : kDefaultBandGrainWords;
+  const std::int64_t bands =
+      plan_bands(e.height, lat.words_per_row(), threads, grain);
 
   static const obs::MetricsRegistry::Id sites_id =
       obs::counter_id("bitplane.sites");
@@ -296,38 +205,63 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
       obs::counter_id("bitplane.words");
   static const obs::MetricsRegistry::Id band_id =
       obs::histogram_id("bitplane.band_ns");
+  static const obs::MetricsRegistry::Id bands_id =
+      obs::gauge_id("bitplane.bands");
+  obs::gauge_set(bands_id, bands);
 
   PlaneLattice next(e, lat.boundary());
-  std::int64_t t = t0;
-  const std::function<void(std::int64_t)> band = [&](std::int64_t b) {
-    const obs::ScopedTimer timer(band_id);
-    const std::int64_t y0 = b * rows_per;
-    const std::int64_t y1 = std::min(e.height, y0 + rows_per);
-    kernel.update_rows(next, lat, t, y0, y1);
-  };
-  for (std::int64_t g = 0; g < generations; ++g) {
-    t = t0 + g;
-    // Serial halo fill: O(height × planes) words, negligible next to
-    // the O(height × words × planes) update it unblocks.
-    lat.prepare_shift_halo();
-    if (bands == 1) {
+  // One-time run setup: static planes primed in both buffers (the
+  // spans only store the dynamic planes), then one halo fill of the
+  // generation-0 source for just the shifted planes. Every later
+  // generation's halo is written by update_rows itself, band-locally.
+  kernel.prime_static_planes(lat, next);
+  lat.prepare_shift_halo(kernel.halo_planes(), 0, e.height);
+  if (bands == 1) {
+    // Inline path: no pool traffic at all. This is also where the band
+    // planner lands whenever the per-generation work is below the grain
+    // floor — the fix for fan-out overhead inverting thread scaling.
+    for (std::int64_t g = 0; g < generations; ++g) {
       const obs::ScopedTimer timer(band_id);
-      kernel.update_rows(next, lat, t, 0, e.height);
-    } else {
-      common::ThreadPool::shared().for_each_task(bands, band);
+      kernel.update_rows(next, lat, t0 + g, 0, e.height);
+      std::swap(lat, next);
     }
-    std::swap(lat, next);
+  } else {
+    // Banded path: each of `bands` pool lanes owns one static,
+    // contiguous row band for the lifetime of the run (cache-resident
+    // tiles — a band's rows stay in that core's cache across
+    // generations). One std::barrier per generation replaces the old
+    // per-generation task-bag rendezvous; with halos written by each
+    // band as it produces its rows, the serial completion step is just
+    // the buffer swap.
+    std::barrier sync(static_cast<std::ptrdiff_t>(bands),
+                      [&]() noexcept { std::swap(lat, next); });
+    const std::int64_t rows_per = (e.height + bands - 1) / bands;
+    common::ThreadPool::shared().run_lanes(
+        static_cast<unsigned>(bands), [&](unsigned lane) {
+          const std::int64_t y0 = static_cast<std::int64_t>(lane) * rows_per;
+          const std::int64_t y1 = std::min(e.height, y0 + rows_per);
+          for (std::int64_t g = 0; g < generations; ++g) {
+            {
+              const obs::ScopedTimer timer(band_id);
+              kernel.update_rows(next, lat, t0 + g, y0, y1);
+            }
+            sync.arrive_and_wait();
+          }
+        });
   }
   obs::count(sites_id, e.area() * generations);
-  // Words touched per generation: every payload word of every plane is
-  // read and written once by the funnel-shift/collide sweep.
+  // Plane words per generation — the capacity measure of the sweep
+  // (all 8 planes × rows × words/row). Actual memory traffic is lower:
+  // only written_planes() are stored, and static planes are never
+  // re-read in full (the obstacle mask is read word-by-word, the
+  // static-zero planes not at all).
   obs::count(words_id, generations * e.height * lat.words_per_row() *
                            PlaneLattice::kPlanes);
 }
 
 void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
                       std::int64_t generations, std::int64_t t0,
-                      unsigned threads) {
+                      unsigned threads, std::int64_t band_grain_words) {
   static const obs::MetricsRegistry::Id pack_id =
       obs::histogram_id("bitplane.pack_ns");
   static const obs::MetricsRegistry::Id update_id =
@@ -345,7 +279,8 @@ void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
   {
     obs::ScopedTimer update_timer(update_id);
     const obs::TraceSpan update_span("bitplane.update");
-    plane_gas_run(planes, kernel, generations, t0, threads);
+    plane_gas_run(planes, kernel, generations, t0, threads,
+                  band_grain_words);
   }
 
   const obs::ScopedTimer unpack_timer(unpack_id);

@@ -9,7 +9,10 @@ PlaneLattice::PlaneLattice(Extent extent, Boundary boundary)
   LATTICE_REQUIRE(extent.width >= 0 && extent.height >= 0,
                   "PlaneLattice extent must be non-negative");
   words_ = (extent.width + kWordBits - 1) / kWordBits;
-  stride_ = words_ + 2;
+  // kRowPad leading guard words, then payload + at least one trailing
+  // guard, rounded up so the stride stays a multiple of kRowPad and
+  // every row's payload begins on a 64-byte boundary.
+  stride_ = kRowPad + (words_ + 1 + kRowPad - 1) / kRowPad * kRowPad;
   const int tail = static_cast<int>(extent.width % kWordBits);
   tail_mask_ = tail == 0 ? ~std::uint64_t{0}
                          : (std::uint64_t{1} << tail) - 1;
@@ -85,13 +88,19 @@ SiteLattice PlaneLattice::to_sites() const {
 }
 
 void PlaneLattice::prepare_shift_halo() {
+  prepare_shift_halo((1u << kPlanes) - 1u, 0, extent_.height);
+}
+
+void PlaneLattice::prepare_shift_halo(std::uint32_t plane_mask,
+                                      std::int64_t y0, std::int64_t y1) {
   if (words_ == 0) return;
   const std::int64_t w = extent_.width;
   const int r = static_cast<int>(w % kWordBits);
   // Bit position of site width-1 inside the last payload word.
   const int hi = static_cast<int>((w - 1) % kWordBits);
   for (int p = 0; p < kPlanes; ++p) {
-    for (std::int64_t y = 0; y < extent_.height; ++y) {
+    if (((plane_mask >> p) & 1u) == 0) continue;
+    for (std::int64_t y = y0; y < y1; ++y) {
       std::uint64_t* rp = row(p, y);
       if (boundary_ == Boundary::Null) {
         rp[-1] = 0;

@@ -1,0 +1,124 @@
+// Runtime SIMD dispatch (see plane_simd.hpp for the contract).
+//
+// Build-time availability arrives as LATTICE_HAVE_AVX2_KERNELS /
+// LATTICE_HAVE_AVX512_KERNELS macros from src/lgca/CMakeLists.txt;
+// runtime capability comes from __builtin_cpu_supports on x86. The
+// active level is a process-wide atomic read once per update_rows
+// call — cheap, and switchable between runs for tests and benches.
+
+#include "lattice/lgca/plane_simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "lattice/common/error.hpp"
+#include "plane_span.hpp"
+
+namespace lattice::lgca {
+
+namespace {
+
+bool cpu_has(SimdLevel level) noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  switch (level) {
+    case SimdLevel::Scalar: return true;
+    case SimdLevel::Avx2: return __builtin_cpu_supports("avx2") != 0;
+    case SimdLevel::Avx512: return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return level == SimdLevel::Scalar;
+#endif
+}
+
+const PlaneSpanOps* compiled_ops(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::Scalar: return &detail::plane_span_ops_scalar();
+    case SimdLevel::Avx2:
+#if defined(LATTICE_HAVE_AVX2_KERNELS)
+      return &detail::plane_span_ops_avx2();
+#else
+      return nullptr;
+#endif
+    case SimdLevel::Avx512:
+#if defined(LATTICE_HAVE_AVX512_KERNELS)
+      return &detail::plane_span_ops_avx512();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// LATTICE_SIMD env override, parsed once: an explicit supported level
+/// pins the start level below best; anything else leaves best alone.
+SimdLevel initial_level() noexcept {
+  SimdLevel best = SimdLevel::Scalar;
+  for (const SimdLevel level : {SimdLevel::Avx512, SimdLevel::Avx2}) {
+    if (simd_supported(level)) {
+      best = level;
+      break;
+    }
+  }
+  const char* env = std::getenv("LATTICE_SIMD");
+  if (env != nullptr) {
+    const SimdLevel named =
+        std::strcmp(env, "scalar") == 0    ? SimdLevel::Scalar
+        : std::strcmp(env, "avx2") == 0    ? SimdLevel::Avx2
+        : std::strcmp(env, "avx512") == 0  ? SimdLevel::Avx512
+                                           : best;
+    if (simd_supported(named)) return named;
+  }
+  return best;
+}
+
+std::atomic<int>& active_level_storage() noexcept {
+  static std::atomic<int> active{static_cast<int>(initial_level())};
+  return active;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar64";
+    case SimdLevel::Avx2: return "avx2";
+    case SimdLevel::Avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+bool simd_compiled(SimdLevel level) noexcept {
+  return compiled_ops(level) != nullptr;
+}
+
+bool simd_supported(SimdLevel level) noexcept {
+  return simd_compiled(level) && cpu_has(level);
+}
+
+SimdLevel simd_best() noexcept { return initial_level(); }
+
+const PlaneSpanOps& plane_span_ops(SimdLevel level) {
+  LATTICE_REQUIRE(simd_compiled(level),
+                  "SIMD kernel variant not compiled into this binary "
+                  "(see the LATTICE_SIMD CMake option)");
+  LATTICE_REQUIRE(cpu_has(level),
+                  "SIMD kernel variant not supported by this CPU");
+  return *compiled_ops(level);
+}
+
+SimdLevel plane_simd_active() noexcept {
+  return static_cast<SimdLevel>(
+      active_level_storage().load(std::memory_order_relaxed));
+}
+
+SimdLevel plane_simd_set_active(SimdLevel level) {
+  LATTICE_REQUIRE(simd_supported(level),
+                  "cannot activate a SIMD level that is not compiled in "
+                  "and supported by this CPU");
+  return static_cast<SimdLevel>(active_level_storage().exchange(
+      static_cast<int>(level), std::memory_order_relaxed));
+}
+
+}  // namespace lattice::lgca

@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "lattice/core/engine.hpp"
 #include "lattice/lgca/ca_rules.hpp"
 #include "lattice/lgca/gas_rule.hpp"
 #include "lattice/lgca/init.hpp"
 #include "lattice/lgca/plane_kernel.hpp"
+#include "lattice/lgca/plane_simd.hpp"
 #include "lattice/lgca/reference.hpp"
 
 namespace lattice::lgca {
@@ -31,12 +33,14 @@ const char* kind_name(GasKind k) {
 }
 
 /// One bit-plane generation of `lat` at time t, via the full
-/// pack → halo → update → unpack pipeline.
+/// pack → prime → halo → update → unpack pipeline (the same calls
+/// plane_gas_run makes once per run and once per generation).
 SiteLattice plane_next(const SiteLattice& lat, const PlaneKernel& kernel,
                        std::int64_t t, std::int64_t tile_words = 0) {
   PlaneLattice cur(lat);
   PlaneLattice next(lat.extent(), lat.boundary());
-  cur.prepare_shift_halo();
+  kernel.prime_static_planes(cur, next);
+  cur.prepare_shift_halo(kernel.halo_planes(), 0, lat.extent().height);
   kernel.update_rows(next, cur, t, 0, lat.extent().height, tile_words);
   return next.to_sites();
 }
@@ -169,6 +173,10 @@ INSTANTIATE_TEST_SUITE_P(Workers, BitPlaneParallelTest,
                          ::testing::Values(1u, 2u, 7u, 64u));
 
 TEST_P(BitPlaneParallelTest, AnyWorkerCountIsBitIdenticalToSerial) {
+  // band_grain_words = 1 forces the planner to actually split a
+  // lattice this small (the default grain floor would collapse it to
+  // one inline band, which is the production behavior but not the
+  // banded code path this test exists to race-check).
   const unsigned threads = GetParam();
   const GasRule rule(GasKind::FHP_II);
   const PlaneKernel& kernel = PlaneKernel::get(GasKind::FHP_II);
@@ -178,8 +186,176 @@ TEST_P(BitPlaneParallelTest, AnyWorkerCountIsBitIdenticalToSerial) {
     fill_random(serial, rule.model(), 0.3, 21, 0.15);
     SiteLattice banded = serial;
     bitplane_gas_run(serial, kernel, 15, /*t0=*/1, /*threads=*/1);
-    bitplane_gas_run(banded, kernel, 15, /*t0=*/1, threads);
+    bitplane_gas_run(banded, kernel, 15, /*t0=*/1, threads,
+                     /*band_grain_words=*/1);
     EXPECT_TRUE(serial == banded) << "threads " << threads;
+  }
+}
+
+TEST(BitPlaneParallel, DefaultGrainCollapsesSmallLatticesToOneBand) {
+  // Production behavior on sub-megasite lattices: the grain floor means
+  // every thread count runs the same inline single-band loop, so the
+  // result is trivially identical and no rendezvous is paid.
+  const GasRule rule(GasKind::FHP_I);
+  const PlaneKernel& kernel = PlaneKernel::get(GasKind::FHP_I);
+  SiteLattice one({256, 64}, Boundary::Periodic);
+  fill_random(one, rule.model(), 0.3, 5, 0.1);
+  SiteLattice eight = one;
+  bitplane_gas_run(one, kernel, 12, 0, 1);
+  bitplane_gas_run(eight, kernel, 12, 0, 8);
+  EXPECT_TRUE(one == eight);
+}
+
+TEST(BitPlaneParallel, SameSeedOneVsEightThreadsIsDeterministic) {
+  // Multi-thread determinism end to end: build two lattices from the
+  // same seed, advance one serially and one on 8 forced bands for many
+  // generations, and require the full state to match bit for bit —
+  // no accumulation of band-edge or scheduling nondeterminism.
+  const GasRule rule(GasKind::FHP_II);
+  const PlaneKernel& kernel = PlaneKernel::get(GasKind::FHP_II);
+  SiteLattice serial({320, 96}, Boundary::Periodic);
+  fill_random(serial, rule.model(), 0.32, 4242, 0.12);
+  add_obstacle_disk(serial, 160, 48, 11);
+  SiteLattice banded({320, 96}, Boundary::Periodic);
+  fill_random(banded, rule.model(), 0.32, 4242, 0.12);
+  add_obstacle_disk(banded, 160, 48, 11);
+  ASSERT_TRUE(serial == banded);  // same seed ⇒ same start
+  bitplane_gas_run(serial, kernel, 50, 0, 1);
+  bitplane_gas_run(banded, kernel, 50, 0, 8, /*band_grain_words=*/16);
+  EXPECT_TRUE(serial == banded);
+}
+
+// ---- SIMD dispatch layer -------------------------------------------
+//
+// The vector spans only engage on rows wider than one vector of words
+// (the scalar span owns the masked tail and any sub-vector remainder),
+// so every lattice below is at least 640 sites wide: 10 words — wide
+// enough for full AVX-512 blocks plus an overlapping final block and a
+// scalar tail.
+
+std::vector<SimdLevel> supported_vector_levels() {
+  std::vector<SimdLevel> levels;
+  for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (simd_supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+TEST(PlaneSimd, ScalarAlwaysPresentAndActiveLevelSupported) {
+  EXPECT_TRUE(simd_compiled(SimdLevel::Scalar));
+  EXPECT_TRUE(simd_supported(SimdLevel::Scalar));
+  EXPECT_TRUE(simd_supported(plane_simd_active()));
+  const PlaneSpanOps& scalar = plane_span_ops(SimdLevel::Scalar);
+  EXPECT_STREQ(scalar.name, "scalar64");
+  EXPECT_EQ(scalar.width_bits, 64);
+}
+
+TEST(PlaneSimd, UnsupportedLevelActivationThrows) {
+  for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (!simd_supported(level)) {
+      EXPECT_THROW(plane_simd_set_active(level), Error);
+    }
+  }
+}
+
+TEST(PlaneSimd, ScopedLevelRestoresPrevious) {
+  const SimdLevel before = plane_simd_active();
+  {
+    const ScopedSimdLevel pin(SimdLevel::Scalar);
+    EXPECT_EQ(plane_simd_active(), SimdLevel::Scalar);
+  }
+  EXPECT_EQ(plane_simd_active(), before);
+}
+
+TEST_P(BitPlaneGasTest, ExhaustiveSiteStatesAgreeAcrossSimdLevels) {
+  // All 256 uniform site states on a lattice wide enough that the
+  // vector path owns most of each row, each compiled+supported vector
+  // level against the pinned scalar kernel, several times t so both
+  // chirality variants fire. Skips (rather than silently passing) on
+  // hosts where no vector level runs.
+  const std::vector<SimdLevel> levels = supported_vector_levels();
+  if (levels.empty()) {
+    GTEST_SKIP() << "no vector SIMD level compiled+supported on this host";
+  }
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const Extent e{640, 2};
+  for (int s = 0; s < 256; ++s) {
+    SiteLattice lat(e, Boundary::Periodic);
+    for (std::size_t i = 0; i < lat.site_count(); ++i)
+      lat[i] = static_cast<Site>(s);
+    for (std::int64_t t = 0; t < 3; ++t) {
+      SiteLattice scalar_out;
+      {
+        const ScopedSimdLevel pin(SimdLevel::Scalar);
+        scalar_out = plane_next(lat, kernel, t);
+      }
+      for (const SimdLevel level : levels) {
+        const ScopedSimdLevel pin(level);
+        const SiteLattice got = plane_next(lat, kernel, t);
+        ASSERT_TRUE(got == scalar_out)
+            << kind_name(GetParam()) << " state " << s << " t " << t
+            << " level " << to_string(level);
+      }
+    }
+  }
+}
+
+TEST_P(BitPlaneGasTest, VectorWidthsWithAwkwardTailsAgreeWithScalar) {
+  // Widths straddling every vector-block boundary regime: not a
+  // multiple of 256 or 512, one bit past a block, one bit short, and a
+  // masked tail in the overlapping-final-block window. Both boundary
+  // modes, multi-generation so halo errors compound visibly.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const std::vector<SimdLevel> levels = supported_vector_levels();
+  if (levels.empty()) {
+    GTEST_SKIP() << "no vector SIMD level compiled+supported on this host";
+  }
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    for (const std::int64_t width :
+         {std::int64_t{511}, std::int64_t{513}, std::int64_t{575},
+          std::int64_t{640}, std::int64_t{1000}, std::int64_t{1025}}) {
+      SiteLattice lat({width, 5}, b);
+      fill_random(lat, rule.model(), 0.35, width * 7 + 1, 0.2);
+      add_obstacle_disk(lat, width / 2, 2, 2);
+      for (std::int64_t t = 0; t < 4; ++t) {
+        SiteLattice scalar_out;
+        {
+          const ScopedSimdLevel pin(SimdLevel::Scalar);
+          scalar_out = plane_next(lat, kernel, t);
+        }
+        for (const SimdLevel level : levels) {
+          const ScopedSimdLevel pin(level);
+          const SiteLattice got = plane_next(lat, kernel, t);
+          ASSERT_TRUE(got == scalar_out)
+              << kind_name(GetParam()) << " width " << width << " t " << t
+              << " level " << to_string(level)
+              << (b == Boundary::Null ? " null" : " periodic");
+        }
+        lat = scalar_out;
+      }
+    }
+  }
+}
+
+TEST_P(BitPlaneGasTest, MultiGenerationRunsMatchReferenceAtEachLevel) {
+  // End-to-end (pack → N generations → unpack) against the semantic
+  // oracle at every supported level, vector-engaging width.
+  const GasRule rule(GetParam());
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  SiteLattice ref({640, 24}, Boundary::Null);
+  add_obstacle_disk(ref, 320, 12, 6);
+  fill_flow(ref, rule.model(), 0.3, 0.1, 808);
+  const SiteLattice start = ref;
+  reference_run(ref, rule, 25);
+  for (const SimdLevel level :
+       {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (!simd_supported(level)) continue;
+    const ScopedSimdLevel pin(level);
+    SiteLattice lat = start;
+    bitplane_gas_run(lat, kernel, 25);
+    EXPECT_TRUE(lat == ref)
+        << kind_name(GetParam()) << " level " << to_string(level);
   }
 }
 

@@ -163,6 +163,25 @@ TEST_P(RoundTripTest, HaloEncodesBoundaryNeighbors) {
   }
 }
 
+TEST(PlaneLattice, PayloadRowsAreCachelineAligned) {
+  // The SIMD spans use unaligned loads, so this is a layout guarantee
+  // rather than a correctness requirement — but the documented cost
+  // model assumes every 512-bit access stays inside one cacheline.
+  for (const std::int64_t width : {1, 63, 64, 65, 130, 511, 640}) {
+    PlaneLattice planes({width, 3}, Boundary::Null);
+    EXPECT_EQ(planes.row_stride() % PlaneLattice::kRowPad, 0) << width;
+    EXPECT_GE(planes.row_stride(),
+              planes.words_per_row() + PlaneLattice::kRowPad + 1)
+        << width;
+    for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
+      for (std::int64_t y = 0; y < 3; ++y) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(planes.row(p, y)) % 64, 0u)
+            << "width " << width << " plane " << p << " row " << y;
+      }
+    }
+  }
+}
+
 TEST(PlaneLattice, EqualityIgnoresHaloState) {
   const SiteLattice sites = random_sites({65, 4}, Boundary::Periodic, 42);
   PlaneLattice a(sites);

@@ -166,6 +166,48 @@ TEST(ThreadPool, ReusableAcrossManyDispatches) {
   EXPECT_EQ(total.load(), 50 * 17);
 }
 
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(101, 10, [&](std::int64_t begin, std::int64_t end) {
+    ASSERT_LE(begin, end);
+    for (std::int64_t i = begin; i < end; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHonorsGrainFloor) {
+  // n below the grain must run as one inline chunk: exactly one call,
+  // covering the whole range, on the calling thread.
+  ThreadPool pool(3);
+  int calls = 0;
+  std::int64_t seen_begin = -1, seen_end = -1;
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(64, 2048, [&](std::int64_t begin, std::int64_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_begin, 0);
+  EXPECT_EQ(seen_end, 64);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeAndZeroGrain) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 16, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+  // grain <= 0: one chunk per executor, still exactly covering [0, n).
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(10, 0, [&](std::int64_t begin, std::int64_t end) {
+    sum.fetch_add(end - begin);
+  });
+  EXPECT_EQ(sum.load(), 10);
+}
+
 TEST(ThreadPool, SharedPoolSupportsEightLanes) {
   // The SPA bench runs 8 wavefront lanes on the shared pool; the pool
   // guarantees that many regardless of the host's core count.

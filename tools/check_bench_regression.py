@@ -8,13 +8,20 @@ Any number of CURRENT BASELINE pairs may be given; every pair is
 checked and all failures are reported before the (single) exit status.
 
 Rows are matched on every non-measurement field (gas, side, kernel,
-threads, ...). The gate fails if:
+threads, ...); "simd" is informational only (which span variant the
+recording host dispatched to), so baselines recorded on an AVX-512
+machine still match an AVX2-only CI runner. The gate fails if:
   * any baseline row is missing from the current run,
   * any current row reports exact == false,
   * any matched row's sites_per_sec fell more than --max-regression x
     below the baseline (default 5x — wide enough to absorb machine
     differences between the recording host and CI runners, narrow
-    enough to catch an accidental fall off the fast path).
+    enough to catch an accidental fall off the fast path),
+  * any thread ladder in the CURRENT run (rows identical except for a
+    numeric "threads" field) is non-monotone: a higher thread count
+    running below --monotone-tolerance x of the best lower count is
+    the pre-band-scheduler regression shape, caught on the current
+    run's own numbers so it needs no cross-machine tolerance.
 
 Speedups are never gated: a faster run only moves the headroom.
 """
@@ -24,7 +31,7 @@ import json
 import sys
 
 MEASUREMENT_KEYS = {"seconds", "sites_per_sec", "speedup_vs_lut",
-                    "speedup_vs_serial", "exact"}
+                    "speedup_vs_serial", "exact", "simd"}
 
 
 def row_key(row):
@@ -32,7 +39,37 @@ def row_key(row):
                         if k not in MEASUREMENT_KEYS))
 
 
-def check_pair(current_path, baseline_path, max_regression):
+def check_thread_monotone(current, tolerance):
+    """Failure strings for non-monotone thread ladders in one run."""
+    ladders = {}
+    for row in current.get("rows", []):
+        if not isinstance(row.get("threads"), int):
+            continue
+        key = tuple(sorted((k, v) for k, v in row.items()
+                           if k not in MEASUREMENT_KEYS and k != "threads"))
+        ladders.setdefault(key, []).append(row)
+
+    failures = []
+    for key, rows in ladders.items():
+        if len(rows) < 2:
+            continue
+        label = " ".join(str(v) for _, v in key)
+        rows.sort(key=lambda r: r["threads"])
+        best_rate, best_threads = 0.0, 0
+        for row in rows:
+            rate = row["sites_per_sec"]
+            if rate < tolerance * best_rate:
+                failures.append(
+                    f"{label}: non-monotone thread scaling — "
+                    f"{row['threads']} threads at {rate:.3e} sites/s vs "
+                    f"{best_threads} threads at {best_rate:.3e}")
+            if rate > best_rate:
+                best_rate, best_threads = rate, row["threads"]
+    return failures
+
+
+def check_pair(current_path, baseline_path, max_regression,
+               monotone_tolerance):
     """Returns a list of failure strings (empty = this pair passes)."""
     with open(current_path) as f:
         current = json.load(f)
@@ -41,7 +78,7 @@ def check_pair(current_path, baseline_path, max_regression):
 
     print(f"\n== {current_path} vs {baseline_path} ==")
     current_rows = {row_key(r): r for r in current.get("rows", [])}
-    failures = []
+    failures = check_thread_monotone(current, monotone_tolerance)
 
     for row in current.get("rows", []):
         if row.get("exact") is False:
@@ -73,6 +110,9 @@ def main():
                     help="CURRENT BASELINE [CURRENT BASELINE ...]")
     ap.add_argument("--max-regression", type=float, default=5.0,
                     help="tolerated slowdown factor vs baseline")
+    ap.add_argument("--monotone-tolerance", type=float, default=0.85,
+                    help="a higher thread count must reach at least this "
+                         "fraction of the best lower count's rate")
     args = ap.parse_args()
 
     if len(args.files) % 2 != 0:
@@ -82,7 +122,8 @@ def main():
     for i in range(0, len(args.files), 2):
         try:
             failures += check_pair(args.files[i], args.files[i + 1],
-                                   args.max_regression)
+                                   args.max_regression,
+                                   args.monotone_tolerance)
         except OSError as e:
             failures.append(f"cannot read bench JSON: {e}")
         except json.JSONDecodeError as e:
@@ -95,7 +136,7 @@ def main():
             print(f"  {f_}", file=sys.stderr)
         return 1
     print("\nOK: no inexact rows, no missing rows, no "
-          f">{args.max_regression:g}x regressions")
+          f">{args.max_regression:g}x regressions, thread ladders monotone")
     return 0
 
 

@@ -19,6 +19,7 @@
 #include "lattice/core/engine.hpp"
 #include "lattice/core/metrics_report.hpp"
 #include "lattice/lgca/init.hpp"
+#include "lattice/lgca/plane_simd.hpp"
 #include "lattice/obs/json.hpp"
 #include "lattice/obs/trace.hpp"
 
@@ -140,6 +141,10 @@ int main(int argc, char** argv) {
               backend_name(opt.backend), static_cast<int>(opt.gas),
               static_cast<long long>(opt.side),
               static_cast<long long>(opt.generations), opt.threads);
+  if (opt.backend == Backend::BitPlane) {
+    std::printf("simd              %s\n",
+                lattice::lgca::to_string(lattice::lgca::plane_simd_active()));
+  }
   std::printf("wall_seconds      %.6f\n", report.wall_seconds);
   std::printf("phase_seconds     %.6f\n", report.phase_seconds());
   std::printf("measured_rate     %.3e sites/s\n", perf.measured_rate);
