@@ -24,6 +24,7 @@
 
 namespace lattice::fault {
 class FaultInjector;
+struct FaultPlan;
 }  // namespace lattice::fault
 
 namespace lattice::core {
@@ -62,10 +63,16 @@ class BackendExec {
     return pass_ns_;
   }
 
-  /// Whether the simulated datapath has buffers and links an armed
-  /// FaultPlan can corrupt. The engine rejects fault plans on
-  /// executors that return false.
-  virtual bool supports_fault_injection() const noexcept { return false; }
+  /// Whether this executor can realize every fault source `plan` arms.
+  /// The machine-memory sources (buffer/link byte flips, stuck chips)
+  /// need a simulated datapath; the plane-memory sources (plane-word
+  /// flips, halo flips, stuck plane words, the parity shadow) need
+  /// plane-resident site storage — no executor has both. The engine
+  /// rejects an armed plan the executor cannot fully realize, so a
+  /// fault run never silently under-injects. The base returns false
+  /// for any armed plan.
+  virtual bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept;
 
   /// Largest chunk the executor wants for one pass, given `remaining`
   /// generations. Hardware executors bound it by the pipeline depth;

@@ -1,0 +1,65 @@
+// Durable EngineCheckpoint serialization.
+//
+// A checkpoint that only lives in the engine's address space bounds
+// replay work within one process; surviving a crash (or moving a long
+// soak across machines) needs the snapshot on disk. The format is a
+// small versioned header, the raw site payload, and a trailing FNV-1a
+// checksum over everything before it:
+//
+//   offset  size  field
+//        0     4  magic "LCKP" (little-endian u32)
+//        4     4  format version (currently 1)
+//        8     8  extent.width   (i64)
+//       16     8  extent.height  (i64)
+//       24     1  boundary (0 = Null, 1 = Periodic)
+//       25     8  generation (i64)
+//       33   w·h  site payload, row-major, one byte per site
+//      end     8  FNV-1a 64 checksum of bytes [0, end)
+//
+// All multi-byte fields are little-endian regardless of host order, so
+// a checkpoint written on one machine restores on another. load()
+// rejects — with a typed CheckpointError, never a silent zero state —
+// bad magic, unknown versions, nonsense geometry, truncation, and any
+// bit flip anywhere in the file (the checksum covers the header too,
+// so a corrupted extent cannot masquerade as a different lattice).
+//
+// The payload is the byte-site SiteLattice image, which every backend
+// shares (the bit-plane backend packs/unpacks around it), so a
+// checkpoint saved under one backend restores bit-exactly under any
+// other.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lattice/common/error.hpp"
+#include "lattice/core/engine.hpp"
+
+namespace lattice::core {
+
+/// A checkpoint file failed validation: bad magic, unsupported
+/// version, truncated payload, or checksum mismatch. Distinct from
+/// plain Error so recovery code can treat "the snapshot is poisoned"
+/// differently from "the caller passed bad arguments".
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
+};
+
+/// Serialize `ckpt` to `out` in the format above. Throws Error if the
+/// stream fails mid-write.
+void save_checkpoint(const EngineCheckpoint& ckpt, std::ostream& out);
+
+/// Atomic-ish file variant: writes the full image, then flushes;
+/// throws Error if the file cannot be opened or written.
+void save_checkpoint(const EngineCheckpoint& ckpt, const std::string& path);
+
+/// Parse and validate a checkpoint from `in`. Throws CheckpointError
+/// on any validation failure (see format notes above).
+EngineCheckpoint load_checkpoint(std::istream& in);
+
+/// File variant; throws CheckpointError if the file cannot be opened.
+EngineCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace lattice::core

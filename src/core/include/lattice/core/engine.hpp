@@ -100,8 +100,14 @@ struct PerformanceReport {
   std::int64_t faults_corrected = 0;
   std::int64_t rollbacks = 0;         // passes discarded and re-run
   std::int64_t checkpoints = 0;       // state snapshots taken
-  int remapped_slices = 0;            // stuck SPA chips taken out of service
+  int remapped_slices = 0;            // stuck chips/plane words retired
   double checkpoint_seconds = 0;      // wall-clock spent snapshotting
+  /// Escalations past plain rollback-retry (docs/ROBUSTNESS.md):
+  /// checkpoint-interval halvings under repeated faults, and intervals
+  /// re-executed on the fault-free reference oracle as the last resort
+  /// before CorruptionError.
+  std::int64_t interval_shrinks = 0;
+  std::int64_t oracle_passes = 0;
   /// Useful work only: generation × area. site_updates also counts
   /// work that was later rolled back and redone.
   std::int64_t committed_updates = 0;
@@ -146,18 +152,31 @@ class LatticeEngine {
     /// show up in PerformanceReport::buffer_bandwidth_fraction.
     arch::MemoryConfig wsa_e_buffer{/*banks=*/2, /*bank_busy_ticks=*/1};
 
-    /// Fault scenario for the hardware backends (WSA / WSA-E / SPA —
-    /// injection lives in the simulated buffers and links). Fault-free
-    /// by default; an armed plan turns advance() into the guarded
-    /// checkpoint/rollback loop below.
+    /// Fault scenario. The byte-plan sources (buffer/side/stuck) target
+    /// the hardware simulators (WSA / WSA-E / SPA — injection lives in
+    /// the simulated buffers and links); the plane-memory sources
+    /// (plane_flip/halo_flip/stuck_planes/parity_plane) target the
+    /// bit-plane backend's plane words, with the reference executor
+    /// mirroring the non-halo subset. Fault-free by default; an armed
+    /// plan turns advance() into the guarded checkpoint/rollback loop
+    /// below, on executors whose supports_fault_plan() accepts it.
     fault::FaultPlan fault;
     /// Snapshot the state every this many committed generations; a
     /// detected fault rolls back to the last snapshot and re-runs.
-    /// 0 = one checkpoint per pass (pipeline_depth generations).
+    /// 0 = one checkpoint per pass (pipeline_depth generations). Under
+    /// repeated faults the engine shrinks the working interval (see
+    /// advance()); it regrows back to this value on clean passes.
     std::int64_t checkpoint_interval = 0;
-    /// Consecutive failed retries tolerated before the engine degrades
-    /// (SPA with stuck chips: remap them) or throws CorruptionError.
+    /// Consecutive failed retries tolerated before the engine escalates
+    /// (shrink the checkpoint interval, degrade the executor, fall back
+    /// to the reference oracle) and finally throws CorruptionError.
     int max_retries = 3;
+    /// Last escalation rung: when retries, interval shrinking and
+    /// executor degradation have all failed, re-execute the poisoned
+    /// interval on the fault-free golden reference updater (bit-exact
+    /// oracle) instead of throwing. Off by default — an oracle pass
+    /// masks a persistent fault the caller may rather hear about.
+    bool oracle_fallback = false;
   };
 
   explicit LatticeEngine(Config config);
@@ -171,9 +190,14 @@ class LatticeEngine {
   /// checkpoint_interval generations, run each pass under the online
   /// detectors, and on any detection discard the pass, restore the last
   /// snapshot, bump the injector epoch (so transients redraw) and
-  /// re-run. After max_retries consecutive failures the engine asks the
-  /// executor to degrade (SPA remaps stuck chips out of the datapath)
-  /// and otherwise throws fault::CorruptionError.
+  /// re-run. After max_retries consecutive failures the engine climbs
+  /// an escalation ladder (docs/ROBUSTNESS.md): halve the working
+  /// checkpoint interval (less exposure per attempt; it regrows on
+  /// clean passes), then ask the executor to degrade (SPA remaps stuck
+  /// chips, the bit-plane backend retires stuck plane words), then —
+  /// if Config::oracle_fallback — re-execute the poisoned interval on
+  /// the fault-free golden reference, and only then throw
+  /// fault::CorruptionError.
   void advance(std::int64_t generations);
 
   /// Snapshot the current state and generation for later restore().
@@ -233,6 +257,12 @@ class LatticeEngine {
   std::int64_t checkpoints_ = 0;
   std::int64_t faults_corrected_ = 0;
   double checkpoint_seconds_ = 0;
+  /// Working checkpoint interval of the guarded loop: starts at
+  /// Config::checkpoint_interval, halves on escalation, regrows on
+  /// clean passes.
+  std::int64_t interval_ = 0;
+  std::int64_t interval_shrinks_ = 0;
+  std::int64_t oracle_passes_ = 0;
 
   /// The backend's executor: owns all backend-specific state (kernels,
   /// persistent pipelines/machines, counters).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec_factories.hpp"
+#include "lattice/fault/fault.hpp"
 
 namespace lattice::core {
 
@@ -26,14 +27,19 @@ void BackendExec::fill_report(PerformanceReport& report) const {
 
 bool BackendExec::try_degrade() { return false; }
 
+bool BackendExec::supports_fault_plan(
+    const fault::FaultPlan& plan) const noexcept {
+  return !plan.armed();
+}
+
 std::unique_ptr<BackendExec> make_backend_exec(LatticeEngine::Config& config,
                                                const lgca::Rule& rule,
                                                fault::FaultInjector* injector) {
   switch (config.backend) {
     case Backend::Reference:
-      return detail::make_reference_exec(config, rule);
+      return detail::make_reference_exec(config, rule, injector);
     case Backend::BitPlane:
-      return detail::make_bitplane_exec(config, rule);
+      return detail::make_bitplane_exec(config, rule, injector);
     case Backend::Wsa:
       return detail::make_wsa_exec(config, rule, injector);
     case Backend::Spa:

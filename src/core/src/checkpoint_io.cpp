@@ -1,0 +1,171 @@
+#include "lattice/core/checkpoint_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <vector>
+
+namespace lattice::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504B434Cu;  // "LCKP" on disk
+constexpr std::uint32_t kVersion = 1;
+
+// FNV-1a 64: tiny, dependency-free, and plenty for detecting the
+// accidental corruptions this guards against (truncation, bit flips,
+// torn writes). Not a defense against an adversary.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+class Hasher {
+ public:
+  void update(const unsigned char* p, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) h_ = (h_ ^ p[i]) * kFnvPrime;
+  }
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+void put_bytes(std::ostream& out, Hasher& hash, const unsigned char* p,
+               std::size_t n) {
+  hash.update(p, n);
+  out.write(reinterpret_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void put_u64(std::ostream& out, Hasher& hash, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  put_bytes(out, hash, b, 8);
+}
+
+void put_u32(std::ostream& out, Hasher& hash, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  put_bytes(out, hash, b, 4);
+}
+
+void get_bytes(std::istream& in, Hasher& hash, unsigned char* p,
+               std::size_t n) {
+  in.read(reinterpret_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in.gcount()) != n) {
+    throw CheckpointError("checkpoint truncated: expected " +
+                          std::to_string(n) + " more bytes");
+  }
+  hash.update(p, n);
+}
+
+std::uint64_t get_u64(std::istream& in, Hasher& hash) {
+  unsigned char b[8];
+  get_bytes(in, hash, b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint32_t get_u32(std::istream& in, Hasher& hash) {
+  unsigned char b[4];
+  get_bytes(in, hash, b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const EngineCheckpoint& ckpt, std::ostream& out) {
+  const Extent e = ckpt.state.extent();
+  Hasher hash;
+  put_u32(out, hash, kMagic);
+  put_u32(out, hash, kVersion);
+  put_u64(out, hash, static_cast<std::uint64_t>(e.width));
+  put_u64(out, hash, static_cast<std::uint64_t>(e.height));
+  const unsigned char boundary =
+      ckpt.state.boundary() == lgca::Boundary::Periodic ? 1 : 0;
+  put_bytes(out, hash, &boundary, 1);
+  put_u64(out, hash, static_cast<std::uint64_t>(ckpt.generation));
+  static_assert(sizeof(lgca::Site) == 1,
+                "the payload encoding assumes one byte per site");
+  put_bytes(out, hash,
+            reinterpret_cast<const unsigned char*>(ckpt.state.grid().data()),
+            ckpt.state.site_count());
+  const std::uint64_t digest = hash.digest();
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<unsigned char>(digest >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(b), 8);
+  LATTICE_REQUIRE(out.good(), "checkpoint write failed");
+}
+
+void save_checkpoint(const EngineCheckpoint& ckpt, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LATTICE_REQUIRE(out.is_open(),
+                  "cannot open checkpoint file for writing: " + path);
+  save_checkpoint(ckpt, out);
+  out.flush();
+  LATTICE_REQUIRE(out.good(), "checkpoint write failed: " + path);
+}
+
+EngineCheckpoint load_checkpoint(std::istream& in) {
+  Hasher hash;
+  const std::uint32_t magic = get_u32(in, hash);
+  if (magic != kMagic) {
+    throw CheckpointError("not a checkpoint file (bad magic)");
+  }
+  const std::uint32_t version = get_u32(in, hash);
+  if (version != kVersion) {
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(version));
+  }
+  const auto width = static_cast<std::int64_t>(get_u64(in, hash));
+  const auto height = static_cast<std::int64_t>(get_u64(in, hash));
+  // Sanity-bound the geometry before allocating width·height bytes: a
+  // corrupted header must not turn into a 2^60-byte allocation. The
+  // checksum would catch it anyway, but only after the damage.
+  constexpr std::int64_t kMaxSide = std::int64_t{1} << 24;
+  if (width <= 0 || height <= 0 || width > kMaxSide || height > kMaxSide) {
+    throw CheckpointError("checkpoint geometry out of range: " +
+                          std::to_string(width) + "x" +
+                          std::to_string(height));
+  }
+  unsigned char boundary = 0;
+  get_bytes(in, hash, &boundary, 1);
+  if (boundary > 1) {
+    throw CheckpointError("checkpoint boundary byte out of range: " +
+                          std::to_string(boundary));
+  }
+  const auto generation = static_cast<std::int64_t>(get_u64(in, hash));
+  if (generation < 0) {
+    throw CheckpointError("checkpoint generation is negative");
+  }
+  EngineCheckpoint ckpt;
+  ckpt.state = lgca::SiteLattice(
+      Extent{width, height},
+      boundary == 1 ? lgca::Boundary::Periodic : lgca::Boundary::Null);
+  ckpt.generation = generation;
+  get_bytes(in, hash,
+            reinterpret_cast<unsigned char*>(ckpt.state.grid().data()),
+            ckpt.state.site_count());
+  const std::uint64_t expected = hash.digest();
+  Hasher tail;  // the stored digest itself is not part of the hash
+  const std::uint64_t stored = get_u64(in, tail);
+  if (stored != expected) {
+    throw CheckpointError("checkpoint checksum mismatch: file is corrupted");
+  }
+  return ckpt;
+}
+
+EngineCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw CheckpointError("cannot open checkpoint file: " + path);
+  }
+  return load_checkpoint(in);
+}
+
+}  // namespace lattice::core

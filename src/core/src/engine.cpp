@@ -28,6 +28,10 @@ struct EngineObs {
   obs::MetricsRegistry::Id rollbacks = obs::counter_id("engine.rollbacks");
   obs::MetricsRegistry::Id replays = obs::counter_id("engine.replays");
   obs::MetricsRegistry::Id checkpoints = obs::counter_id("engine.checkpoints");
+  obs::MetricsRegistry::Id interval_shrinks =
+      obs::counter_id("engine.interval_shrinks");
+  obs::MetricsRegistry::Id oracle_passes =
+      obs::counter_id("engine.oracle_passes");
   obs::MetricsRegistry::Id capture_ns = obs::histogram_id("engine.capture_ns");
   obs::MetricsRegistry::Id checkpoint_ns =
       obs::histogram_id("engine.checkpoint_ns");
@@ -77,15 +81,19 @@ LatticeEngine::LatticeEngine(Config config)
     if (config_.checkpoint_interval == 0) {
       config_.checkpoint_interval = config_.pipeline_depth;
     }
+    interval_ = config_.checkpoint_interval;
   }
   // Everything backend-specific — kernel detection, slice-width
   // defaulting, boundary requirements, persistent pipelines — lives in
   // the executor. The factory may normalize config_ in place.
   exec_ = make_backend_exec(config_, *rule_, injector_.get());
   LATTICE_REQUIRE(
-      injector_ == nullptr || exec_->supports_fault_injection(),
-      "fault injection targets the hardware backends; the reference and "
-      "bit-plane updaters have no simulated buffers to corrupt");
+      injector_ == nullptr || exec_->supports_fault_plan(config_.fault),
+      "this backend cannot realize the armed fault plan: the byte-plan "
+      "sources (buffer/side/stuck) need a hardware simulator's buffers "
+      "and links, the plane-memory sources (plane_flip/halo_flip/"
+      "stuck_planes/parity_plane) need the bit-plane backend (the "
+      "reference executor mirrors the non-halo subset)");
   exec_->prepare(state_);
 }
 
@@ -139,8 +147,21 @@ void LatticeEngine::advance(std::int64_t generations) {
 // (ticks and site_updates keep counting, as the silicon would), but no
 // corrupted generation is ever committed. Re-execution is exact: the
 // injector's epoch is bumped so transient draws differ, while stuck
-// faults (persistent silicon) replay until the executor degrades
-// around them.
+// faults (persistent silicon) replay until an escalation removes them.
+//
+// Escalation ladder, climbed after max_retries consecutive dirty
+// attempts at the same checkpoint (each rung resets the retry budget):
+//   1. shrink — halve the working checkpoint interval, down to one
+//      generation per attempt: less exposure per attempt, so a retry
+//      under a high transient rate actually has a chance to commit.
+//      Clean passes regrow the interval back to the configured value.
+//   2. degrade — the executor reconfigures around a persistent fault
+//      (SPA remaps stuck chips; the bit-plane backend retires stuck
+//      plane words onto spares).
+//   3. oracle — if Config::oracle_fallback, re-execute the poisoned
+//      interval on the fault-free golden reference updater and resume
+//      on the fast backend from its (bit-exact) output.
+//   4. give up — throw CorruptionError with the counter snapshot.
 void LatticeEngine::advance_guarded(std::int64_t generations) {
   const std::int64_t target = generation_ + generations;
   EngineCheckpoint ckpt{state_, generation_};
@@ -161,14 +182,18 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
   int attempts = 0;
   while (generation_ < target) {
     const std::int64_t chunk = std::min<std::int64_t>(
-        target - generation_, config_.pipeline_depth);
+        std::min<std::int64_t>(target - generation_, config_.pipeline_depth),
+        interval_);
     const std::int64_t before = injector_->counters().detected();
     run_pass(chunk);
     const std::int64_t after = injector_->counters().detected();
     if (after == before) {
       generation_ += chunk;
       attempts = 0;
-      if (generation_ - ckpt.generation >= config_.checkpoint_interval &&
+      if (interval_ < config_.checkpoint_interval) {
+        interval_ = std::min(config_.checkpoint_interval, interval_ * 2);
+      }
+      if (generation_ - ckpt.generation >= interval_ &&
           generation_ < target) {
         snapshot();
       }
@@ -187,12 +212,21 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
     obs::count(EngineObs::get().replays, 1);
     injector_->bump_epoch();
     if (++attempts > config_.max_retries) {
-      // Graceful degradation: let the executor reconfigure around a
-      // persistent fault (SPA remaps stuck chips out of the datapath;
-      // surviving pipelines absorb their columns and charge the extra
-      // ticks) and reset the retry budget.
-      if (exec_->try_degrade()) {
-        attempts = 0;
+      attempts = 0;
+      if (interval_ > 1) {
+        interval_ = interval_ / 2;
+        ++interval_shrinks_;
+        obs::count(EngineObs::get().interval_shrinks, 1);
+        continue;
+      }
+      if (exec_->try_degrade()) continue;
+      if (config_.oracle_fallback) {
+        const obs::TraceSpan oracle_span("engine.oracle");
+        lgca::reference_run(state_, *rule_, chunk, generation_);
+        generation_ += chunk;
+        ++oracle_passes_;
+        obs::count(EngineObs::get().oracle_passes, 1);
+        if (generation_ < target) snapshot();
         continue;
       }
       throw fault::CorruptionError(
@@ -267,6 +301,8 @@ PerformanceReport LatticeEngine::report() const {
     r.checkpoints = checkpoints_;
     r.remapped_slices = injector_->remapped_lanes();
     r.checkpoint_seconds = checkpoint_seconds_;
+    r.interval_shrinks = interval_shrinks_;
+    r.oracle_passes = oracle_passes_;
   }
   return r;
 }

@@ -9,7 +9,10 @@
 // sample per call, with the bitplane.pack/update/unpack stages nested
 // underneath it.
 
+#include <optional>
+
 #include "exec_factories.hpp"
+#include "lattice/fault/memory_guard.hpp"
 #include "lattice/lgca/plane_kernel.hpp"
 #include "lattice/lgca/plane_simd.hpp"
 #include "lattice/obs/metrics.hpp"
@@ -20,10 +23,13 @@ namespace {
 
 class BitPlaneExec final : public BackendExec {
  public:
-  explicit BitPlaneExec(const LatticeEngine::Config& config)
+  BitPlaneExec(const LatticeEngine::Config& config,
+               fault::FaultInjector* injector)
       : BackendExec("bitplane", config.pipeline_depth),
         kernel_(&lgca::PlaneKernel::get(config.gas)),
-        threads_(config.threads) {
+        threads_(config.threads),
+        injector_(injector) {
+    if (injector_ != nullptr) guard_.emplace(*injector_);
     // Surface which span variant this process dispatches to (a profile
     // can't tell 64-bit from 512-bit words from timings alone).
     static const obs::MetricsRegistry::Id simd_id =
@@ -41,24 +47,45 @@ class BitPlaneExec final : public BackendExec {
 
   void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
                 std::int64_t generation) override {
-    lgca::bitplane_gas_run(state, *kernel_, chunk, generation, threads_);
+    lgca::bitplane_gas_run(state, *kernel_, chunk, generation, threads_,
+                           /*band_grain_words=*/0,
+                           guard_ ? &*guard_ : nullptr);
     stats_.site_updates += state.extent().area() * chunk;
+  }
+
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    // Plane-resident storage realizes every plane-memory source; the
+    // machine-memory sources (pipeline buffers, inter-stage links,
+    // stuck chips) have no physical analog here.
+    return !plan.arms_machine_memory();
+  }
+
+  bool try_degrade() override {
+    if (injector_ != nullptr && injector_->has_stuck_planes()) {
+      injector_->disable_stuck_planes();
+      return true;
+    }
+    return false;
   }
 
  private:
   const lgca::PlaneKernel* kernel_;
   unsigned threads_;
+  fault::FaultInjector* injector_;
+  std::optional<fault::PlaneMemoryGuard> guard_;
 };
 
 }  // namespace
 
 std::unique_ptr<BackendExec> make_bitplane_exec(
-    const LatticeEngine::Config& config, const lgca::Rule& rule) {
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector) {
   (void)rule;
   LATTICE_REQUIRE(config.custom_rule == nullptr,
                   "the bit-plane backend runs lattice gases only; "
                   "custom rules have no boolean-algebra kernel");
-  return std::make_unique<BitPlaneExec>(config);
+  return std::make_unique<BitPlaneExec>(config, injector);
 }
 
 }  // namespace lattice::core::detail

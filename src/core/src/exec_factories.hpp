@@ -11,10 +11,12 @@
 namespace lattice::core::detail {
 
 std::unique_ptr<BackendExec> make_reference_exec(
-    const LatticeEngine::Config& config, const lgca::Rule& rule);
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector);
 
 std::unique_ptr<BackendExec> make_bitplane_exec(
-    const LatticeEngine::Config& config, const lgca::Rule& rule);
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector);
 
 std::unique_ptr<BackendExec> make_wsa_exec(const LatticeEngine::Config& config,
                                            const lgca::Rule& rule,

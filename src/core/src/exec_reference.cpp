@@ -3,7 +3,10 @@
 // gas rules get the fused CollisionLut sweep, anything else the
 // generic virtual-dispatch path; threads > 1 bands the rows either way.
 
+#include <optional>
+
 #include "exec_factories.hpp"
+#include "lattice/fault/memory_guard.hpp"
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/reference.hpp"
 
@@ -13,17 +16,55 @@ namespace {
 
 class ReferenceExec final : public BackendExec {
  public:
-  ReferenceExec(const LatticeEngine::Config& config, const lgca::Rule& rule)
+  ReferenceExec(const LatticeEngine::Config& config, const lgca::Rule& rule,
+                fault::FaultInjector* injector)
       : BackendExec("reference", config.pipeline_depth),
         rule_(&rule),
         threads_(config.threads) {
     if (config.fast_kernel) lut_ = lgca::CollisionLut::try_get(rule);
+    if (injector != nullptr) guard_.emplace(*injector);
   }
 
   void prepare(const lgca::SiteLattice& state) override { (void)state; }
 
   void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
                 std::int64_t generation) override {
+    if (guard_) {
+      // Guarded: one generation at a time, so each fault lands (and is
+      // audited) in the same generation that would read it on the
+      // bit-plane backend — the two fault runs stay like-for-like.
+      guard_->run_begin(state);
+      for (std::int64_t g = 0; g < chunk; ++g) {
+        guard_->inject_and_audit(state, generation + g);
+        run_generations(state, 1, generation + g);
+        guard_->record(state);
+      }
+    } else {
+      run_generations(state, chunk, generation);
+    }
+    stats_.site_updates += state.extent().area() * chunk;
+  }
+
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    // Site space mirrors the in-lattice plane sources exactly; halo
+    // guard words and the parity shadow plane only exist in the
+    // bit-plane coding, so plans arming them are rejected here.
+    return !plan.arms_machine_memory() && plan.halo_flip_rate == 0.0 &&
+           !plan.parity_plane;
+  }
+
+  bool try_degrade() override {
+    if (guard_ && injector()->has_stuck_planes()) {
+      injector()->disable_stuck_planes();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void run_generations(lgca::SiteLattice& state, std::int64_t chunk,
+                       std::int64_t generation) {
     if (lut_ != nullptr) {
       lgca::fused_gas_run(state, *lut_, chunk, generation, threads_);
     } else if (threads_ > 1) {
@@ -31,20 +72,22 @@ class ReferenceExec final : public BackendExec {
     } else {
       lgca::reference_run(state, *rule_, chunk, generation);
     }
-    stats_.site_updates += state.extent().area() * chunk;
   }
 
- private:
+  fault::FaultInjector* injector() { return guard_->injector(); }
+
   const lgca::Rule* rule_;
   const lgca::CollisionLut* lut_ = nullptr;
   unsigned threads_;
+  std::optional<fault::SiteMemoryGuard> guard_;
 };
 
 }  // namespace
 
 std::unique_ptr<BackendExec> make_reference_exec(
-    const LatticeEngine::Config& config, const lgca::Rule& rule) {
-  return std::make_unique<ReferenceExec>(config, rule);
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector) {
+  return std::make_unique<ReferenceExec>(config, rule, injector);
 }
 
 }  // namespace lattice::core::detail

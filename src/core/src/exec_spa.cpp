@@ -57,7 +57,10 @@ class SpaExec final : public BackendExec {
     }
   }
 
-  bool supports_fault_injection() const noexcept override { return true; }
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    return !plan.arms_plane_memory();
+  }
 
   bool try_degrade() override {
     if (injector_ != nullptr && injector_->has_stuck()) {

@@ -10,6 +10,7 @@
 
 #include "exec_factories.hpp"
 #include "lattice/arch/wsa.hpp"
+#include "lattice/fault/fault.hpp"
 
 namespace lattice::core::detail {
 
@@ -52,7 +53,12 @@ class WsaExec final : public BackendExec {
     }
   }
 
-  bool supports_fault_injection() const noexcept override { return true; }
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    // The pipeline's buffers and links take the machine-memory
+    // sources; there is no plane-resident storage to corrupt.
+    return !plan.arms_plane_memory();
+  }
 
   void fill_report(PerformanceReport& report) const override {
     report.bandwidth_bits_per_tick =

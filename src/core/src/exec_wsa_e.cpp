@@ -11,6 +11,7 @@
 #include "exec_factories.hpp"
 #include "lattice/arch/design_space.hpp"
 #include "lattice/arch/wsa_e.hpp"
+#include "lattice/fault/fault.hpp"
 
 namespace lattice::core::detail {
 
@@ -48,7 +49,10 @@ class WsaEExec final : public BackendExec {
     }
   }
 
-  bool supports_fault_injection() const noexcept override { return true; }
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    return !plan.arms_plane_memory();
+  }
 
   void fill_report(PerformanceReport& report) const override {
     // Main memory touches only the chain ends: constant 2·D bits/tick.

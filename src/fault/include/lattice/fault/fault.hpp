@@ -53,6 +53,19 @@ struct StuckAt {
   lgca::Site and_mask = 0xFF;  // bits forced low where cleared
 };
 
+/// A persistently failed plane-memory word in the bit-plane backend:
+/// every read of plane `plane` at global word position `word` (row-major
+/// y * words_per_row + k, *lattice* coordinates, so the same plan hits
+/// the same sites on every backend and SIMD level) is forced through
+/// `w' = (w & and_mask) | or_mask`. Models a stuck DRAM column in
+/// CAM-8-style plane-resident site memory.
+struct StuckPlaneWord {
+  int plane = 0;
+  std::int64_t word = 0;
+  std::uint64_t or_mask = 0;
+  std::uint64_t and_mask = ~std::uint64_t{0};
+};
+
 /// Deterministic fault scenario. Default-constructed plans are
 /// fault-free and cost nothing.
 struct FaultPlan {
@@ -71,27 +84,67 @@ struct FaultPlan {
   /// Persistently failed PEs.
   std::vector<StuckAt> stuck;
 
+  /// Bit-plane backend plane memory, per (generation, word-column):
+  /// transient single-bit flip probability in a stored plane word. Keyed
+  /// by global lattice coordinates, so reference, scalar64, AVX2 and
+  /// AVX-512 all draw the identical fault set for a given plan.
+  double plane_flip_rate = 0;
+
+  /// Shift-halo guard words, per (generation, row): transient single-bit
+  /// flip probability in the left/right guard of a halo plane. Only the
+  /// bit-plane backend has a halo representation to corrupt.
+  double halo_flip_rate = 0;
+
+  /// Persistently failed plane-memory words.
+  std::vector<StuckPlaneWord> stuck_planes;
+
+  /// Maintain and verify a parity-shadow plane (XOR of all eight planes
+  /// per word) during armed bit-plane runs. A detector, not a fault: it
+  /// catches any corruption of a single plane word regardless of whether
+  /// the per-plane population ledger balances. Costs one extra plane of
+  /// traffic, so it is opt-in (soak runs).
+  bool parity_plane = false;
+
   bool armed() const noexcept {
+    return arms_machine_memory() || arms_plane_memory();
+  }
+
+  /// Fault sources realized by the byte-pipeline machine simulators
+  /// (WSA / SPA / WSA-E line buffers, side channels, PEs).
+  bool arms_machine_memory() const noexcept {
     return buffer_flip_rate > 0 || side_flip_rate > 0 || side_drop_rate > 0 ||
            !stuck.empty();
+  }
+
+  /// Fault sources (and detectors) realized against plane-word site
+  /// memory (bit-plane backend; the reference executor mirrors the
+  /// non-halo subset in site space).
+  bool arms_plane_memory() const noexcept {
+    return plane_flip_rate > 0 || halo_flip_rate > 0 ||
+           !stuck_planes.empty() || parity_plane;
   }
 };
 
 /// What was injected and what the online detectors caught.
 struct FaultCounters {
   std::int64_t injected_flips = 0;  // buffer words corrupted
-  std::int64_t injected_stuck = 0;  // output words altered by stuck PEs
+  std::int64_t injected_stuck = 0;  // words altered by stuck PEs / planes
   std::int64_t injected_side = 0;   // side-channel words corrupted/dropped
+  std::int64_t injected_plane = 0;  // plane/halo words with transient flips
 
   std::int64_t detected_parity = 0;        // buffer parity mismatches
   std::int64_t detected_side = 0;          // link parity / framing errors
   std::int64_t detected_conservation = 0;  // particle-ledger violations
+  std::int64_t detected_ledger = 0;        // per-plane population mismatches
+  std::int64_t detected_canary = 0;        // halo guard canary mismatches
+  std::int64_t detected_shadow = 0;        // parity-shadow plane mismatches
 
   std::int64_t injected() const noexcept {
-    return injected_flips + injected_stuck + injected_side;
+    return injected_flips + injected_stuck + injected_side + injected_plane;
   }
   std::int64_t detected() const noexcept {
-    return detected_parity + detected_side + detected_conservation;
+    return detected_parity + detected_side + detected_conservation +
+           detected_ledger + detected_canary + detected_shadow;
   }
 };
 
@@ -145,9 +198,13 @@ struct StageAudit {
 int site_outflow(lgca::Site v, Coord c, Extent lattice,
                  lgca::Topology topo) noexcept;
 
-/// Runtime fault source shared by the simulators of one engine. Not
-/// thread-safe: armed runs execute on the cycle-exact (serial) machine
-/// models, which is where the simulated buffers live.
+/// Runtime fault source shared by the simulators of one engine. The
+/// byte-pipeline methods (corrupt_stored, corrupt_side_word, apply_stuck)
+/// are not thread-safe: armed runs execute on the cycle-exact (serial)
+/// machine models, which is where the simulated buffers live. The
+/// plane-memory methods (draw_*, note_*, report_* for ledger / canary /
+/// shadow) ARE thread-safe — detection runs inside the bit-plane
+/// backend's row bands — with relaxed atomic counter updates.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
@@ -185,6 +242,39 @@ class FaultInjector {
     return !stuck_disabled_ && !plan_.stuck.empty();
   }
 
+  // ---- plane-memory injection (bit-plane backend + reference oracle) ----
+  // Draws are pure functions of (seed, epoch, t, position), like
+  // corrupt_stored, but drawing and accounting are split: the caller
+  // masks the returned flip against the lattice tail (a draw landing in
+  // column padding injects nothing, identically on every backend) and
+  // then notes what it actually applied.
+
+  /// Flip mask for the plane word at global position `word` (row-major
+  /// y * words_per_row + k) read at generation t. Returns 0 (the common
+  /// case) or a single-bit mask; *plane receives the target plane.
+  std::uint64_t draw_plane_flip(std::int64_t t, std::int64_t word,
+                                int* plane) const noexcept;
+
+  /// Flip mask for a shift-halo guard word of `row` read at generation
+  /// t. *plane_sel is a raw 3-bit selector the caller maps onto its halo
+  /// plane set; *left picks the guard (true = index -1, false = index
+  /// words_per_row).
+  std::uint64_t draw_halo_flip(std::int64_t t, std::int64_t row,
+                               int* plane_sel, bool* left) const noexcept;
+
+  /// Active stuck plane-word masks; empty once degrade retired them.
+  const std::vector<StuckPlaneWord>& stuck_planes() const noexcept {
+    static const std::vector<StuckPlaneWord> kNone;
+    return stuck_planes_disabled_ ? kNone : plan_.stuck_planes;
+  }
+  bool has_stuck_planes() const noexcept {
+    return !stuck_planes_disabled_ && !plan_.stuck_planes.empty();
+  }
+
+  /// Counter bumps for plane faults the caller applied (thread-safe).
+  void note_plane_faults(std::int64_t n) noexcept;
+  void note_stuck_planes(std::int64_t n) noexcept;
+
   // ---- detection reporting (called by the simulators' checkers) ----
   // Each report lands both in this injector's counters (the engine's
   // rollback logic keys off those) and in the global metrics registry
@@ -203,6 +293,11 @@ class FaultInjector {
     obs::count(obs_.detected_conservation, 1);
   }
 
+  // Plane-memory detector reports; thread-safe (called from row bands).
+  void report_ledger_error(std::int64_t n = 1) noexcept;
+  void report_canary_error(std::int64_t n = 1) noexcept;
+  void report_shadow_error(std::int64_t n = 1) noexcept;
+
   // ---- graceful degradation ----
 
   /// Take all stuck PEs out of the datapath (the SPA remaps a failed
@@ -210,7 +305,13 @@ class FaultInjector {
   /// of distinct lanes removed; they stop injecting from now on.
   int disable_stuck() noexcept;
 
-  /// Distinct lanes removed by disable_stuck so far.
+  /// Take all stuck plane-memory words out of service (the bit-plane
+  /// backend's degrade step: the modeled machine remaps the failed DRAM
+  /// columns onto spares). Returns the number of distinct (plane, word)
+  /// cells retired.
+  int disable_stuck_planes() noexcept;
+
+  /// Distinct lanes/plane words removed by the disable_* calls so far.
   int remapped_lanes() const noexcept { return remapped_lanes_; }
 
   const FaultCounters& counters() const noexcept { return counters_; }
@@ -227,12 +328,17 @@ class FaultInjector {
     obs::MetricsRegistry::Id detected_side = obs::MetricsRegistry::kInvalidId;
     obs::MetricsRegistry::Id detected_conservation =
         obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id injected_plane = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_ledger = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_canary = obs::MetricsRegistry::kInvalidId;
+    obs::MetricsRegistry::Id detected_shadow = obs::MetricsRegistry::kInvalidId;
     obs::MetricsRegistry::Id remapped = obs::MetricsRegistry::kInvalidId;
   };
 
   FaultPlan plan_;
   std::uint64_t epoch_ = 0;
   bool stuck_disabled_ = false;
+  bool stuck_planes_disabled_ = false;
   int remapped_lanes_ = 0;
   FaultCounters counters_;
   ObsIds obs_;

@@ -1,5 +1,7 @@
 #include "lattice/fault/fault.hpp"
 
+#include <atomic>
+
 namespace lattice::fault {
 
 namespace {
@@ -22,6 +24,14 @@ constexpr std::uint64_t hash4(std::uint64_t a, std::uint64_t b,
 /// Uniform double in [0, 1) from the top 53 bits.
 constexpr double to_unit(std::uint64_t h) noexcept {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Relaxed add on a plain counter field. The plane-memory path reports
+/// from concurrent row bands; a rollback decision only reads the
+/// counters between passes, after the band barrier, so relaxed ordering
+/// suffices.
+inline void atomic_add(std::int64_t& field, std::int64_t n) noexcept {
+  std::atomic_ref<std::int64_t>(field).fetch_add(n, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -53,6 +63,15 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     LATTICE_REQUIRE(s.stage >= 0 && s.lane >= 0,
                     "stuck-at stage/lane must be non-negative");
   }
+  LATTICE_REQUIRE(plan_.plane_flip_rate >= 0 && plan_.plane_flip_rate <= 1,
+                  "plane_flip_rate must be in [0, 1]");
+  LATTICE_REQUIRE(plan_.halo_flip_rate >= 0 && plan_.halo_flip_rate <= 1,
+                  "halo_flip_rate must be in [0, 1]");
+  for (const StuckPlaneWord& s : plan_.stuck_planes) {
+    LATTICE_REQUIRE(s.plane >= 0 && s.plane < 8,
+                    "stuck plane index must be in [0, 8)");
+    LATTICE_REQUIRE(s.word >= 0, "stuck plane word must be non-negative");
+  }
   if constexpr (obs::kEnabled) {
     obs_.injected_flips = obs::counter_id("fault.injected.flips");
     obs_.injected_stuck = obs::counter_id("fault.injected.stuck");
@@ -61,13 +80,19 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
     obs_.detected_side = obs::counter_id("fault.detected.side");
     obs_.detected_conservation =
         obs::counter_id("fault.detected.conservation");
+    obs_.injected_plane = obs::counter_id("fault.injected.plane");
+    obs_.detected_ledger = obs::counter_id("fault.detected.ledger");
+    obs_.detected_canary = obs::counter_id("fault.detected.canary");
+    obs_.detected_shadow = obs::counter_id("fault.detected.shadow");
     obs_.remapped = obs::counter_id("fault.remapped_lanes");
   }
 }
 
 bool FaultInjector::armed() const noexcept {
   return plan_.buffer_flip_rate > 0 || plan_.side_flip_rate > 0 ||
-         plan_.side_drop_rate > 0 || has_stuck();
+         plan_.side_drop_rate > 0 || has_stuck() ||
+         plan_.plane_flip_rate > 0 || plan_.halo_flip_rate > 0 ||
+         has_stuck_planes() || plan_.parity_plane;
 }
 
 lgca::Site FaultInjector::corrupt_stored(std::int64_t t, std::int64_t pos,
@@ -116,6 +141,83 @@ lgca::Site FaultInjector::apply_stuck(int stage, std::int64_t lane,
     }
   }
   return v;
+}
+
+std::uint64_t FaultInjector::draw_plane_flip(std::int64_t t, std::int64_t word,
+                                             int* plane) const noexcept {
+  if (plan_.plane_flip_rate <= 0) return 0;
+  const std::uint64_t h =
+      hash4(plan_.seed, epoch_ ^ 0x706c616e65666c70ULL,
+            static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(word));
+  if (to_unit(h) >= plan_.plane_flip_rate) return 0;
+  // to_unit consumes bits 11..63; the target position comes from the
+  // independent low bits.
+  *plane = static_cast<int>(h & 7);
+  return std::uint64_t{1} << ((h >> 3) & 63);
+}
+
+std::uint64_t FaultInjector::draw_halo_flip(std::int64_t t, std::int64_t row,
+                                            int* plane_sel,
+                                            bool* left) const noexcept {
+  if (plan_.halo_flip_rate <= 0) return 0;
+  const std::uint64_t h =
+      hash4(plan_.seed, epoch_ ^ 0x68616c6f666c6970ULL,
+            static_cast<std::uint64_t>(t), static_cast<std::uint64_t>(row));
+  if (to_unit(h) >= plan_.halo_flip_rate) return 0;
+  *plane_sel = static_cast<int>(h & 7);
+  *left = ((h >> 9) & 1) != 0;
+  return std::uint64_t{1} << ((h >> 3) & 63);
+}
+
+void FaultInjector::note_plane_faults(std::int64_t n) noexcept {
+  if (n <= 0) return;
+  atomic_add(counters_.injected_plane, n);
+  obs::count(obs_.injected_plane, n);
+}
+
+void FaultInjector::note_stuck_planes(std::int64_t n) noexcept {
+  if (n <= 0) return;
+  atomic_add(counters_.injected_stuck, n);
+  obs::count(obs_.injected_stuck, n);
+}
+
+void FaultInjector::report_ledger_error(std::int64_t n) noexcept {
+  if (n <= 0) return;
+  atomic_add(counters_.detected_ledger, n);
+  obs::count(obs_.detected_ledger, n);
+}
+
+void FaultInjector::report_canary_error(std::int64_t n) noexcept {
+  if (n <= 0) return;
+  atomic_add(counters_.detected_canary, n);
+  obs::count(obs_.detected_canary, n);
+}
+
+void FaultInjector::report_shadow_error(std::int64_t n) noexcept {
+  if (n <= 0) return;
+  atomic_add(counters_.detected_shadow, n);
+  obs::count(obs_.detected_shadow, n);
+}
+
+int FaultInjector::disable_stuck_planes() noexcept {
+  if (stuck_planes_disabled_ || plan_.stuck_planes.empty()) return 0;
+  stuck_planes_disabled_ = true;
+  // Count distinct (plane, word) cells — one spare DRAM column each.
+  int distinct = 0;
+  for (std::size_t i = 0; i < plan_.stuck_planes.size(); ++i) {
+    bool dup = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (plan_.stuck_planes[j].plane == plan_.stuck_planes[i].plane &&
+          plan_.stuck_planes[j].word == plan_.stuck_planes[i].word) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) ++distinct;
+  }
+  remapped_lanes_ += distinct;
+  obs::count(obs_.remapped, distinct);
+  return distinct;
 }
 
 int FaultInjector::disable_stuck() noexcept {

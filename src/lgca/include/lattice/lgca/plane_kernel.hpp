@@ -133,6 +133,38 @@ class PlaneKernel {
   std::array<std::array<Tap, 6>, 2> taps_{};  // [row parity][channel]
 };
 
+/// Observation/instrumentation points inside plane_gas_run, keyed to
+/// the band structure. The one client today is the fault subsystem's
+/// PlaneMemoryGuard (fault/memory_guard.hpp), which injects plane-word
+/// faults into the generation-t source and audits per-plane particle
+/// ledgers over the produced rows; the interface lives here so lgca
+/// never depends on lattice::fault. A null hooks pointer is the
+/// fault-free fast path: the run loop is unchanged (the banded path
+/// takes one untaken branch per band-generation and skips the extra
+/// pre-update barrier entirely).
+class PlaneRunHooks {
+ public:
+  virtual ~PlaneRunHooks() = default;
+
+  /// Once per run, serially, after static planes are primed and the
+  /// generation-t0 shift halo is filled, before any update.
+  virtual void run_begin(PlaneLattice& lat, const PlaneKernel& kernel,
+                         std::int64_t t0) = 0;
+
+  /// Per band, per generation, before update_rows gathers from rows
+  /// [y0, y1) of the generation-t source `cur`. May mutate those rows
+  /// (fault injection). Called concurrently from all bands; a barrier
+  /// separates every before_rows from every update, so a band never
+  /// gathers a neighbor row that is still being mutated.
+  virtual void before_rows(PlaneLattice& cur, std::int64_t t,
+                           std::int64_t y0, std::int64_t y1) = 0;
+
+  /// Per band, per generation, after update_rows produced rows [y0, y1)
+  /// of `next` (halo-ready). Called concurrently; read-only.
+  virtual void after_rows(const PlaneLattice& next, std::int64_t t,
+                          std::int64_t y0, std::int64_t y1) = 0;
+};
+
 /// Advance `lat` by `generations` gas steps on the bit-plane kernel,
 /// double-buffered. Up to `threads` static row bands are owned by
 /// persistent pool lanes with one barrier per generation; the planner
@@ -143,13 +175,15 @@ class PlaneKernel {
 /// same kind for any thread count and any SIMD level.
 void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
                    std::int64_t generations, std::int64_t t0 = 0,
-                   unsigned threads = 1, std::int64_t band_grain_words = 0);
+                   unsigned threads = 1, std::int64_t band_grain_words = 0,
+                   PlaneRunHooks* hooks = nullptr);
 
 /// Byte-lattice convenience wrapper: pack once, run, unpack once. The
 /// transpose costs ~one byte-path generation, so it amortizes over
 /// multi-generation runs.
 void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
                       std::int64_t generations, std::int64_t t0 = 0,
-                      unsigned threads = 1, std::int64_t band_grain_words = 0);
+                      unsigned threads = 1, std::int64_t band_grain_words = 0,
+                      PlaneRunHooks* hooks = nullptr);
 
 }  // namespace lattice::lgca

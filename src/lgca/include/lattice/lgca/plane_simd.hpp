@@ -50,6 +50,15 @@ using FhpSpanFn = void (*)(const std::uint64_t* const src[6],
                            std::int64_t k1, std::int64_t y, std::int64_t t,
                            std::int64_t last_word, std::uint64_t tail_mask);
 
+/// Population count over `n` consecutive words. The fault detectors'
+/// per-plane particle ledgers (docs/ROBUSTNESS.md) popcount every
+/// written plane row once per generation, so this rides the same
+/// dispatch: scalar uses the hardware popcnt via the builtin, the
+/// vector variants count 4 words per op with the pshufb nibble-LUT +
+/// psadbw reduction. All variants return identical sums.
+using PopcountFn = std::uint64_t (*)(const std::uint64_t* words,
+                                     std::int64_t n);
+
 /// One ISA variant of the full span-kernel family. PlaneKernel calls
 /// through the *active* ops table; tests call specific tables to pin
 /// cross-ISA equivalence.
@@ -59,6 +68,7 @@ struct PlaneSpanOps {
   HppSpanFn hpp;
   FhpSpanFn fhp1;  // FHP-I: rest plane never gathered
   FhpSpanFn fhp2;  // FHP-II: rest rules live
+  PopcountFn popcount;
 };
 
 /// Variant compiled into this binary (Scalar is always true; the

@@ -189,7 +189,8 @@ std::int64_t plan_bands(std::int64_t height, std::int64_t words,
 
 void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
                    std::int64_t generations, std::int64_t t0,
-                   unsigned threads, std::int64_t band_grain_words) {
+                   unsigned threads, std::int64_t band_grain_words,
+                   PlaneRunHooks* hooks) {
   LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
   LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
   const Extent e = lat.extent();
@@ -216,13 +217,18 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
   // generation's halo is written by update_rows itself, band-locally.
   kernel.prime_static_planes(lat, next);
   lat.prepare_shift_halo(kernel.halo_planes(), 0, e.height);
+  if (hooks != nullptr) hooks->run_begin(lat, kernel, t0);
   if (bands == 1) {
     // Inline path: no pool traffic at all. This is also where the band
     // planner lands whenever the per-generation work is below the grain
     // floor — the fix for fan-out overhead inverting thread scaling.
     for (std::int64_t g = 0; g < generations; ++g) {
-      const obs::ScopedTimer timer(band_id);
-      kernel.update_rows(next, lat, t0 + g, 0, e.height);
+      if (hooks != nullptr) hooks->before_rows(lat, t0 + g, 0, e.height);
+      {
+        const obs::ScopedTimer timer(band_id);
+        kernel.update_rows(next, lat, t0 + g, 0, e.height);
+      }
+      if (hooks != nullptr) hooks->after_rows(next, t0 + g, 0, e.height);
       std::swap(lat, next);
     }
   } else {
@@ -232,19 +238,28 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
     // generations). One std::barrier per generation replaces the old
     // per-generation task-bag rendezvous; with halos written by each
     // band as it produces its rows, the serial completion step is just
-    // the buffer swap.
+    // the buffer swap. With hooks attached, a second barrier separates
+    // the (mutating) before_rows phase from the update sweep — a band
+    // gathers its neighbors' edge rows, which must not still be under
+    // injection; the fault-free path never touches it.
     std::barrier sync(static_cast<std::ptrdiff_t>(bands),
                       [&]() noexcept { std::swap(lat, next); });
+    std::barrier<> inject_sync(static_cast<std::ptrdiff_t>(bands));
     const std::int64_t rows_per = (e.height + bands - 1) / bands;
     common::ThreadPool::shared().run_lanes(
         static_cast<unsigned>(bands), [&](unsigned lane) {
           const std::int64_t y0 = static_cast<std::int64_t>(lane) * rows_per;
           const std::int64_t y1 = std::min(e.height, y0 + rows_per);
           for (std::int64_t g = 0; g < generations; ++g) {
+            if (hooks != nullptr) {
+              hooks->before_rows(lat, t0 + g, y0, y1);
+              inject_sync.arrive_and_wait();
+            }
             {
               const obs::ScopedTimer timer(band_id);
               kernel.update_rows(next, lat, t0 + g, y0, y1);
             }
+            if (hooks != nullptr) hooks->after_rows(next, t0 + g, y0, y1);
             sync.arrive_and_wait();
           }
         });
@@ -261,7 +276,8 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
 
 void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
                       std::int64_t generations, std::int64_t t0,
-                      unsigned threads, std::int64_t band_grain_words) {
+                      unsigned threads, std::int64_t band_grain_words,
+                      PlaneRunHooks* hooks) {
   static const obs::MetricsRegistry::Id pack_id =
       obs::histogram_id("bitplane.pack_ns");
   static const obs::MetricsRegistry::Id update_id =
@@ -280,7 +296,7 @@ void bitplane_gas_run(SiteLattice& lat, const PlaneKernel& kernel,
     obs::ScopedTimer update_timer(update_id);
     const obs::TraceSpan update_span("bitplane.update");
     plane_gas_run(planes, kernel, generations, t0, threads,
-                  band_grain_words);
+                  band_grain_words, hooks);
   }
 
   const obs::ScopedTimer unpack_timer(unpack_id);

@@ -56,7 +56,7 @@ namespace lattice::lgca::detail {
 
 const PlaneSpanOps& plane_span_ops_avx512() noexcept {
   static const PlaneSpanOps ops{"avx512", 512, &vec_hpp_span, &vec_fhp1_span,
-                                &vec_fhp2_span};
+                                &vec_fhp2_span, &vec_popcount_words};
   return ops;
 }
 

@@ -195,9 +195,19 @@ void fhp2_span_scalar(const std::uint64_t* const src[6], const int dx[6],
                  tail_mask);
 }
 
+std::uint64_t popcount_words_scalar(const std::uint64_t* words,
+                                    std::int64_t n) noexcept {
+  std::uint64_t total = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    total += static_cast<std::uint64_t>(std::popcount(words[k]));
+  }
+  return total;
+}
+
 const PlaneSpanOps& plane_span_ops_scalar() noexcept {
   static const PlaneSpanOps ops{"scalar64", 64, &hpp_span_scalar,
-                                &fhp1_span_scalar, &fhp2_span_scalar};
+                                &fhp1_span_scalar, &fhp2_span_scalar,
+                                &popcount_words_scalar};
   return ops;
 }
 

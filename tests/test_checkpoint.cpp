@@ -1,9 +1,16 @@
 // Checkpoint/restore round trips: resuming from a snapshot at
 // generation k must reproduce the uninterrupted run bit-exactly, on
-// every backend and both boundary modes the backend supports.
+// every backend and both boundary modes the backend supports — plus
+// the durable on-disk form (checkpoint_io.hpp), which must restore
+// bit-exactly and reject every corrupted image with a typed error.
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lattice/core/checkpoint_io.hpp"
 #include "lattice/core/engine.hpp"
 #include "lattice/lgca/ca_rules.hpp"
 #include "lattice/lgca/init.hpp"
@@ -153,6 +160,107 @@ TEST(Checkpoint, RestoreMidGuardedRunReplaysCleanly) {
       << "guarded replay from a user checkpoint must commit only "
          "fault-free generations";
   EXPECT_TRUE(guarded.verify_against_reference());
+}
+
+TEST_P(CheckpointTest, DurableRoundTripRestoresBitExactly) {
+  // Serialize the snapshot through the on-disk byte format and resume
+  // from the parsed copy: the replay must still be bit-exact on every
+  // backend — the payload is the backend-neutral byte-site image.
+  const CkptCase p = GetParam();
+  LatticeEngine straight(cfg(p.backend, p.boundary));
+  LatticeEngine resumed(cfg(p.backend, p.boundary));
+  seed(straight);
+  seed(resumed);
+  straight.advance(10);
+
+  resumed.advance(4);
+  const EngineCheckpoint saved = resumed.checkpoint();
+  std::stringstream buf;
+  save_checkpoint(saved, buf);
+  resumed.advance(6);
+
+  const EngineCheckpoint loaded = load_checkpoint(buf);
+  EXPECT_EQ(loaded.generation, 4);
+  EXPECT_TRUE(loaded.state == saved.state)
+      << "the parsed image must equal the in-memory snapshot";
+  resumed.restore(loaded);
+  resumed.advance(6);
+  EXPECT_TRUE(resumed.state() == straight.state())
+      << "replay from the durable snapshot must be bit-exact";
+}
+
+TEST(CheckpointIo, FileRoundTripPreservesEverything) {
+  LatticeEngine e(cfg(Backend::Reference, lgca::Boundary::Periodic));
+  seed(e);
+  e.advance(7);
+  const EngineCheckpoint ckpt = e.checkpoint();
+  const std::string path = ::testing::TempDir() + "lattice_ckpt_test.bin";
+  save_checkpoint(ckpt, path);
+  const EngineCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.generation, 7);
+  EXPECT_EQ(loaded.state.boundary(), lgca::Boundary::Periodic);
+  EXPECT_TRUE(loaded.state == ckpt.state);
+  std::remove(path.c_str());
+}
+
+std::string serialized_checkpoint() {
+  LatticeEngine e(cfg(Backend::Reference, lgca::Boundary::Null));
+  seed(e);
+  e.advance(3);
+  std::stringstream buf;
+  save_checkpoint(e.checkpoint(), buf);
+  return buf.str();
+}
+
+TEST(CheckpointIo, RejectsTruncationAtEveryLength) {
+  const std::string image = serialized_checkpoint();
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{24},
+        std::size_t{33}, image.size() / 2, image.size() - 1}) {
+    std::istringstream in(image.substr(0, len));
+    EXPECT_THROW(load_checkpoint(in), CheckpointError)
+        << "prefix of " << len << " bytes must be rejected";
+  }
+}
+
+TEST(CheckpointIo, RejectsEverySingleBitFlip) {
+  // The checksum covers header and payload, so no single corrupted
+  // byte anywhere in the image may load — not as a different lattice,
+  // not as a different generation, not silently.
+  const std::string image = serialized_checkpoint();
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string bad = image;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    std::istringstream in(bad);
+    EXPECT_THROW(load_checkpoint(in), CheckpointError)
+        << "flip at byte " << i << " must be rejected";
+  }
+}
+
+TEST(CheckpointIo, RejectsBadMagicVersionAndGeometryBeforeAllocation) {
+  const std::string image = serialized_checkpoint();
+  {
+    std::string bad = image;
+    bad[0] = static_cast<char>(~bad[0]);
+    std::istringstream in(bad);
+    EXPECT_THROW(load_checkpoint(in), CheckpointError) << "magic";
+  }
+  {
+    std::string bad = image;
+    bad[4] = 0x7F;  // unknown future version
+    std::istringstream in(bad);
+    EXPECT_THROW(load_checkpoint(in), CheckpointError) << "version";
+  }
+  {
+    // A corrupted extent must be rejected by the sanity bound before
+    // the loader tries to allocate width x height bytes.
+    std::string bad = image;
+    for (std::size_t i = 8; i < 16; ++i) {
+      bad[i] = static_cast<char>(0xFF);
+    }
+    std::istringstream in(bad);
+    EXPECT_THROW(load_checkpoint(in), CheckpointError) << "geometry bomb";
+  }
 }
 
 TEST(Checkpoint, SnapshotIsIsolatedFromLaterEvolution) {

@@ -5,11 +5,27 @@
 //                   [--gas hpp|fhp1|fhp2|fhp3] [--side N]
 //                   [--generations N] [--threads N] [--depth N]
 //                   [--metrics FILE.json] [--trace FILE.json]
+//                   [--fault-plan SPEC] [--checkpoint-interval N]
+//                   [--max-retries N] [--oracle]
 //
 // Prints a per-stage summary to stdout; --metrics writes the engine's
 // MetricsReport as JSON (the artifact CI uploads), --trace enables
 // span collection and writes a Chrome Trace Event file that
 // chrome://tracing or ui.perfetto.dev open directly.
+//
+// --fault-plan arms the guarded engine loop with a deterministic fault
+// scenario and prints the recovery counters after the run. SPEC is a
+// comma-separated list of key[=value] entries:
+//   seed=N            hash seed for all transient draws (default 0)
+//   buffer_flip=R     byte-pipeline line-buffer flip rate (WSA/SPA/WSA-E)
+//   side_flip=R       SPA side-channel corruption rate
+//   plane_flip=R      bit-plane stored-word flip rate (bitplane backend)
+//   halo_flip=R       bit-plane shift-halo guard-word flip rate
+//   parity            maintain + verify the parity-shadow plane
+//   stuck_plane=P:W:OR:AND
+//                     persistently stuck plane word (plane P, global
+//                     word W, hex OR/AND masks)
+// Example: --fault-plan seed=7,plane_flip=5e-4,parity
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +34,7 @@
 
 #include "lattice/core/engine.hpp"
 #include "lattice/core/metrics_report.hpp"
+#include "lattice/fault/fault.hpp"
 #include "lattice/lgca/init.hpp"
 #include "lattice/lgca/plane_simd.hpp"
 #include "lattice/obs/json.hpp"
@@ -36,6 +53,10 @@ struct Options {
   int depth = 4;
   std::string metrics_path;
   std::string trace_path;
+  lattice::fault::FaultPlan fault;
+  std::int64_t checkpoint_interval = 0;
+  int max_retries = 3;
+  bool oracle = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -43,9 +64,57 @@ struct Options {
       stderr,
       "usage: %s [--backend reference|wsa|spa|bitplane|wsa_e]\n"
       "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--generations N]\n"
-      "          [--threads N] [--depth N] [--metrics FILE] [--trace FILE]\n",
+      "          [--threads N] [--depth N] [--metrics FILE] [--trace FILE]\n"
+      "          [--fault-plan SPEC] [--checkpoint-interval N]\n"
+      "          [--max-retries N] [--oracle]\n"
+      "SPEC: seed=N,buffer_flip=R,side_flip=R,plane_flip=R,halo_flip=R,\n"
+      "      parity,stuck_plane=P:W:OR:AND  (comma-separated, hex masks)\n",
       argv0);
   std::exit(2);
+}
+
+// Parse one comma-separated fault-plan spec into `plan`. Returns false
+// on any token it does not understand (the caller prints usage).
+bool parse_fault_plan(const char* spec, lattice::fault::FaultPlan* plan) {
+  const std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    const std::string key = tok.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : tok.substr(eq + 1);
+    if (key == "parity") {
+      plan->parity_plane = true;
+    } else if (key == "seed") {
+      plan->seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "buffer_flip") {
+      plan->buffer_flip_rate = std::strtod(val.c_str(), nullptr);
+    } else if (key == "side_flip") {
+      plan->side_flip_rate = std::strtod(val.c_str(), nullptr);
+    } else if (key == "plane_flip") {
+      plan->plane_flip_rate = std::strtod(val.c_str(), nullptr);
+    } else if (key == "halo_flip") {
+      plan->halo_flip_rate = std::strtod(val.c_str(), nullptr);
+    } else if (key == "stuck_plane") {
+      int plane = 0;
+      long long word = 0;
+      unsigned long long or_mask = 0;
+      unsigned long long and_mask = ~0ull;
+      if (std::sscanf(val.c_str(), "%d:%lld:%llx:%llx", &plane, &word,
+                      &or_mask, &and_mask) != 4) {
+        return false;
+      }
+      plan->stuck_planes.push_back({plane, word, or_mask, and_mask});
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool parse_backend(const char* s, Backend* out) {
@@ -92,12 +161,20 @@ Options parse_args(int argc, char** argv) {
       opt.metrics_path = next();
     } else if (std::strcmp(a, "--trace") == 0) {
       opt.trace_path = next();
+    } else if (std::strcmp(a, "--fault-plan") == 0) {
+      if (!parse_fault_plan(next(), &opt.fault)) usage(argv[0]);
+    } else if (std::strcmp(a, "--checkpoint-interval") == 0) {
+      opt.checkpoint_interval = std::atoll(next());
+    } else if (std::strcmp(a, "--max-retries") == 0) {
+      opt.max_retries = std::atoi(next());
+    } else if (std::strcmp(a, "--oracle") == 0) {
+      opt.oracle = true;
     } else {
       usage(argv[0]);
     }
   }
   if (opt.side < 2 || opt.generations < 0 || opt.threads < 1 ||
-      opt.depth < 1) {
+      opt.depth < 1 || opt.checkpoint_interval < 0 || opt.max_retries < 0) {
     usage(argv[0]);
   }
   return opt;
@@ -129,10 +206,23 @@ int main(int argc, char** argv) {
   config.pipeline_depth = opt.depth;
   config.wsa_width = 4;
   config.threads = opt.threads;
+  config.fault = opt.fault;
+  config.checkpoint_interval = opt.checkpoint_interval;
+  config.max_retries = opt.max_retries;
+  config.oracle_fallback = opt.oracle;
   lattice::core::LatticeEngine engine(config);
   lattice::lgca::fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1,
                            /*seed=*/42);
-  engine.advance(opt.generations);
+  try {
+    engine.advance(opt.generations);
+  } catch (const lattice::fault::CorruptionError& e) {
+    std::fprintf(stderr,
+                 "error: %s\n  injected=%lld detected=%lld — raise "
+                 "--max-retries, lower the rate, or pass --oracle\n",
+                 e.what(), static_cast<long long>(e.counters().injected()),
+                 static_cast<long long>(e.counters().detected()));
+    return 3;
+  }
 
   const lattice::core::MetricsReport report = engine.snapshot();
   const lattice::core::PerformanceReport perf = engine.report();
@@ -161,6 +251,28 @@ int main(int argc, char** argv) {
                   static_cast<long long>(perf.offchip_buffer_sites),
                   100.0 * perf.buffer_bandwidth_fraction);
     }
+  }
+  if (opt.fault.armed()) {
+    // The recovery story of this run: what was thrown at the engine,
+    // what the online detectors caught, and which rungs of the
+    // escalation ladder it had to climb to still commit exact state.
+    std::printf("fault plan        armed (seed=%llu)\n",
+                static_cast<unsigned long long>(opt.fault.seed));
+    std::printf("faults_injected   %lld\n",
+                static_cast<long long>(perf.faults_injected));
+    std::printf("faults_detected   %lld\n",
+                static_cast<long long>(perf.faults_detected));
+    std::printf("rollbacks         %lld\n",
+                static_cast<long long>(perf.rollbacks));
+    std::printf("checkpoints       %lld\n",
+                static_cast<long long>(perf.checkpoints));
+    std::printf("interval_shrinks  %lld\n",
+                static_cast<long long>(perf.interval_shrinks));
+    std::printf("oracle_passes     %lld\n",
+                static_cast<long long>(perf.oracle_passes));
+    std::printf("remapped          %d\n", perf.remapped_slices);
+    std::printf("effective_rate    %.3e sites/s (committed work)\n",
+                perf.effective_measured_rate);
   }
   for (const lattice::core::MetricsPhase& p : report.phases) {
     std::printf("  %-26s %8lld calls  %10.6f s\n", p.name.c_str(),
