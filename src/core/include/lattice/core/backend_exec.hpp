@@ -79,6 +79,13 @@ class BackendExec {
   /// software ones may take everything in one pass.
   virtual std::int64_t max_chunk(std::int64_t remaining) const noexcept;
 
+  /// Generation quantum of one pass: the engine's guarded loop rounds
+  /// chunk sizes and the working checkpoint interval up to a multiple
+  /// of this, so a rollback never has to resume mid-quantum. 1 for
+  /// every backend except a temporally-tiled one, whose quantum is the
+  /// tile depth (a tile block commits depth generations atomically).
+  virtual std::int64_t chunk_quantum() const noexcept;
+
   /// Backend-specific PerformanceReport fields (bandwidth demand,
   /// off-chip buffer ledger). The engine fills the generic ones.
   virtual void fill_report(PerformanceReport& report) const;

@@ -20,6 +20,8 @@ std::int64_t BackendExec::max_chunk(std::int64_t remaining) const noexcept {
   return std::min(remaining, depth_);
 }
 
+std::int64_t BackendExec::chunk_quantum() const noexcept { return 1; }
+
 void BackendExec::fill_report(PerformanceReport& report) const {
   // Software backends: no simulated datapath, no modeled bandwidth.
   (void)report;

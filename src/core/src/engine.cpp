@@ -76,12 +76,10 @@ LatticeEngine::LatticeEngine(Config config)
   LATTICE_REQUIRE(config_.checkpoint_interval >= 0,
                   "checkpoint interval must be >= 0");
   LATTICE_REQUIRE(config_.max_retries >= 0, "max retries must be >= 0");
+  LATTICE_REQUIRE(config_.tile_generations >= 0,
+                  "tile generations must be >= 0 (0 = auto, 1 = off)");
   if (config_.fault.armed()) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
-    if (config_.checkpoint_interval == 0) {
-      config_.checkpoint_interval = config_.pipeline_depth;
-    }
-    interval_ = config_.checkpoint_interval;
   }
   // Everything backend-specific — kernel detection, slice-width
   // defaulting, boundary requirements, persistent pipelines — lives in
@@ -94,6 +92,19 @@ LatticeEngine::LatticeEngine(Config config)
       "and links, the plane-memory sources (plane_flip/halo_flip/"
       "stuck_planes/parity_plane) need the bit-plane backend (the "
       "reference executor mirrors the non-halo subset)");
+  if (injector_ != nullptr) {
+    // The interval defaults after executor creation so it can quantize
+    // to the executor's pass quantum: a temporally-tiled pass commits
+    // whole tile blocks, so checkpoints must land on block boundaries.
+    if (config_.checkpoint_interval == 0) {
+      config_.checkpoint_interval = config_.pipeline_depth;
+    }
+    const std::int64_t quantum = std::max<std::int64_t>(
+        std::int64_t{1}, exec_->chunk_quantum());
+    config_.checkpoint_interval =
+        (config_.checkpoint_interval + quantum - 1) / quantum * quantum;
+    interval_ = config_.checkpoint_interval;
+  }
   exec_->prepare(state_);
 }
 
@@ -179,11 +190,21 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
   };
   ++checkpoints_;  // the entry snapshot above
   obs::count(EngineObs::get().checkpoints, 1);
+  // Pass quantum: a temporally-tiled executor commits whole tile
+  // blocks, so every attempted chunk is rounded up to a block multiple
+  // (capped by the remaining work — the final partial block is the one
+  // place a short block is allowed, and the tiled drivers handle it).
+  const std::int64_t quantum =
+      std::max<std::int64_t>(std::int64_t{1}, exec_->chunk_quantum());
   int attempts = 0;
   while (generation_ < target) {
-    const std::int64_t chunk = std::min<std::int64_t>(
+    std::int64_t chunk = std::min<std::int64_t>(
         std::min<std::int64_t>(target - generation_, config_.pipeline_depth),
         interval_);
+    if (quantum > 1) {
+      chunk = std::min(target - generation_,
+                       (chunk + quantum - 1) / quantum * quantum);
+    }
     const std::int64_t before = injector_->counters().detected();
     run_pass(chunk);
     const std::int64_t after = injector_->counters().detected();
@@ -213,8 +234,12 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
     injector_->bump_epoch();
     if (++attempts > config_.max_retries) {
       attempts = 0;
-      if (interval_ > 1) {
-        interval_ = interval_ / 2;
+      if (interval_ > quantum) {
+        // Halve, but stay on the pass quantum (identical to a plain
+        // halving when the quantum is 1): less exposure per attempt
+        // without ever splitting a tile block.
+        interval_ = std::max(
+            quantum, (interval_ / 2 + quantum - 1) / quantum * quantum);
         ++interval_shrinks_;
         obs::count(EngineObs::get().interval_shrinks, 1);
         continue;
@@ -272,11 +297,12 @@ PerformanceReport LatticeEngine::report() const {
   exec_->fill_report(r);
 
   if (r.bandwidth_bits_per_tick > 0 && r.storage_sites > 0) {
-    // B in site values per second; d = 2 lattice.
+    // B in site values per second, d = kEngineLatticeDim.
     const double bw_sites = r.bandwidth_bits_per_tick /
                             config_.tech.bits_per_site * config_.tech.clock_hz;
     r.pebbling_rate_ceiling = pebble::update_rate_upper(
-        2, static_cast<double>(r.storage_sites), bw_sites);
+        pebble::kEngineLatticeDim, static_cast<double>(r.storage_sites),
+        bw_sites);
   }
 
   // Robustness accounting. committed_updates counts only generations

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "exec_factories.hpp"
+#include "lattice/core/tile_plan.hpp"
 #include "lattice/fault/memory_guard.hpp"
 #include "lattice/lgca/plane_kernel.hpp"
 #include "lattice/lgca/plane_simd.hpp"
@@ -28,7 +29,10 @@ class BitPlaneExec final : public BackendExec {
       : BackendExec("bitplane", config.pipeline_depth),
         kernel_(&lgca::PlaneKernel::get(config.gas)),
         threads_(config.threads),
-        injector_(injector) {
+        injector_(injector),
+        plan_(plan_temporal_tiles(config.extent, config.boundary,
+                                  plane_row_bytes(config.extent),
+                                  config.tile_generations)) {
     if (injector_ != nullptr) guard_.emplace(*injector_);
     // Surface which span variant this process dispatches to (a profile
     // can't tell 64-bit from 512-bit words from timings alone).
@@ -45,11 +49,19 @@ class BitPlaneExec final : public BackendExec {
     return remaining;
   }
 
+  std::int64_t chunk_quantum() const noexcept override { return plan_.depth; }
+
   void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
                 std::int64_t generation) override {
-    lgca::bitplane_gas_run(state, *kernel_, chunk, generation, threads_,
-                           /*band_grain_words=*/0,
-                           guard_ ? &*guard_ : nullptr);
+    if (plan_.depth > 1) {
+      lgca::bitplane_gas_run_tiled(state, *kernel_, chunk, generation,
+                                   threads_, plan_.tiling(),
+                                   guard_ ? &*guard_ : nullptr);
+    } else {
+      lgca::bitplane_gas_run(state, *kernel_, chunk, generation, threads_,
+                             /*band_grain_words=*/0,
+                             guard_ ? &*guard_ : nullptr);
+    }
     stats_.site_updates += state.extent().area() * chunk;
   }
 
@@ -73,6 +85,7 @@ class BitPlaneExec final : public BackendExec {
   const lgca::PlaneKernel* kernel_;
   unsigned threads_;
   fault::FaultInjector* injector_;
+  TilePlan plan_;
   std::optional<fault::PlaneMemoryGuard> guard_;
 };
 

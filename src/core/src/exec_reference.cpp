@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "exec_factories.hpp"
+#include "lattice/core/tile_plan.hpp"
 #include "lattice/fault/memory_guard.hpp"
 #include "lattice/lgca/collision_lut.hpp"
 #include "lattice/lgca/reference.hpp"
@@ -23,6 +24,15 @@ class ReferenceExec final : public BackendExec {
         threads_(config.threads) {
     if (config.fast_kernel) lut_ = lgca::CollisionLut::try_get(rule);
     if (injector != nullptr) guard_.emplace(*injector);
+    // Temporal blocking applies to the fused byte-LUT sweep only: the
+    // generic virtual-dispatch path has no windowed row update, and
+    // the guarded path must step one generation at a time anyway (the
+    // site guard injects and audits per generation).
+    if (lut_ != nullptr && !guard_) {
+      plan_ = plan_temporal_tiles(config.extent, config.boundary,
+                                  byte_row_bytes(config.extent),
+                                  config.tile_generations);
+    }
   }
 
   void prepare(const lgca::SiteLattice& state) override { (void)state; }
@@ -66,7 +76,12 @@ class ReferenceExec final : public BackendExec {
   void run_generations(lgca::SiteLattice& state, std::int64_t chunk,
                        std::int64_t generation) {
     if (lut_ != nullptr) {
-      lgca::fused_gas_run(state, *lut_, chunk, generation, threads_);
+      if (plan_.depth > 1) {
+        lgca::fused_gas_run_tiled(state, *lut_, chunk, generation, threads_,
+                                  plan_.tiling());
+      } else {
+        lgca::fused_gas_run(state, *lut_, chunk, generation, threads_);
+      }
     } else if (threads_ > 1) {
       lgca::reference_run_parallel(state, *rule_, chunk, threads_, generation);
     } else {
@@ -79,6 +94,7 @@ class ReferenceExec final : public BackendExec {
   const lgca::Rule* rule_;
   const lgca::CollisionLut* lut_ = nullptr;
   unsigned threads_;
+  TilePlan plan_;
   std::optional<fault::SiteMemoryGuard> guard_;
 };
 

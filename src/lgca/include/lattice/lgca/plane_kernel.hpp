@@ -110,12 +110,30 @@ class PlaneKernel {
                    std::int64_t t, std::int64_t y0, std::int64_t y1,
                    std::int64_t tile_words = 0) const;
 
+  /// Windowed single-row update for the temporal tiling driver
+  /// (temporal_tile.hpp): compute one full row into `next` at storage
+  /// row `dst_y` from `cur` centered on storage row `src_y`, where the
+  /// two lattices may have different heights (a trapezoid scratch strip
+  /// vs the real lattice). `sem_y` is the row's *semantic* lattice
+  /// coordinate — it alone drives the hex-parity tap set and the
+  /// per-event chirality hash, so a scratch strip whose storage rows
+  /// are offset (or wrapped) from the lattice rows still reproduces the
+  /// golden update bit-exactly. Source rows resolve as src_y + tap.dy
+  /// against cur's own height and boundary (out-of-range reads zero
+  /// under Null); the caller guarantees that resolution lands on rows
+  /// holding generation-t content whose shift halo is current.
+  /// update_rows is exactly this with dst_y == src_y == sem_y.
+  void update_row_window(PlaneLattice& next, std::int64_t dst_y,
+                         const PlaneLattice& cur, std::int64_t src_y,
+                         std::int64_t sem_y, std::int64_t t) const;
+
  private:
   explicit PlaneKernel(GasKind kind);
 
-  void update_row_span(PlaneLattice& next, const PlaneLattice& cur,
-                       const PlaneSpanOps& ops, std::int64_t t,
-                       std::int64_t y, std::int64_t k0,
+  void update_row_span(PlaneLattice& next, std::int64_t dst_y,
+                       const PlaneLattice& cur, std::int64_t src_y,
+                       std::int64_t sem_y, const PlaneSpanOps& ops,
+                       std::int64_t t, std::int64_t k0,
                        std::int64_t k1) const;
 
   /// One gather tap per channel: channel i collects from the source row

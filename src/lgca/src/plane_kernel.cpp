@@ -91,19 +91,27 @@ const PlaneKernel* PlaneKernel::try_get(const Rule& rule) {
   return &get(gas->model().kind());
 }
 
-void PlaneKernel::update_row_span(PlaneLattice& next, const PlaneLattice& cur,
-                                  const PlaneSpanOps& ops, std::int64_t t,
-                                  std::int64_t y, std::int64_t k0,
+// The shared row core. `sem_y` is the semantic lattice row: it selects
+// the hex-parity tap set and feeds the chirality hash, while `src_y` /
+// `dst_y` are storage rows in `cur` / `next` — identical in the plain
+// sweep, offset in the temporal-tile scratch strips. Source rows
+// resolve against cur's own height/boundary, so a Null-boundary scratch
+// strip whose storage range is clamped to the real lattice edge reads
+// the same zero rows the golden updater would.
+void PlaneKernel::update_row_span(PlaneLattice& next, std::int64_t dst_y,
+                                  const PlaneLattice& cur, std::int64_t src_y,
+                                  std::int64_t sem_y, const PlaneSpanOps& ops,
+                                  std::int64_t t, std::int64_t k0,
                                   std::int64_t k1) const {
   const Extent e = cur.extent();
   const bool periodic = cur.boundary() == Boundary::Periodic;
-  const auto& taps = taps_[(y & 1) ? 1 : 0];
+  const auto& taps = taps_[(sem_y & 1) ? 1 : 0];
   const std::uint64_t* src[6] = {};
   int dx[6] = {};
   for (int i = 0; i < channels_; ++i) {
     const Tap tap = taps[static_cast<std::size_t>(i)];
     dx[i] = tap.dx;
-    std::int64_t ny = y + tap.dy;
+    std::int64_t ny = src_y + tap.dy;
     if (ny < 0 || ny >= e.height) {
       if (!periodic) {
         src[i] = cur.zero_row();
@@ -113,10 +121,10 @@ void PlaneKernel::update_row_span(PlaneLattice& next, const PlaneLattice& cur,
     }
     src[i] = cur.row(i, ny);
   }
-  const std::uint64_t* rest = cur.row(kRestPlane, y);
-  const std::uint64_t* obst = cur.row(kObstaclePlane, y);
+  const std::uint64_t* rest = cur.row(kRestPlane, src_y);
+  const std::uint64_t* obst = cur.row(kObstaclePlane, src_y);
   std::uint64_t* out[PlaneLattice::kPlanes];
-  for (int p = 0; p < PlaneLattice::kPlanes; ++p) out[p] = next.row(p, y);
+  for (int p = 0; p < PlaneLattice::kPlanes; ++p) out[p] = next.row(p, dst_y);
   const std::int64_t last = cur.words_per_row() - 1;
   const std::uint64_t tail = cur.tail_mask();
   switch (model_->kind()) {
@@ -124,14 +132,29 @@ void PlaneKernel::update_row_span(PlaneLattice& next, const PlaneLattice& cur,
       ops.hpp(src, dx, obst, out, k0, k1, last, tail);
       break;
     case GasKind::FHP_I:
-      ops.fhp1(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
+      ops.fhp1(src, dx, rest, obst, out, k0, k1, sem_y, t, last, tail);
       break;
     case GasKind::FHP_II:
-      ops.fhp2(src, dx, rest, obst, out, k0, k1, y, t, last, tail);
+      ops.fhp2(src, dx, rest, obst, out, k0, k1, sem_y, t, last, tail);
       break;
     case GasKind::FHP_III:
       LATTICE_ASSERT(false, "PlaneKernel cannot run FHP-III");
   }
+}
+
+void PlaneKernel::update_row_window(PlaneLattice& next, std::int64_t dst_y,
+                                    const PlaneLattice& cur,
+                                    std::int64_t src_y, std::int64_t sem_y,
+                                    std::int64_t t) const {
+  LATTICE_ASSERT(next.words_per_row() == cur.words_per_row(),
+                 "update_row_window: row widths differ");
+  LATTICE_ASSERT(dst_y >= 0 && dst_y < next.extent().height &&
+                     src_y >= 0 && src_y < cur.extent().height,
+                 "update_row_window out of range");
+  const std::int64_t words = cur.words_per_row();
+  if (words == 0) return;
+  const PlaneSpanOps& ops = plane_span_ops(plane_simd_active());
+  update_row_span(next, dst_y, cur, src_y, sem_y, ops, t, 0, words);
 }
 
 void PlaneKernel::update_rows(PlaneLattice& next, const PlaneLattice& cur,
@@ -155,7 +178,7 @@ void PlaneKernel::update_rows(PlaneLattice& next, const PlaneLattice& cur,
   for (std::int64_t kk = 0; kk < words; kk += tile) {
     const std::int64_t kend = std::min(words, kk + tile);
     for (std::int64_t y = y0; y < y1; ++y) {
-      update_row_span(next, cur, ops, t, y, kk, kend);
+      update_row_span(next, y, cur, y, y, ops, t, kk, kend);
     }
   }
   // Leave the produced rows halo-ready for the next generation. Doing

@@ -1,0 +1,365 @@
+#include "lattice/lgca/temporal_tile.hpp"
+
+#include <algorithm>
+#include <barrier>
+
+#include "lattice/common/error.hpp"
+#include "lattice/common/thread_pool.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "lattice/obs/trace.hpp"
+
+namespace lattice::lgca {
+
+namespace {
+
+constexpr int kObstaclePlane = 7;
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo,
+                     std::int64_t hi) noexcept {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// Scratch-strip storage base for a tile whose output rows are
+/// [y0, y1): local row = global (unwrapped) row - base. Under Periodic
+/// the windows stay unwrapped (wrap happens per-row when resolving
+/// content), so the base is simply the widest window's low edge. Under
+/// Null the windows clamp to [0, H], and clamping the base into
+/// [0, H - scratch_h] makes the strip's own Null boundary coincide
+/// with the lattice edge: a clamped tile's read of global row -1 (or
+/// H) lands on local row -1 (or scratch_h) and resolves to the zero
+/// row, exactly as the golden updater reads it.
+std::int64_t scratch_base(std::int64_t y0, std::int64_t kb, std::int64_t h,
+                          std::int64_t scratch_h, bool periodic) noexcept {
+  const std::int64_t lo = y0 - (kb - 1);
+  return periodic ? lo : clamp64(lo, 0, h - scratch_h);
+}
+
+/// One trapezoid: advance output rows [y0, y1) by kb generations, from
+/// the committed generation-t lattice `lat` into `next`, with
+/// intermediate generations ping-ponging between the scratch strips.
+/// Reads only `lat` and the strips, so concurrent tile blocks never
+/// race.
+void run_plane_tile(PlaneLattice& next, const PlaneLattice& lat,
+                    const PlaneKernel& kernel, std::int64_t t,
+                    std::int64_t kb, std::int64_t y0, std::int64_t y1,
+                    PlaneLattice* s0, PlaneLattice* s1) {
+  if (kb == 1) {
+    kernel.update_rows(next, lat, t, y0, y1);
+    return;
+  }
+  const Extent e = lat.extent();
+  const std::int64_t h = e.height;
+  const bool periodic = lat.boundary() == Boundary::Periodic;
+  const std::int64_t scratch_h = s0->extent().height;
+  const std::int64_t words = lat.words_per_row();
+  const std::uint32_t halo = kernel.halo_planes();
+  const std::int64_t base = scratch_base(y0, kb, h, scratch_h, periodic);
+
+  // Every step reads the obstacle plane from its *source* center row,
+  // so the strips must carry it before any intermediate row is read.
+  // It is static for the whole run — copy it once per block.
+  for (PlaneLattice* s : {s0, s1}) {
+    for (std::int64_t ly = 0; ly < scratch_h; ++ly) {
+      const std::int64_t gy = periodic ? wrap(base + ly, h) : base + ly;
+      const std::uint64_t* src = lat.row(kObstaclePlane, gy);
+      std::copy(src, src + words, s->row(kObstaclePlane, ly));
+    }
+  }
+  // The static-zero planes (unused channels, an absent rest plane) are
+  // zero in the strips by construction: allocation zero-fills and the
+  // spans never store planes outside written_planes().
+
+  PlaneLattice* cur_s = s0;
+  PlaneLattice* dst_s = s1;
+  for (std::int64_t g = 1; g <= kb; ++g) {
+    std::int64_t lo = y0 - (kb - g);
+    std::int64_t hi = y1 + (kb - g);
+    if (!periodic) {
+      lo = std::max<std::int64_t>(lo, 0);
+      hi = std::min(hi, h);
+    }
+    const PlaneLattice& cur = g == 1 ? lat : *cur_s;
+    PlaneLattice& dst = g == kb ? next : *dst_s;
+    for (std::int64_t gy = lo; gy < hi; ++gy) {
+      const std::int64_t sem = periodic ? wrap(gy, h) : gy;
+      const std::int64_t src_y = g == 1 ? sem : gy - base;
+      const std::int64_t dst_y = g == kb ? gy : gy - base;
+      kernel.update_row_window(dst, dst_y, cur, src_y, sem, t + g - 1);
+      if (g < kb) dst.prepare_shift_halo(halo, dst_y, dst_y + 1);
+    }
+    std::swap(cur_s, dst_s);
+  }
+  // Leave the committed rows halo-ready, as update_rows does.
+  next.prepare_shift_halo(halo, y0, y1);
+}
+
+/// Byte-path trapezoid: identical schedule over SiteLattice strips.
+/// No obstacle copy and no halo upkeep — the collide table preserves
+/// the obstacle/rest bits of every produced row, and the byte spans
+/// resolve row/column edges per site.
+void run_byte_tile(SiteLattice& next, const SiteLattice& lat,
+                   const CollisionLut& lut, std::int64_t t, std::int64_t kb,
+                   std::int64_t y0, std::int64_t y1, SiteLattice* s0,
+                   SiteLattice* s1) {
+  if (kb == 1) {
+    lut.update_rows(next, lat, t, y0, y1);
+    return;
+  }
+  const Extent e = lat.extent();
+  const std::int64_t h = e.height;
+  const bool periodic = lat.boundary() == Boundary::Periodic;
+  const std::int64_t scratch_h = s0->extent().height;
+  const std::int64_t base = scratch_base(y0, kb, h, scratch_h, periodic);
+
+  SiteLattice* cur_s = s0;
+  SiteLattice* dst_s = s1;
+  for (std::int64_t g = 1; g <= kb; ++g) {
+    std::int64_t lo = y0 - (kb - g);
+    std::int64_t hi = y1 + (kb - g);
+    if (!periodic) {
+      lo = std::max<std::int64_t>(lo, 0);
+      hi = std::min(hi, h);
+    }
+    const SiteLattice& cur = g == 1 ? lat : *cur_s;
+    SiteLattice& dst = g == kb ? next : *dst_s;
+    for (std::int64_t gy = lo; gy < hi; ++gy) {
+      const std::int64_t sem = periodic ? wrap(gy, h) : gy;
+      const std::int64_t src_y = g == 1 ? sem : gy - base;
+      const std::int64_t dst_y = g == kb ? gy : gy - base;
+      lut.update_span_window(dst, dst_y, cur, src_y, sem, t + g - 1);
+    }
+    std::swap(cur_s, dst_s);
+  }
+}
+
+/// Balanced contiguous tile range for one lane: never an empty range
+/// while lanes <= tiles.
+struct TileRange {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+TileRange lane_tiles(std::int64_t tiles, unsigned lanes,
+                     unsigned lane) noexcept {
+  return {tiles * lane / lanes, tiles * (lane + 1) / lanes};
+}
+
+struct TiledObs {
+  obs::MetricsRegistry::Id sites = obs::counter_id("bitplane.sites");
+  obs::MetricsRegistry::Id words = obs::counter_id("bitplane.words");
+  obs::MetricsRegistry::Id tile_ns = obs::histogram_id("bitplane.tile_ns");
+  obs::MetricsRegistry::Id depth = obs::gauge_id("bitplane.tile_depth");
+  obs::MetricsRegistry::Id tiles = obs::gauge_id("bitplane.tiles");
+  static const TiledObs& get() {
+    static const TiledObs ids;
+    return ids;
+  }
+};
+
+}  // namespace
+
+bool temporal_tiling_feasible(const TemporalTiling& tiling, Extent extent,
+                              Boundary boundary) {
+  const std::int64_t k = tiling.depth;
+  const std::int64_t r = tiling.tile_rows;
+  if (k < 2 || r < k) return false;
+  const std::int64_t h = extent.height;
+  if (h <= 0 || extent.width <= 0) return false;
+  if ((h + r - 1) / r < 2) return false;
+  const std::int64_t scratch_h = r + 2 * (k - 1);
+  if (boundary != Boundary::Periodic && scratch_h > h) return false;
+  return true;
+}
+
+void plane_gas_run_tiled(PlaneLattice& lat, const PlaneKernel& kernel,
+                         std::int64_t generations, std::int64_t t0,
+                         unsigned threads, const TemporalTiling& tiling,
+                         PlaneRunHooks* hooks) {
+  LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
+  LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
+  const Extent e = lat.extent();
+  if (e.area() == 0 || generations == 0) return;
+  if (generations < 2 ||
+      !temporal_tiling_feasible(tiling, e, lat.boundary())) {
+    plane_gas_run(lat, kernel, generations, t0, threads, 0, hooks);
+    return;
+  }
+  const std::int64_t k = tiling.depth;
+  const std::int64_t tiles =
+      (e.height + tiling.tile_rows - 1) / tiling.tile_rows;
+  // Even the tiles out (the last one would otherwise take the
+  // remainder): ceil(H / tiles) rows each keeps the spread to one row.
+  const std::int64_t tile_rows = (e.height + tiles - 1) / tiles;
+  const std::int64_t scratch_h = tiling.tile_rows + 2 * (k - 1);
+  const Extent scratch_extent{e.width, scratch_h};
+  const unsigned lanes = static_cast<unsigned>(std::min<std::int64_t>(
+      std::min<std::int64_t>(threads, tiles),
+      common::ThreadPool::shared().max_lanes()));
+
+  const TiledObs& ids = TiledObs::get();
+  obs::gauge_set(ids.depth, k);
+  obs::gauge_set(ids.tiles, tiles);
+
+  PlaneLattice next(e, lat.boundary());
+  kernel.prime_static_planes(lat, next);
+  lat.prepare_shift_halo(kernel.halo_planes(), 0, e.height);
+  if (hooks != nullptr) hooks->run_begin(lat, kernel, t0);
+
+  if (lanes <= 1) {
+    PlaneLattice s0(scratch_extent, lat.boundary());
+    PlaneLattice s1(scratch_extent, lat.boundary());
+    std::int64_t done = 0;
+    while (done < generations) {
+      const std::int64_t kb = std::min(k, generations - done);
+      const std::int64_t t = t0 + done;
+      if (hooks != nullptr) hooks->before_rows(lat, t, 0, e.height);
+      for (std::int64_t tile = 0; tile < tiles; ++tile) {
+        const obs::ScopedTimer timer(ids.tile_ns);
+        const std::int64_t y0 = tile * tile_rows;
+        const std::int64_t y1 =
+            std::min<std::int64_t>(e.height, y0 + tile_rows);
+        run_plane_tile(next, lat, kernel, t, kb, y0, y1, &s0, &s1);
+      }
+      if (hooks != nullptr) hooks->after_rows(next, t + kb - 1, 0, e.height);
+      std::swap(lat, next);
+      done += kb;
+    }
+  } else {
+    // Tiles of one block are independent, so lanes own balanced
+    // contiguous tile ranges with a single barrier per *block* (the
+    // plain runner pays one per generation). With hooks attached, a
+    // pre/post rendezvous brackets each block so lane 0 can run the
+    // serial inject/audit over the full committed lattice while no
+    // lane is reading it.
+    std::barrier sync(static_cast<std::ptrdiff_t>(lanes),
+                      [&]() noexcept { std::swap(lat, next); });
+    std::barrier<> hook_sync(static_cast<std::ptrdiff_t>(lanes));
+    common::ThreadPool::shared().run_lanes(lanes, [&](unsigned lane) {
+      PlaneLattice s0(scratch_extent, lat.boundary());
+      PlaneLattice s1(scratch_extent, lat.boundary());
+      const TileRange range = lane_tiles(tiles, lanes, lane);
+      std::int64_t done = 0;
+      while (done < generations) {
+        const std::int64_t kb = std::min(k, generations - done);
+        const std::int64_t t = t0 + done;
+        if (hooks != nullptr) {
+          if (lane == 0) hooks->before_rows(lat, t, 0, e.height);
+          hook_sync.arrive_and_wait();
+        }
+        for (std::int64_t tile = range.lo; tile < range.hi; ++tile) {
+          const obs::ScopedTimer timer(ids.tile_ns);
+          const std::int64_t y0 = tile * tile_rows;
+          const std::int64_t y1 =
+              std::min<std::int64_t>(e.height, y0 + tile_rows);
+          run_plane_tile(next, lat, kernel, t, kb, y0, y1, &s0, &s1);
+        }
+        if (hooks != nullptr) {
+          hook_sync.arrive_and_wait();
+          if (lane == 0) hooks->after_rows(next, t + kb - 1, 0, e.height);
+        }
+        sync.arrive_and_wait();
+        done += kb;
+      }
+    });
+  }
+  obs::count(ids.sites, e.area() * generations);
+  obs::count(ids.words, generations * e.height * lat.words_per_row() *
+                            PlaneLattice::kPlanes);
+}
+
+void bitplane_gas_run_tiled(SiteLattice& lat, const PlaneKernel& kernel,
+                            std::int64_t generations, std::int64_t t0,
+                            unsigned threads, const TemporalTiling& tiling,
+                            PlaneRunHooks* hooks) {
+  static const obs::MetricsRegistry::Id pack_id =
+      obs::histogram_id("bitplane.pack_ns");
+  static const obs::MetricsRegistry::Id update_id =
+      obs::histogram_id("bitplane.update_ns");
+  static const obs::MetricsRegistry::Id unpack_id =
+      obs::histogram_id("bitplane.unpack_ns");
+
+  PlaneLattice planes;
+  {
+    const obs::ScopedTimer pack_timer(pack_id);
+    const obs::TraceSpan pack_span("bitplane.pack");
+    planes = PlaneLattice(lat);
+  }
+
+  {
+    obs::ScopedTimer update_timer(update_id);
+    const obs::TraceSpan update_span("bitplane.update");
+    plane_gas_run_tiled(planes, kernel, generations, t0, threads, tiling,
+                        hooks);
+  }
+
+  const obs::ScopedTimer unpack_timer(unpack_id);
+  const obs::TraceSpan unpack_span("bitplane.unpack");
+  planes.unpack(lat);
+}
+
+void fused_gas_run_tiled(SiteLattice& lat, const CollisionLut& lut,
+                         std::int64_t generations, std::int64_t t0,
+                         unsigned threads, const TemporalTiling& tiling) {
+  LATTICE_REQUIRE(threads >= 1, "need at least one worker thread");
+  LATTICE_REQUIRE(generations >= 0, "generations must be >= 0");
+  const Extent e = lat.extent();
+  if (e.area() == 0 || generations == 0) return;
+  if (generations < 2 ||
+      !temporal_tiling_feasible(tiling, e, lat.boundary())) {
+    fused_gas_run(lat, lut, generations, t0, threads);
+    return;
+  }
+  const std::int64_t k = tiling.depth;
+  const std::int64_t tiles =
+      (e.height + tiling.tile_rows - 1) / tiling.tile_rows;
+  const std::int64_t tile_rows = (e.height + tiles - 1) / tiles;
+  const std::int64_t scratch_h = tiling.tile_rows + 2 * (k - 1);
+  const Extent scratch_extent{e.width, scratch_h};
+  const unsigned lanes = static_cast<unsigned>(std::min<std::int64_t>(
+      std::min<std::int64_t>(threads, tiles),
+      common::ThreadPool::shared().max_lanes()));
+
+  static const obs::MetricsRegistry::Id sites_id =
+      obs::counter_id("reference.sites");
+  const obs::TraceSpan span("reference.fused_run_tiled");
+
+  SiteLattice next(e, lat.boundary());
+  const auto run_block = [&](std::int64_t t, std::int64_t kb,
+                             std::int64_t tile_lo, std::int64_t tile_hi,
+                             SiteLattice* s0, SiteLattice* s1) {
+    for (std::int64_t tile = tile_lo; tile < tile_hi; ++tile) {
+      const std::int64_t y0 = tile * tile_rows;
+      const std::int64_t y1 = std::min<std::int64_t>(e.height, y0 + tile_rows);
+      run_byte_tile(next, lat, lut, t, kb, y0, y1, s0, s1);
+    }
+  };
+
+  if (lanes <= 1) {
+    SiteLattice s0(scratch_extent, lat.boundary());
+    SiteLattice s1(scratch_extent, lat.boundary());
+    std::int64_t done = 0;
+    while (done < generations) {
+      const std::int64_t kb = std::min(k, generations - done);
+      run_block(t0 + done, kb, 0, tiles, &s0, &s1);
+      std::swap(lat, next);
+      done += kb;
+    }
+  } else {
+    std::barrier sync(static_cast<std::ptrdiff_t>(lanes),
+                      [&]() noexcept { std::swap(lat, next); });
+    common::ThreadPool::shared().run_lanes(lanes, [&](unsigned lane) {
+      SiteLattice s0(scratch_extent, lat.boundary());
+      SiteLattice s1(scratch_extent, lat.boundary());
+      const TileRange range = lane_tiles(tiles, lanes, lane);
+      std::int64_t done = 0;
+      while (done < generations) {
+        const std::int64_t kb = std::min(k, generations - done);
+        run_block(t0 + done, kb, range.lo, range.hi, &s0, &s1);
+        sync.arrive_and_wait();
+        done += kb;
+      }
+    });
+  }
+  obs::count(sites_id, e.area() * generations);
+}
+
+}  // namespace lattice::lgca

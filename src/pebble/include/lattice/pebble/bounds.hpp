@@ -18,6 +18,15 @@
 
 namespace lattice::pebble {
 
+/// The lattice dimension of every 2-D engine in this repo — the `d`
+/// plugged into Theorem 4 by the engine's pebbling-ceiling report, the
+/// temporal tile planner's τ(2S) comparison, and the d = 2 section of
+/// bench_schedule_io. Single source of truth so the cost model and the
+/// measured schedules can never silently disagree on the exponent; the
+/// d-sweep benches/tests (bench_pebbling_bounds, test_schedules) pass
+/// explicit dimensions because sweeping d is their point.
+inline constexpr int kEngineLatticeDim = 2;
+
 /// d! as a double (d small).
 double factorial(int d);
 

@@ -1,0 +1,277 @@
+// Temporal (trapezoidal) tiling — the tiled drivers against the plain
+// sweeps, bit for bit. The sweep is deliberately hostile to the seam
+// logic: awkward extents whose last tile is short, both boundary
+// modes, generation counts that are not a multiple of the depth, every
+// compiled SIMD level, and multiple thread counts — any off-by-one in
+// the trapezoid windows, the scratch-strip base, or the semantic-row
+// bookkeeping shows up as a flipped bit at a tile seam. The engine
+// half proves the checkpoint cadence quantizes to tile blocks and that
+// fault recovery still converges on the tiled path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/core/tile_plan.hpp"
+#include "lattice/lgca/gas_rule.hpp"
+#include "lattice/lgca/init.hpp"
+#include "lattice/lgca/plane_simd.hpp"
+#include "lattice/lgca/reference.hpp"
+#include "lattice/lgca/temporal_tile.hpp"
+
+namespace lattice::lgca {
+namespace {
+
+const char* kind_name(GasKind k) {
+  switch (k) {
+    case GasKind::HPP: return "HPP";
+    case GasKind::FHP_I: return "FHP_I";
+    case GasKind::FHP_II: return "FHP_II";
+    case GasKind::FHP_III: return "FHP_III";
+  }
+  return "unknown";
+}
+
+SiteLattice seeded(Extent e, Boundary b, const GasModel& model,
+                   std::uint64_t seed) {
+  SiteLattice lat(e, b);
+  fill_random(lat, model, 0.35, seed, 0.2);
+  if (e.width > 8 && e.height > 8) {
+    add_obstacle_disk(lat, e.width / 2, e.height / 2, 2);
+  }
+  return lat;
+}
+
+TEST(TemporalTileFeasibility, RejectsDegenerateTilings) {
+  const Extent e{64, 40};
+  // depth < 2 is "tiling off".
+  EXPECT_FALSE(temporal_tiling_feasible({1, 16}, e, Boundary::Null));
+  // tile_rows < depth would spend more rows on skirts than payload.
+  EXPECT_FALSE(temporal_tiling_feasible({4, 3}, e, Boundary::Null));
+  // One tile covering the whole lattice: the plain sweep already is
+  // that schedule, without the skirt recompute.
+  EXPECT_FALSE(temporal_tiling_feasible({2, 40}, e, Boundary::Null));
+  // Null boundary: scratch strip taller than the lattice.
+  EXPECT_FALSE(temporal_tiling_feasible({8, 30}, e, Boundary::Null));
+  // ...which Periodic permits (windows unwrap instead of clamping).
+  EXPECT_TRUE(temporal_tiling_feasible({8, 30}, e, Boundary::Periodic));
+  EXPECT_TRUE(temporal_tiling_feasible({3, 10}, e, Boundary::Null));
+}
+
+class TemporalTileGasTest : public ::testing::TestWithParam<GasKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Gases, TemporalTileGasTest,
+                         ::testing::Values(GasKind::HPP, GasKind::FHP_I,
+                                           GasKind::FHP_II),
+                         [](const auto& info) {
+                           return std::string(kind_name(info.param));
+                         });
+
+TEST_P(TemporalTileGasTest, TiledBitPlaneMatchesPlainAcrossSeams) {
+  // Depths 1 (fallback), 2, 3, 5 over extents whose last tile is
+  // short, 7 generations so the final block is partial (kb < k) for
+  // every depth > 1, both boundaries, serial and threaded.
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const GasModel& model = kernel.model();
+  for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+    for (const Extent e : {Extent{96, 37}, Extent{65, 23}}) {
+      const SiteLattice start = seeded(e, b, model, 1000 + e.width);
+      SiteLattice want = start;
+      bitplane_gas_run(want, kernel, 7);
+      for (const std::int64_t k : {std::int64_t{1}, std::int64_t{2},
+                                   std::int64_t{3}, std::int64_t{5}}) {
+        for (const unsigned threads : {1u, 3u}) {
+          SiteLattice got = start;
+          bitplane_gas_run_tiled(got, kernel, 7, 0, threads,
+                                 {k, std::int64_t{8}});
+          ASSERT_TRUE(got == want)
+              << kind_name(GetParam()) << " " << e.width << "x" << e.height
+              << " k=" << k << " threads=" << threads
+              << (b == Boundary::Null ? " null" : " periodic");
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TemporalTileGasTest, TiledAgreesAtEveryCompiledSimdLevel) {
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const GasModel& model = kernel.model();
+  const SiteLattice start =
+      seeded({640, 30}, Boundary::Periodic, model, 4242);
+  SiteLattice want;
+  {
+    const ScopedSimdLevel pin(SimdLevel::Scalar);
+    want = start;
+    bitplane_gas_run(want, kernel, 6);
+  }
+  for (const SimdLevel level :
+       {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (!simd_supported(level)) continue;
+    const ScopedSimdLevel pin(level);
+    SiteLattice got = start;
+    bitplane_gas_run_tiled(got, kernel, 6, 0, 2, {3, 9});
+    ASSERT_TRUE(got == want)
+        << kind_name(GetParam()) << " level " << to_string(level);
+  }
+}
+
+TEST_P(TemporalTileGasTest, NonzeroTimeOriginAndChunkingAreInvariant) {
+  // Splitting a tiled run at an arbitrary generation (not a block
+  // boundary) and resuming with the carried t0 must reproduce the
+  // continuous run: chirality is a position-time hash, and each call
+  // re-enters the trapezoid schedule from committed state.
+  const PlaneKernel& kernel = PlaneKernel::get(GetParam());
+  const SiteLattice start =
+      seeded({96, 37}, Boundary::Null, kernel.model(), 7);
+  SiteLattice want = start;
+  bitplane_gas_run(want, kernel, 9);
+  SiteLattice got = start;
+  bitplane_gas_run_tiled(got, kernel, 4, 0, 2, {3, 8});
+  bitplane_gas_run_tiled(got, kernel, 5, 4, 2, {3, 8});
+  EXPECT_TRUE(got == want) << kind_name(GetParam());
+}
+
+TEST(TemporalTileFused, AllGasesMatchPlainFusedRun) {
+  // The byte-LUT path covers FHP-III too (no plane kernel exists).
+  for (const GasKind kind : {GasKind::HPP, GasKind::FHP_I, GasKind::FHP_II,
+                             GasKind::FHP_III}) {
+    const CollisionLut& lut = CollisionLut::get(kind);
+    for (const Boundary b : {Boundary::Null, Boundary::Periodic}) {
+      const SiteLattice start = seeded({65, 23}, b, lut.model(), 99);
+      SiteLattice want = start;
+      fused_gas_run(want, lut, 7);
+      for (const std::int64_t k :
+           {std::int64_t{2}, std::int64_t{3}, std::int64_t{5}}) {
+        for (const unsigned threads : {1u, 3u}) {
+          SiteLattice got = start;
+          fused_gas_run_tiled(got, lut, 7, 0, threads, {k, 7});
+          ASSERT_TRUE(got == want)
+              << kind_name(kind) << " k=" << k << " threads=" << threads
+              << (b == Boundary::Null ? " null" : " periodic");
+        }
+      }
+    }
+  }
+}
+
+TEST(TemporalTileFused, InfeasibleTilingFallsBackToPlainSweep) {
+  const CollisionLut& lut = CollisionLut::get(GasKind::FHP_II);
+  const SiteLattice start =
+      seeded({48, 12}, Boundary::Null, lut.model(), 3);
+  SiteLattice want = start;
+  fused_gas_run(want, lut, 5);
+  SiteLattice got = start;
+  // tile_rows = height: one tile, infeasible, must still be exact.
+  fused_gas_run_tiled(got, lut, 5, 0, 2, {3, 12});
+  EXPECT_TRUE(got == want);
+}
+
+TEST(TilePlan, AutoModeBlocksOnlyWhenTheSweepIsNotCacheResident) {
+  // A 4096² bit-plane lattice is ~20 MB per buffer — far over the
+  // budget, so auto picks a real depth with a modest skirt tax.
+  const Extent big{4096, 4096};
+  const core::TilePlan plan = core::plan_temporal_tiles(
+      big, Boundary::Null, core::plane_row_bytes(big), 0);
+  EXPECT_GE(plan.depth, 2);
+  EXPECT_TRUE(temporal_tiling_feasible(plan.tiling(), big, Boundary::Null));
+  EXPECT_LE(plan.working_set_bytes, plan.cache_bytes);
+  EXPECT_LT(plan.recompute_overhead, 0.15);
+  EXPECT_GT(plan.updates_per_io_ceiling, 1.0);
+  // A 128² lattice fits the budget whole: blocking would only add the
+  // skirt tax, so auto stays at the plain sweep.
+  const Extent small{128, 128};
+  EXPECT_EQ(core::plan_temporal_tiles(small, Boundary::Null,
+                                      core::plane_row_bytes(small), 0)
+                .depth,
+            1);
+}
+
+TEST(TilePlan, ExplicitDepthIsHonoredOrDroppedToPlain) {
+  const Extent e{96, 1200};
+  const std::int64_t row = core::plane_row_bytes(e);
+  const core::TilePlan plan =
+      core::plan_temporal_tiles(e, Boundary::Periodic, row, 3);
+  EXPECT_EQ(plan.depth, 3);
+  EXPECT_TRUE(
+      temporal_tiling_feasible(plan.tiling(), e, Boundary::Periodic));
+  // Requesting a depth the lattice cannot tile (one tile would cover
+  // it) falls back to the plain sweep, never a different depth.
+  EXPECT_EQ(
+      core::plan_temporal_tiles({96, 40}, Boundary::Null, row, 3).depth, 1);
+  // Depth 1 is always "off".
+  EXPECT_EQ(core::plan_temporal_tiles(e, Boundary::Null, row, 1).depth, 1);
+}
+
+TEST(TemporalTileEngine, BitPlaneTiledRunVerifiesAgainstReference) {
+  // Tall enough that the plan actually tiles (three tiles at depth 3);
+  // 0 exercises auto mode end-to-end as well.
+  for (const int k : {0, 3}) {
+    core::LatticeEngine::Config cfg;
+    cfg.extent = {96, 1200};
+    cfg.gas = GasKind::FHP_II;
+    cfg.boundary = Boundary::Periodic;
+    cfg.backend = core::Backend::BitPlane;
+    cfg.threads = 3;
+    cfg.tile_generations = k;
+    core::LatticeEngine engine(cfg);
+    fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1, 11);
+    engine.advance(25);
+    EXPECT_TRUE(engine.verify_against_reference()) << "tile_generations " << k;
+  }
+}
+
+TEST(TemporalTileEngine, ReferenceTiledRunMatchesPlainEngine) {
+  // The byte path needs a much taller lattice before two strips
+  // overflow the budget (rows are 8× leaner than bit-plane rows).
+  const auto run = [](int k) {
+    core::LatticeEngine::Config cfg;
+    cfg.extent = {96, 6000};
+    cfg.gas = GasKind::FHP_III;
+    cfg.boundary = Boundary::Null;
+    cfg.backend = core::Backend::Reference;
+    cfg.threads = 2;
+    cfg.tile_generations = k;
+    core::LatticeEngine engine(cfg);
+    fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1, 21);
+    engine.advance(10);
+    return engine.state();
+  };
+  EXPECT_TRUE(run(3) == run(1));
+}
+
+TEST(TemporalTileEngine, GuardedCheckpointsQuantizeToTileBlocks) {
+  // A stuck plane word fires on every attempt until the escalation
+  // ladder disables it: rollback retries, one interval shrink (6 → 3,
+  // never below the tile depth), then executor degrade — after which
+  // the run completes and the committed history is fault-free.
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.stuck_planes.push_back(
+      {1, 10, ~std::uint64_t{0}, ~std::uint64_t{0}});
+  core::LatticeEngine::Config cfg;
+  cfg.extent = {96, 1200};
+  cfg.gas = GasKind::FHP_II;
+  cfg.boundary = Boundary::Periodic;
+  cfg.backend = core::Backend::BitPlane;
+  cfg.threads = 2;
+  cfg.tile_generations = 3;
+  cfg.fault = plan;
+  cfg.checkpoint_interval = 5;
+  core::LatticeEngine engine(cfg);
+  // The requested interval of 5 quantizes up to a whole tile block.
+  EXPECT_EQ(engine.config().checkpoint_interval, 6);
+  fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1, 31);
+  engine.advance(12);
+  EXPECT_EQ(engine.generation(), 12);
+  const core::PerformanceReport r = engine.report();
+  EXPECT_GT(r.rollbacks, 0);
+  EXPECT_GT(r.interval_shrinks, 0);
+  EXPECT_GT(r.remapped_slices, 0);
+  EXPECT_TRUE(engine.verify_against_reference());
+}
+
+}  // namespace
+}  // namespace lattice::lgca

@@ -4,9 +4,15 @@
 //   lattice_profile [--backend reference|wsa|spa|bitplane|wsa_e]
 //                   [--gas hpp|fhp1|fhp2|fhp3] [--side N]
 //                   [--generations N] [--threads N] [--depth N]
+//                   [--tile-generations N]
 //                   [--metrics FILE.json] [--trace FILE.json]
 //                   [--fault-plan SPEC] [--checkpoint-interval N]
 //                   [--max-retries N] [--oracle]
+//
+// --tile-generations enables temporal blocking on the software
+// backends (0 = let the cache model choose, 1 = off, >= 2 = fixed
+// depth) and prints the resolved tile plan — tile shape, depth, and
+// the working set vs the planner's cache budget.
 //
 // Prints a per-stage summary to stdout; --metrics writes the engine's
 // MetricsReport as JSON (the artifact CI uploads), --trace enables
@@ -34,6 +40,7 @@
 
 #include "lattice/core/engine.hpp"
 #include "lattice/core/metrics_report.hpp"
+#include "lattice/core/tile_plan.hpp"
 #include "lattice/fault/fault.hpp"
 #include "lattice/lgca/init.hpp"
 #include "lattice/lgca/plane_simd.hpp"
@@ -51,6 +58,7 @@ struct Options {
   std::int64_t generations = 64;
   unsigned threads = 1;
   int depth = 4;
+  int tile_generations = 1;
   std::string metrics_path;
   std::string trace_path;
   lattice::fault::FaultPlan fault;
@@ -64,7 +72,8 @@ struct Options {
       stderr,
       "usage: %s [--backend reference|wsa|spa|bitplane|wsa_e]\n"
       "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--generations N]\n"
-      "          [--threads N] [--depth N] [--metrics FILE] [--trace FILE]\n"
+      "          [--threads N] [--depth N] [--tile-generations N]\n"
+      "          [--metrics FILE] [--trace FILE]\n"
       "          [--fault-plan SPEC] [--checkpoint-interval N]\n"
       "          [--max-retries N] [--oracle]\n"
       "SPEC: seed=N,buffer_flip=R,side_flip=R,plane_flip=R,halo_flip=R,\n"
@@ -157,6 +166,8 @@ Options parse_args(int argc, char** argv) {
       opt.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (std::strcmp(a, "--depth") == 0) {
       opt.depth = std::atoi(next());
+    } else if (std::strcmp(a, "--tile-generations") == 0) {
+      opt.tile_generations = std::atoi(next());
     } else if (std::strcmp(a, "--metrics") == 0) {
       opt.metrics_path = next();
     } else if (std::strcmp(a, "--trace") == 0) {
@@ -174,7 +185,8 @@ Options parse_args(int argc, char** argv) {
     }
   }
   if (opt.side < 2 || opt.generations < 0 || opt.threads < 1 ||
-      opt.depth < 1 || opt.checkpoint_interval < 0 || opt.max_retries < 0) {
+      opt.depth < 1 || opt.tile_generations < 0 ||
+      opt.checkpoint_interval < 0 || opt.max_retries < 0) {
     usage(argv[0]);
   }
   return opt;
@@ -206,6 +218,7 @@ int main(int argc, char** argv) {
   config.pipeline_depth = opt.depth;
   config.wsa_width = 4;
   config.threads = opt.threads;
+  config.tile_generations = opt.tile_generations;
   config.fault = opt.fault;
   config.checkpoint_interval = opt.checkpoint_interval;
   config.max_retries = opt.max_retries;
@@ -234,6 +247,37 @@ int main(int argc, char** argv) {
   if (opt.backend == Backend::BitPlane) {
     std::printf("simd              %s\n",
                 lattice::lgca::to_string(lattice::lgca::plane_simd_active()));
+  }
+  if (opt.tile_generations != 1 &&
+      (opt.backend == Backend::BitPlane ||
+       opt.backend == Backend::Reference)) {
+    // Re-derive the plan the executor resolved (same deterministic
+    // model, same inputs) so the profile shows what actually ran.
+    const std::int64_t row_bytes =
+        opt.backend == Backend::BitPlane
+            ? lattice::core::plane_row_bytes(config.extent)
+            : lattice::core::byte_row_bytes(config.extent);
+    const lattice::core::TilePlan plan = lattice::core::plan_temporal_tiles(
+        config.extent, config.boundary, row_bytes, opt.tile_generations);
+    if (plan.depth > 1) {
+      std::printf("tile_plan         depth=%lld rows=%lld tiles=%lld "
+                  "(scratch %lld rows)\n",
+                  static_cast<long long>(plan.depth),
+                  static_cast<long long>(plan.tile_rows),
+                  static_cast<long long>(plan.tiles),
+                  static_cast<long long>(plan.scratch_rows));
+      std::printf("tile_working_set  %.1f KiB of %.1f KiB budget "
+                  "(lattice %.1f KiB, recompute %.1f%%)\n",
+                  plan.working_set_bytes / 1024.0,
+                  plan.cache_bytes / 1024.0, plan.lattice_bytes / 1024.0,
+                  100.0 * plan.recompute_overhead);
+      std::printf("tile_tau_ceiling  %.2f updates/word at S=cache\n",
+                  plan.updates_per_io_ceiling);
+    } else {
+      std::printf("tile_plan         off (infeasible or cache-resident; "
+                  "requested %d)\n",
+                  opt.tile_generations);
+    }
   }
   std::printf("wall_seconds      %.6f\n", report.wall_seconds);
   std::printf("phase_seconds     %.6f\n", report.phase_seconds());
