@@ -214,6 +214,13 @@ class LatticeEngine {
   /// Snapshot the current state and generation for later restore().
   EngineCheckpoint checkpoint() const { return {state_, generation_}; }
 
+  /// Generation quantum of one executor pass (>= 1): a temporally-tiled
+  /// executor commits whole tile blocks, so callers that slice work into
+  /// scheduling quanta (the serve layer's SessionManager) round their
+  /// quantum up to a multiple of this to keep tiling and guarded
+  /// checkpoints intact. 1 for every untiled backend.
+  std::int64_t chunk_quantum() const noexcept;
+
   /// Resume from a snapshot taken on a compatibly-configured engine
   /// (same extent and boundary). verify_against_reference() stays
   /// meaningful only for checkpoints from this engine's own history.

@@ -264,6 +264,10 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
   }
 }
 
+std::int64_t LatticeEngine::chunk_quantum() const noexcept {
+  return std::max<std::int64_t>(std::int64_t{1}, exec_->chunk_quantum());
+}
+
 void LatticeEngine::restore(const EngineCheckpoint& ckpt) {
   LATTICE_REQUIRE(ckpt.state.extent() == state_.extent(),
                   "checkpoint extent does not match the engine");

@@ -1,0 +1,79 @@
+// Minimal JSON reader for the serve wire protocol.
+//
+// The repo's JsonWriter (lattice/obs/json.hpp) only emits; the
+// newline-delimited JSON protocol that lattice_serve speaks also has to
+// *accept* frames — including truncated, overlong, and outright garbage
+// ones from misbehaving clients — without ever taking the server down.
+// This is a small recursive-descent parser with the properties that
+// matter for that job:
+//
+//   * every malformed input throws a typed JsonParseError with a byte
+//     offset (never UB, never a silent partial parse — trailing bytes
+//     after the document are an error too);
+//   * nesting depth is capped, so a "[[[[[..." frame cannot blow the
+//     stack;
+//   * numbers keep int64 precision when they have no fraction or
+//     exponent (session ids and generation counts are int64), and fall
+//     back to double otherwise.
+//
+// It is deliberately not a general-purpose DOM: no comments, no
+// surrogate-pair escapes (rejected, not mangled), UTF-8 passthrough for
+// unescaped bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::serve {
+
+/// The frame failed to parse as a single JSON document. The offset of
+/// the first offending byte is embedded in what().
+class JsonParseError : public Error {
+ public:
+  explicit JsonParseError(const std::string& what) : Error(what) {}
+};
+
+/// One parsed JSON value. Plain tagged struct: cheap to move, trivially
+/// inspectable in tests.
+struct JsonValue {
+  enum class Kind { Null, Bool, Int, Double, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  double number = 0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+  std::vector<JsonValue> elements;                         // Array
+
+  bool is_object() const noexcept { return kind == Kind::Object; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+  bool is_string() const noexcept { return kind == Kind::String; }
+  bool is_number() const noexcept {
+    return kind == Kind::Int || kind == Kind::Double;
+  }
+
+  /// First member with key `key`, or nullptr. Objects are small (wire
+  /// frames have a handful of fields); linear scan is fine.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Typed accessors with defaults: the protocol treats a missing field
+  /// and a field of the wrong type identically (the caller validates
+  /// required fields with find()).
+  std::int64_t int_or(std::int64_t fallback) const noexcept;
+  double double_or(double fallback) const noexcept;
+  bool bool_or(bool fallback) const noexcept;
+  std::string_view string_or(std::string_view fallback) const noexcept;
+};
+
+/// Parse `text` as exactly one JSON document. Throws JsonParseError on
+/// any syntax error, trailing garbage, or nesting beyond `max_depth`.
+JsonValue parse_json(std::string_view text, int max_depth = 32);
+
+}  // namespace lattice::serve

@@ -1,0 +1,88 @@
+// ServeProtocol — the newline-delimited JSON request/response language
+// lattice_serve speaks, separated from the socket plumbing so tests can
+// fuzz frames as plain strings.
+//
+// One request object per line, one response object per line. Ops:
+//
+//   {"op":"create","width":64,"height":64, ...}   -> {"ok":true,"id":N}
+//       optional: "gas" (hpp|fhp1|fhp2|fhp3, default fhp2), "backend"
+//       (reference|bitplane|wsa|spa|wsa_e, default reference),
+//       "boundary" (null|periodic), "threads", "depth",
+//       "tile_generations", "priority" (interactive|normal|batch),
+//       "max_generations", "max_pending", "init" (empty|random|flow),
+//       "density", "seed"
+//   {"op":"step","id":N,"generations":G[,"wait":true]}
+//       -> {"ok":true,"id":N,"generation":g,"pending":p}
+//   {"op":"query","id":N}      -> the SessionInfo fields
+//   {"op":"checkpoint","id":N,"name":"tag"}
+//       -> {"ok":true,"path":...} — written under the server's
+//       checkpoint directory; "name" must be a plain filename (no
+//       separators), so a client cannot write outside that directory.
+//   {"op":"destroy","id":N}    -> {"ok":true}
+//   {"op":"stats"}             -> aggregate ServeStats + latency
+//                                 quantiles
+//   {"op":"ping"}              -> {"ok":true,"pong":true}
+//   {"op":"shutdown"}          -> {"ok":true,"shutdown":true} and the
+//                                 server exits its accept loop.
+//
+// Every failure is a typed error *response*, never a dropped
+// connection or a crash:
+//
+//   {"ok":false,"error":CODE,"message":"..."}
+//   CODE in: parse_error | bad_request | unknown_op | unknown_session |
+//            quota_exceeded | frame_too_long | internal
+//
+// handle() never throws: malformed JSON, wrong types, out-of-range
+// sizes, and engine-config rejections all map to the codes above.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lattice/serve/session_manager.hpp"
+
+namespace lattice::serve {
+
+/// Abuse bounds applied before a request touches the session manager.
+struct ProtocolLimits {
+  /// Frames longer than this are answered with frame_too_long (the
+  /// transport skips to the next newline and keeps the connection).
+  std::size_t max_frame_bytes = 64 * 1024;
+  /// Per-create lattice side cap (bytes-per-session is side^2).
+  std::int64_t max_side = 4096;
+  /// Per-step generation cap.
+  std::int64_t max_step_generations = std::int64_t{1} << 20;
+};
+
+class ServeProtocol {
+ public:
+  /// `checkpoint_dir` receives {"op":"checkpoint"} files; created
+  /// lazily on first use.
+  ServeProtocol(SessionManager& manager, ProtocolLimits limits = {},
+                std::string checkpoint_dir = "lattice_ckpt");
+
+  /// Process one frame (without the trailing newline) and return
+  /// exactly one response line (without a newline). Never throws.
+  std::string handle(std::string_view frame);
+
+  /// True once a shutdown request has been handled. Transports poll
+  /// this after each response.
+  bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  const ProtocolLimits& limits() const noexcept { return limits_; }
+
+ private:
+  std::string dispatch(std::string_view frame);
+
+  SessionManager& manager_;
+  ProtocolLimits limits_;
+  std::string checkpoint_dir_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace lattice::serve

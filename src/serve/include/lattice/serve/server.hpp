@@ -1,0 +1,56 @@
+// SocketServer — newline-delimited JSON over a local AF_UNIX stream
+// socket, the transport under the lattice_serve tool.
+//
+// The server is a thin framing layer: it owns no protocol state beyond
+// "where is the next newline" — every frame goes through
+// ServeProtocol::handle(), which never throws and always answers, so a
+// misbehaving client can at worst occupy its own connection. Overlong
+// frames (no newline within the protocol's max_frame_bytes) are
+// answered with one frame_too_long error and the stream is resynced at
+// the next newline; the connection stays up.
+//
+// Concurrency: one thread per accepted connection (bounded by the
+// listen backlog in practice); the SessionManager underneath is fully
+// thread-safe. A {"op":"shutdown"} request on any connection stops the
+// accept loop; in-flight connections are joined before run() returns.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "lattice/serve/protocol.hpp"
+
+namespace lattice::serve {
+
+struct ServerConfig {
+  /// Filesystem path of the AF_UNIX listening socket. A stale file at
+  /// this path is unlinked before binding.
+  std::string socket_path;
+  int backlog = 16;
+  /// Optional connection/shutdown log (e.g. stderr or a file); never
+  /// logs frame payloads.
+  std::FILE* log = nullptr;
+};
+
+class SocketServer {
+ public:
+  SocketServer(ServeProtocol& protocol, ServerConfig config);
+
+  /// Bind, listen, and accept until a shutdown request is handled.
+  /// Throws Error if the socket cannot be created or bound.
+  void run();
+
+  /// Serve one already-connected stream until EOF or a shutdown
+  /// request: reads frames, answers each with protocol.handle(). The
+  /// transport for tests and the --smoke socketpair harness. Returns
+  /// true if this connection requested shutdown.
+  static bool serve_connection(int fd, ServeProtocol& protocol,
+                               std::FILE* log = nullptr);
+
+ private:
+  ServeProtocol& protocol_;
+  ServerConfig config_;
+};
+
+}  // namespace lattice::serve

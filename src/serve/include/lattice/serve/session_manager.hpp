@@ -1,0 +1,240 @@
+// SessionManager — lattice-as-a-service over a bounded engine budget.
+//
+// The paper's engines are single-simulation machines; the serving layer
+// answers the same hardware constraints the way CAM-8 did — as a
+// shared, time-multiplexed resource. A SessionManager owns a bounded
+// pool of *resident* engines (Config::max_resident) plus a small crew
+// of scheduler workers, and multiplexes N >> max_resident concurrent
+// sessions across them:
+//
+//   * admission — create() builds the session's engine immediately (so
+//     a bad config fails at the door, not mid-schedule), applies the
+//     caller's initializer, and counts against Config::max_sessions.
+//   * scheduling — step() enqueues generations; workers drain the ready
+//     queues in weighted round-robin over three priority classes
+//     (Interactive:4, Normal:2, Batch:1 quanta per cycle), FIFO within
+//     a class, so no session starves and interactive sessions see
+//     bounded queueing delay. Each grant runs one *quantum* of
+//     generations (Config::quantum, rounded up to the engine's
+//     chunk_quantum() so temporal tiling and guarded checkpoints stay
+//     intact), then requeues the session if work remains.
+//   * eviction — when a non-resident session is touched (scheduled,
+//     read, checkpointed) and the pool is full, the least-recently-run
+//     resident idle session is checkpointed to Config::spool_dir via
+//     core::checkpoint_io and its engine destroyed; restore-on-touch
+//     rebuilds the engine from the stored config and the durable
+//     checkpoint, bit-exactly (the checkpoint payload is the
+//     backend-shared byte-site image).
+//   * quotas — per-session lifetime generation caps and pending-work
+//     bounds throw QuotaError at step() time; admission past
+//     max_sessions throws QuotaError at create() time.
+//
+// Determinism: with workers == 1 the schedule (grant order, eviction
+// victims, restore count) is a pure function of the call sequence —
+// bench_serve records those counters as CI row identity. With more
+// workers only the interleaving changes; per-session results stay
+// bit-exact because one session never runs on two workers at once.
+//
+// Threading: the manager's workers are dedicated std::threads, *not*
+// ThreadPool::shared() tasks — session engines may themselves submit
+// banded work to the shared pool (Config::threads > 1), and a pool task
+// submitting to its own pool would deadlock. Eviction and restore I/O
+// run under the manager lock (simple and deterministic; the quantum
+// itself — where the time goes — runs outside it).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+#include "lattice/core/engine.hpp"
+#include "lattice/obs/metrics.hpp"
+
+namespace lattice::serve {
+
+using SessionId = std::uint64_t;
+
+/// Scheduling class. Weighted round-robin grants per cycle:
+/// Interactive 4, Normal 2, Batch 1 (see priority_weight).
+enum class Priority { Interactive = 0, Normal = 1, Batch = 2 };
+inline constexpr int kPriorityClasses = 3;
+int priority_weight(Priority p) noexcept;
+
+/// Unknown or destroyed session id, or an operation on a session in a
+/// state that cannot honor it.
+class SessionError : public Error {
+ public:
+  explicit SessionError(const std::string& what) : Error(what) {}
+};
+
+/// An admission or per-session quota refused the request.
+class QuotaError : public Error {
+ public:
+  explicit QuotaError(const std::string& what) : Error(what) {}
+};
+
+struct SessionQuota {
+  /// Lifetime cap on requested generations (0 = unlimited): a runaway
+  /// client cannot buy unbounded compute on one session.
+  std::int64_t max_generations = 0;
+  /// Cap on queued-but-uncommitted generations (backpressure).
+  std::int64_t max_pending = std::int64_t{1} << 20;
+};
+
+struct SessionOptions {
+  Priority priority = Priority::Normal;
+  SessionQuota quota;
+};
+
+/// Point-in-time view of one session (query(); no touch, no restore).
+struct SessionInfo {
+  SessionId id = 0;
+  bool resident = false;
+  bool running = false;
+  std::int64_t generation = 0;
+  std::int64_t pending_generations = 0;
+  Priority priority = Priority::Normal;
+  Extent extent{0, 0};
+  core::Backend backend = core::Backend::Reference;
+  std::int64_t evictions = 0;
+  std::int64_t restores = 0;
+  std::int64_t quanta = 0;
+  /// Wall-clock spent inside this session's advance() quanta, and the
+  /// committed site-update rate over that time.
+  double busy_seconds = 0;
+  double sites_per_sec = 0;
+};
+
+/// Aggregate serving counters. The two histograms are maintained
+/// locally (not via the obs registry) so they survive -DLATTICE_OBS=OFF
+/// builds: bench_serve gates on their quantiles.
+struct ServeStats {
+  std::int64_t created = 0;
+  std::int64_t destroyed = 0;
+  std::int64_t evicted = 0;
+  std::int64_t restored = 0;
+  std::int64_t rejected = 0;  // create/step refused by a quota
+  std::int64_t quanta = 0;
+  std::int64_t generations = 0;   // committed, summed over sessions
+  std::int64_t site_updates = 0;  // committed generation * area
+  std::int64_t resident = 0;      // current resident engines
+  std::int64_t queue_depth = 0;   // sessions ready-queued right now
+  /// ns from step() enqueue to the commit of that request's last
+  /// generation, one sample per completed step() call.
+  obs::HistogramStats step_latency;
+  /// Ready-queue depth sampled at every enqueue.
+  obs::HistogramStats queue_depth_hist;
+};
+
+class SessionManager {
+ public:
+  struct Config {
+    /// Bounded engine pool: sessions resident in memory at once.
+    int max_resident = 8;
+    /// Dedicated scheduler worker threads (>= 1).
+    unsigned workers = 1;
+    /// Generations granted per scheduling quantum (>= 1); each grant is
+    /// rounded up to the session engine's chunk_quantum().
+    std::int64_t quantum = 8;
+    /// Directory for eviction checkpoints; created on construction,
+    /// session files are removed on destroy() and at destruction.
+    std::string spool_dir = "lattice_spool";
+    /// Admission cap on live sessions (0 = unlimited).
+    std::int64_t max_sessions = 0;
+  };
+
+  /// Applied to the freshly constructed engine's state under the
+  /// manager lock; the GasModel argument is the session's gas.
+  using InitFn =
+      std::function<void(lgca::SiteLattice&, const lgca::GasModel&)>;
+
+  explicit SessionManager(Config config);
+  /// Stops the workers (in-flight quanta finish; queued work is
+  /// dropped) and removes all spool files.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admit a session: construct its engine (evicting an idle resident
+  /// if the pool is full), run `init` on the state, return its id.
+  /// Throws QuotaError past max_sessions, Error on a bad engine config.
+  SessionId create(core::LatticeEngine::Config engine_config,
+                   SessionOptions options = {}, const InitFn& init = {});
+
+  /// Queue `generations` more committed steps for the session. Returns
+  /// immediately; throws QuotaError when a quota refuses.
+  void step(SessionId id, std::int64_t generations);
+
+  /// Block until the session has no pending or running work.
+  void wait(SessionId id);
+  /// Block until no session has pending or running work.
+  void wait_all();
+
+  SessionInfo query(SessionId id) const;
+
+  /// Copy of the session's committed state (waits for idle; reads the
+  /// spool checkpoint when evicted — no restore).
+  lgca::SiteLattice state(SessionId id);
+
+  /// Durable checkpoint of the committed state to `path` (waits for
+  /// idle). Works on resident and evicted sessions alike.
+  void checkpoint(SessionId id, const std::string& path);
+
+  /// Forget the session: waits for a running quantum, drops queued
+  /// work, destroys the engine, removes the spool file.
+  void destroy(SessionId id);
+
+  /// Force-evict a session now (false if running or already evicted).
+  /// Tests use this to provoke memory pressure deterministically; the
+  /// scheduler evicts on its own whenever the pool overflows.
+  bool evict(SessionId id);
+
+  std::int64_t session_count() const;
+  ServeStats stats() const;
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Session;
+
+  void worker_loop();
+  Session* pick_next_locked();
+  void enqueue_locked(Session& s);
+  void make_room_locked();
+  void evict_locked(Session& s);
+  void ensure_resident_locked(Session& s);
+  void wait_idle_locked(std::unique_lock<std::mutex>& lk, SessionId id);
+  Session& session_locked(SessionId id);
+  const Session& session_locked(SessionId id) const;
+  std::string spool_path(SessionId id) const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  bool stop_ = false;
+
+  std::unordered_map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::deque<SessionId> ready_[kPriorityClasses];
+  int rr_class_ = 0;
+  int rr_credit_ = 0;
+  SessionId next_id_ = 1;
+  std::uint64_t touch_clock_ = 0;
+  std::int64_t resident_ = 0;
+  std::int64_t ready_count_ = 0;
+  std::int64_t running_count_ = 0;
+
+  ServeStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lattice::serve

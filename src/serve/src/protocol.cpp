@@ -1,0 +1,341 @@
+#include "lattice/serve/protocol.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "lattice/lgca/init.hpp"
+#include "lattice/obs/json.hpp"
+#include "lattice/serve/json_parse.hpp"
+
+namespace lattice::serve {
+
+namespace {
+
+std::string error_response(const char* code, const std::string& message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("ok", false);
+  w.field("error", code);
+  w.field("message", message);
+  w.end_object();
+  return w.str();
+}
+
+/// Thrown by field helpers; dispatch maps it to bad_request.
+class BadRequest : public Error {
+ public:
+  explicit BadRequest(const std::string& what) : Error(what) {}
+};
+
+std::int64_t require_int(const JsonValue& req, const char* key,
+                         std::int64_t lo, std::int64_t hi) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::Int) {
+    throw BadRequest(std::string("missing or non-integer field '") + key +
+                     "'");
+  }
+  if (v->integer < lo || v->integer > hi) {
+    throw BadRequest(std::string("field '") + key + "' out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v->integer;
+}
+
+std::int64_t int_field(const JsonValue& req, const char* key,
+                       std::int64_t fallback, std::int64_t lo,
+                       std::int64_t hi) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind != JsonValue::Kind::Int) {
+    throw BadRequest(std::string("field '") + key + "' must be an integer");
+  }
+  if (v->integer < lo || v->integer > hi) {
+    throw BadRequest(std::string("field '") + key + "' out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v->integer;
+}
+
+double double_field(const JsonValue& req, const char* key, double fallback,
+                    double lo, double hi) {
+  const JsonValue* v = req.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw BadRequest(std::string("field '") + key + "' must be a number");
+  }
+  const double d = v->double_or(fallback);
+  if (d < lo || d > hi) {
+    throw BadRequest(std::string("field '") + key + "' out of range");
+  }
+  return d;
+}
+
+lgca::GasKind parse_gas(std::string_view s) {
+  if (s == "hpp") return lgca::GasKind::HPP;
+  if (s == "fhp1") return lgca::GasKind::FHP_I;
+  if (s == "fhp2") return lgca::GasKind::FHP_II;
+  if (s == "fhp3") return lgca::GasKind::FHP_III;
+  throw BadRequest("unknown gas '" + std::string(s) +
+                   "' (hpp|fhp1|fhp2|fhp3)");
+}
+
+core::Backend parse_backend(std::string_view s) {
+  if (s == "reference") return core::Backend::Reference;
+  if (s == "bitplane") return core::Backend::BitPlane;
+  if (s == "wsa") return core::Backend::Wsa;
+  if (s == "spa") return core::Backend::Spa;
+  if (s == "wsa_e") return core::Backend::WsaE;
+  throw BadRequest("unknown backend '" + std::string(s) +
+                   "' (reference|bitplane|wsa|spa|wsa_e)");
+}
+
+Priority parse_priority(std::string_view s) {
+  if (s == "interactive") return Priority::Interactive;
+  if (s == "normal") return Priority::Normal;
+  if (s == "batch") return Priority::Batch;
+  throw BadRequest("unknown priority '" + std::string(s) +
+                   "' (interactive|normal|batch)");
+}
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::Interactive:
+      return "interactive";
+    case Priority::Normal:
+      return "normal";
+    case Priority::Batch:
+      return "batch";
+  }
+  return "normal";
+}
+
+}  // namespace
+
+ServeProtocol::ServeProtocol(SessionManager& manager, ProtocolLimits limits,
+                             std::string checkpoint_dir)
+    : manager_(manager),
+      limits_(limits),
+      checkpoint_dir_(std::move(checkpoint_dir)) {}
+
+std::string ServeProtocol::handle(std::string_view frame) {
+  try {
+    return dispatch(frame);
+  } catch (const BadRequest& e) {
+    return error_response("bad_request", e.what());
+  } catch (const JsonParseError& e) {
+    return error_response("parse_error", e.what());
+  } catch (const SessionError& e) {
+    return error_response("unknown_session", e.what());
+  } catch (const QuotaError& e) {
+    return error_response("quota_exceeded", e.what());
+  } catch (const Error& e) {
+    // Engine/config precondition failures (e.g. a gas the bit-plane
+    // backend cannot code) surface as bad_request, not server faults.
+    return error_response("bad_request", e.what());
+  } catch (const std::exception& e) {
+    return error_response("internal", e.what());
+  }
+}
+
+std::string ServeProtocol::dispatch(std::string_view frame) {
+  if (frame.size() > limits_.max_frame_bytes) {
+    return error_response(
+        "frame_too_long",
+        "frame of " + std::to_string(frame.size()) + " bytes exceeds the " +
+            std::to_string(limits_.max_frame_bytes) + "-byte limit");
+  }
+  const JsonValue req = parse_json(frame);
+  if (!req.is_object()) throw BadRequest("request must be a JSON object");
+  const JsonValue* opv = req.find("op");
+  if (opv == nullptr || !opv->is_string()) {
+    throw BadRequest("missing string field 'op'");
+  }
+  const std::string_view op = opv->string;
+
+  if (op == "ping") {
+    obs::JsonWriter w;
+    w.begin_object().field("ok", true).field("pong", true).end_object();
+    return w.str();
+  }
+
+  if (op == "shutdown") {
+    shutdown_.store(true, std::memory_order_release);
+    obs::JsonWriter w;
+    w.begin_object().field("ok", true).field("shutdown", true).end_object();
+    return w.str();
+  }
+
+  if (op == "create") {
+    core::LatticeEngine::Config cfg;
+    cfg.extent.width = require_int(req, "width", 2, limits_.max_side);
+    cfg.extent.height = require_int(req, "height", 2, limits_.max_side);
+    cfg.gas = parse_gas(req.find("gas") != nullptr
+                            ? req.find("gas")->string_or("fhp2")
+                            : "fhp2");
+    cfg.backend = parse_backend(req.find("backend") != nullptr
+                                    ? req.find("backend")->string_or("")
+                                    : "reference");
+    const std::string_view boundary =
+        req.find("boundary") != nullptr ? req.find("boundary")->string_or("")
+                                        : "null";
+    if (boundary == "null") {
+      cfg.boundary = lgca::Boundary::Null;
+    } else if (boundary == "periodic") {
+      cfg.boundary = lgca::Boundary::Periodic;
+    } else {
+      throw BadRequest("unknown boundary (null|periodic)");
+    }
+    cfg.threads =
+        static_cast<unsigned>(int_field(req, "threads", 1, 1, 64));
+    cfg.pipeline_depth =
+        static_cast<int>(int_field(req, "depth", 1, 1, 4096));
+    cfg.tile_generations = static_cast<int>(
+        int_field(req, "tile_generations", 1, 0, 4096));
+
+    SessionOptions opts;
+    opts.priority =
+        parse_priority(req.find("priority") != nullptr
+                           ? req.find("priority")->string_or("")
+                           : "normal");
+    opts.quota.max_generations = int_field(req, "max_generations", 0, 0,
+                                           std::int64_t{1} << 40);
+    opts.quota.max_pending =
+        int_field(req, "max_pending", opts.quota.max_pending, 1,
+                  std::int64_t{1} << 40);
+
+    const std::string_view init = req.find("init") != nullptr
+                                      ? req.find("init")->string_or("")
+                                      : "random";
+    const double density = double_field(req, "density", 0.3, 0.0, 1.0);
+    const auto seed =
+        static_cast<std::uint64_t>(int_field(req, "seed", 1, 0,
+                                             std::int64_t{1} << 62));
+    SessionManager::InitFn init_fn;
+    if (init == "random") {
+      init_fn = [density, seed](lgca::SiteLattice& state,
+                                const lgca::GasModel& model) {
+        lgca::fill_random(state, model, density, seed, 0.1);
+      };
+    } else if (init == "flow") {
+      init_fn = [density, seed](lgca::SiteLattice& state,
+                                const lgca::GasModel& model) {
+        lgca::fill_flow(state, model, density, 0.1, seed);
+      };
+    } else if (init != "empty") {
+      throw BadRequest("unknown init (empty|random|flow)");
+    }
+
+    const SessionId id = manager_.create(cfg, opts, init_fn);
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("ok", true)
+        .field("id", static_cast<std::int64_t>(id))
+        .end_object();
+    return w.str();
+  }
+
+  // Every remaining op addresses one session by id.
+  if (op == "step" || op == "query" || op == "checkpoint" ||
+      op == "destroy") {
+    const auto id = static_cast<SessionId>(
+        require_int(req, "id", 0, std::int64_t{1} << 62));
+
+    if (op == "step") {
+      const std::int64_t gens =
+          require_int(req, "generations", 1, limits_.max_step_generations);
+      manager_.step(id, gens);
+      if (req.find("wait") != nullptr && req.find("wait")->bool_or(false)) {
+        manager_.wait(id);
+      }
+      const SessionInfo info = manager_.query(id);
+      obs::JsonWriter w;
+      w.begin_object()
+          .field("ok", true)
+          .field("id", static_cast<std::int64_t>(id))
+          .field("generation", info.generation)
+          .field("pending", info.pending_generations)
+          .end_object();
+      return w.str();
+    }
+
+    if (op == "query") {
+      const SessionInfo info = manager_.query(id);
+      obs::JsonWriter w;
+      w.begin_object()
+          .field("ok", true)
+          .field("id", static_cast<std::int64_t>(id))
+          .field("generation", info.generation)
+          .field("pending", info.pending_generations)
+          .field("resident", info.resident)
+          .field("running", info.running)
+          .field("priority", priority_name(info.priority))
+          .field("width", info.extent.width)
+          .field("height", info.extent.height)
+          .field("evictions", info.evictions)
+          .field("restores", info.restores)
+          .field("quanta", info.quanta)
+          .field("busy_seconds", info.busy_seconds)
+          .field("sites_per_sec", info.sites_per_sec)
+          .end_object();
+      return w.str();
+    }
+
+    if (op == "checkpoint") {
+      const JsonValue* name = req.find("name");
+      if (name == nullptr || !name->is_string() || name->string.empty()) {
+        throw BadRequest("missing string field 'name'");
+      }
+      if (name->string.find('/') != std::string::npos ||
+          name->string.find("..") != std::string::npos) {
+        throw BadRequest("'name' must be a plain filename");
+      }
+      std::filesystem::create_directories(checkpoint_dir_);
+      const std::string path =
+          checkpoint_dir_ + "/" + name->string + ".ckpt";
+      manager_.checkpoint(id, path);
+      obs::JsonWriter w;
+      w.begin_object()
+          .field("ok", true)
+          .field("id", static_cast<std::int64_t>(id))
+          .field("path", path)
+          .end_object();
+      return w.str();
+    }
+
+    manager_.destroy(id);
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("ok", true)
+        .field("id", static_cast<std::int64_t>(id))
+        .end_object();
+    return w.str();
+  }
+
+  if (op == "stats") {
+    const ServeStats s = manager_.stats();
+    obs::JsonWriter w;
+    w.begin_object()
+        .field("ok", true)
+        .field("sessions", manager_.session_count())
+        .field("created", s.created)
+        .field("destroyed", s.destroyed)
+        .field("evicted", s.evicted)
+        .field("restored", s.restored)
+        .field("rejected", s.rejected)
+        .field("quanta", s.quanta)
+        .field("generations", s.generations)
+        .field("site_updates", s.site_updates)
+        .field("resident", s.resident)
+        .field("queue_depth", s.queue_depth)
+        .field("steps_completed", s.step_latency.count)
+        .field("p50_step_ns", s.step_latency.quantile_ceiling(0.5))
+        .field("p99_step_ns", s.step_latency.quantile_ceiling(0.99))
+        .end_object();
+    return w.str();
+  }
+
+  return error_response("unknown_op",
+                        "unknown op '" + std::string(op) + "'");
+}
+
+}  // namespace lattice::serve

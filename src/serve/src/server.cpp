@@ -1,0 +1,159 @@
+#include "lattice/serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::serve {
+
+namespace {
+
+void log_line(std::FILE* log, const char* fmt, long a = 0, long b = 0) {
+  if (log == nullptr) return;
+  std::fprintf(log, fmt, a, b);
+  std::fflush(log);
+}
+
+/// write() the whole buffer, riding out EINTR and partial writes.
+/// Returns false when the peer is gone (EPIPE/ECONNRESET).
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+#else
+    const ssize_t w = ::write(fd, data + off, n - off);
+#endif
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool respond(int fd, std::string line) {
+  line.push_back('\n');
+  return write_all(fd, line.data(), line.size());
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServeProtocol& protocol, ServerConfig config)
+    : protocol_(protocol), config_(std::move(config)) {}
+
+bool SocketServer::serve_connection(int fd, ServeProtocol& protocol,
+                                    std::FILE* log) {
+  const std::size_t max_frame = protocol.limits().max_frame_bytes;
+  std::string acc;
+  // True while we are discarding bytes of a frame that overflowed
+  // max_frame before a newline arrived: the error response has already
+  // been sent, the stream resyncs at the next newline.
+  bool skipping = false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      log_line(log, "serve: read error errno=%ld\n", errno);
+      return false;
+    }
+    if (n == 0) return false;  // client EOF
+    std::size_t start = 0;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] != '\n') continue;
+      if (skipping) {
+        skipping = false;
+      } else {
+        acc.append(buf + start, static_cast<std::size_t>(i) - start);
+        if (!acc.empty() && acc.back() == '\r') acc.pop_back();
+        if (!acc.empty()) {
+          if (!respond(fd, protocol.handle(acc))) return false;
+          if (protocol.shutdown_requested()) return true;
+        }
+        acc.clear();
+      }
+      start = static_cast<std::size_t>(i) + 1;
+    }
+    if (!skipping) {
+      acc.append(buf + start, static_cast<std::size_t>(n) - start);
+      if (acc.size() > max_frame) {
+        // No newline in sight and the frame is already overlong:
+        // answer once, then drop bytes until the next newline.
+        if (!respond(fd, protocol.handle(acc))) return false;
+        acc.clear();
+        skipping = true;
+      }
+    }
+  }
+}
+
+void SocketServer::run() {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw Error(std::string("serve: socket(): ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof addr.sun_path) {
+    ::close(listen_fd);
+    throw Error("serve: socket path too long: " + config_.socket_path);
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    throw Error("serve: bind(" + config_.socket_path +
+                "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd, config_.backlog) < 0) {
+    const int err = errno;
+    ::close(listen_fd);
+    ::unlink(config_.socket_path.c_str());
+    throw Error(std::string("serve: listen(): ") + std::strerror(err));
+  }
+  log_line(config_.log, "serve: listening (backlog=%ld)\n", config_.backlog);
+
+  std::vector<std::thread> connections;
+  while (!protocol_.shutdown_requested()) {
+    // Poll with a timeout so a shutdown issued on a connection thread
+    // is noticed without racing a close() under a blocked accept().
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    log_line(config_.log, "serve: accepted fd=%ld\n", conn);
+    connections.emplace_back([this, conn] {
+      serve_connection(conn, protocol_, config_.log);
+      ::close(conn);
+    });
+  }
+  ::close(listen_fd);
+  ::unlink(config_.socket_path.c_str());
+  for (auto& t : connections) t.join();
+  log_line(config_.log, "serve: shutdown after %ld connections\n",
+           static_cast<long>(connections.size()));
+}
+
+}  // namespace lattice::serve

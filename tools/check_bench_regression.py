@@ -12,6 +12,9 @@ threads, ...); "simd" is informational only (which span variant the
 recording host dispatched to), so baselines recorded on an AVX-512
 machine still match an AVX2-only CI runner. The gate fails if:
   * any baseline row is missing from the current run,
+  * any key a baseline row carries (measurement keys included) is
+    absent from the matched current row — a bench that silently stops
+    reporting a field must not pass the gate,
   * any current row reports exact == false,
   * any matched row's sites_per_sec fell more than --max-regression x
     below the baseline (default 5x — wide enough to absorb machine
@@ -31,7 +34,8 @@ import json
 import sys
 
 MEASUREMENT_KEYS = {"seconds", "sites_per_sec", "speedup_vs_lut",
-                    "speedup_vs_serial", "exact", "simd"}
+                    "speedup_vs_serial", "exact", "simd",
+                    "p50_step_ns", "p99_step_ns"}
 
 
 def row_key(row):
@@ -68,6 +72,22 @@ def check_thread_monotone(current, tolerance):
     return failures
 
 
+def print_delta_table(label, base, cur):
+    """Per-key baseline/current comparison for one failing row: every
+    key, not just the first offending one, so a CI log is enough to
+    diagnose the failure without re-running the bench locally."""
+    print(f"\n  -- per-key delta for failing row: {label}")
+    print(f"  {'key':24s} {'baseline':>14s} {'current':>14s} {'delta':>12s}")
+    for key in sorted(set(base) | set(cur)):
+        b, c = base.get(key, "<absent>"), cur.get(key, "<absent>")
+        if isinstance(b, (int, float)) and isinstance(c, (int, float)) \
+                and not isinstance(b, bool) and not isinstance(c, bool):
+            delta = f"{c - b:+.3g}"
+        else:
+            delta = "" if b == c else "DIFFERS"
+        print(f"  {key:24s} {str(b):>14s} {str(c):>14s} {delta:>12s}")
+
+
 def check_pair(current_path, baseline_path, max_regression,
                monotone_tolerance):
     """Returns a list of failure strings (empty = this pair passes)."""
@@ -77,6 +97,9 @@ def check_pair(current_path, baseline_path, max_regression,
         baseline = json.load(f)
 
     print(f"\n== {current_path} vs {baseline_path} ==")
+    if baseline.get("rows") and not current.get("rows"):
+        return [f"{current_path}: no rows (baseline has "
+                f"{len(baseline['rows'])})"]
     current_rows = {row_key(r): r for r in current.get("rows", [])}
     failures = check_thread_monotone(current, monotone_tolerance)
 
@@ -88,19 +111,35 @@ def check_pair(current_path, baseline_path, max_regression,
     for base in baseline.get("rows", []):
         key = row_key(base)
         label = " ".join(str(v) for _, v in key)
+        base_rate = base.get("sites_per_sec", float("nan"))
         cur = current_rows.get(key)
         if cur is None:
             failures.append(f"row missing from current run: {label}")
-            print(f"{label:58s} {base['sites_per_sec']:12.3e} {'MISSING':>12s}")
+            print(f"{label:58s} {base_rate:12.3e} {'MISSING':>12s}")
             continue
-        ratio = cur["sites_per_sec"] / base["sites_per_sec"]
-        print(f"{label:58s} {base['sites_per_sec']:12.3e} "
-              f"{cur['sites_per_sec']:12.3e} {ratio:6.2f}x")
-        if ratio < 1.0 / max_regression:
-            failures.append(
-                f"{label}: {cur['sites_per_sec']:.3e} sites/s is more than "
-                f"{max_regression:g}x below baseline "
-                f"{base['sites_per_sec']:.3e}")
+        row_failures = []
+        # Every key the baseline row carries — measurements included —
+        # must exist in the matched current row: a bench that stopped
+        # reporting a field is a gate failure, not a silent pass.
+        absent = sorted(k for k in base if k not in cur)
+        if absent:
+            row_failures.append(
+                f"{label}: keys in baseline but absent from current row: "
+                + ", ".join(absent))
+        if "sites_per_sec" in cur and "sites_per_sec" in base:
+            ratio = cur["sites_per_sec"] / base_rate
+            print(f"{label:58s} {base_rate:12.3e} "
+                  f"{cur['sites_per_sec']:12.3e} {ratio:6.2f}x")
+            if ratio < 1.0 / max_regression:
+                row_failures.append(
+                    f"{label}: {cur['sites_per_sec']:.3e} sites/s is more "
+                    f"than {max_regression:g}x below baseline "
+                    f"{base_rate:.3e}")
+        else:
+            print(f"{label:58s} {base_rate:12.3e} {'NO RATE':>12s}")
+        if row_failures:
+            failures += row_failures
+            print_delta_table(label, base, cur)
     return failures
 
 

@@ -1,0 +1,397 @@
+// lattice_serve — the serving front door: a SessionManager behind a
+// newline-delimited JSON protocol on a local AF_UNIX socket.
+//
+//   lattice_serve --socket PATH [pool options]     server mode
+//   lattice_serve --connect PATH                   client mode: reads
+//       request lines from stdin, prints one response line per request,
+//       exits on EOF or after the server acknowledges a shutdown.
+//   lattice_serve --smoke [pool options]           in-process selftest:
+//       runs the protocol over a socketpair(2) — a real byte stream,
+//       no filesystem socket — driving create/step/query/checkpoint/
+//       destroy/stats/shutdown plus malformed frames, and exits 0 only
+//       if every response matches expectation.
+//
+// Pool options (server and smoke modes):
+//   --max-resident N   engine pool size              (default 8)
+//   --workers N        scheduler worker threads      (default 2)
+//   --quantum N        generations per grant         (default 8)
+//   --spool DIR        eviction checkpoint directory (default lattice_spool)
+//   --ckpt-dir DIR     {"op":"checkpoint"} directory (default lattice_ckpt)
+//   --max-sessions N   admission cap, 0 = unlimited  (default 0)
+//   --log FILE         connection log (server mode; default stderr)
+//
+// The wire grammar lives in lattice/serve/protocol.hpp and
+// docs/SERVING.md. CI's serve smoke job runs the server and client
+// modes against each other; the --smoke mode doubles as the ctest
+// `lattice_serve_smoke` entry so the tool is exercised even where unix
+// sockets in the test sandbox are unwelcome.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lattice/serve/json_parse.hpp"
+#include "lattice/serve/server.hpp"
+
+namespace {
+
+using lattice::serve::JsonValue;
+using lattice::serve::parse_json;
+using lattice::serve::ProtocolLimits;
+using lattice::serve::ServeProtocol;
+using lattice::serve::ServerConfig;
+using lattice::serve::SessionManager;
+using lattice::serve::SocketServer;
+
+std::int64_t field_int(const JsonValue& v, const char* key,
+                       std::int64_t fallback) {
+  const JsonValue* f = v.find(key);
+  return f != nullptr ? f->int_or(fallback) : fallback;
+}
+
+bool field_bool(const JsonValue& v, const char* key, bool fallback) {
+  const JsonValue* f = v.find(key);
+  return f != nullptr ? f->bool_or(fallback) : fallback;
+}
+
+struct Options {
+  enum class Mode { None, Server, Client, Smoke } mode = Mode::None;
+  std::string path;  // socket path (server/client)
+  std::string log_path;
+  SessionManager::Config pool;
+  std::string ckpt_dir = "lattice_ckpt";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH | --connect PATH | --smoke\n"
+               "          [--max-resident N] [--workers N] [--quantum N]\n"
+               "          [--spool DIR] [--ckpt-dir DIR] [--max-sessions N]\n"
+               "          [--log FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::int64_t parse_i64(const char* s, const char* flag) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "lattice_serve: bad value for %s: %s\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  o.pool.workers = 2;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--socket") {
+      o.mode = Options::Mode::Server;
+      o.path = need(i++);
+    } else if (a == "--connect") {
+      o.mode = Options::Mode::Client;
+      o.path = need(i++);
+    } else if (a == "--smoke") {
+      o.mode = Options::Mode::Smoke;
+    } else if (a == "--max-resident") {
+      o.pool.max_resident = static_cast<int>(parse_i64(need(i++), "--max-resident"));
+    } else if (a == "--workers") {
+      o.pool.workers = static_cast<unsigned>(parse_i64(need(i++), "--workers"));
+    } else if (a == "--quantum") {
+      o.pool.quantum = parse_i64(need(i++), "--quantum");
+    } else if (a == "--spool") {
+      o.pool.spool_dir = need(i++);
+    } else if (a == "--ckpt-dir") {
+      o.ckpt_dir = need(i++);
+    } else if (a == "--max-sessions") {
+      o.pool.max_sessions = parse_i64(need(i++), "--max-sessions");
+    } else if (a == "--log") {
+      o.log_path = need(i++);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.mode == Options::Mode::None) usage(argv[0]);
+  return o;
+}
+
+int run_server(const Options& o) {
+  std::FILE* log = stderr;
+  if (!o.log_path.empty()) {
+    log = std::fopen(o.log_path.c_str(), "w");
+    if (log == nullptr) {
+      std::fprintf(stderr, "lattice_serve: cannot open log %s\n",
+                   o.log_path.c_str());
+      return 1;
+    }
+  }
+  try {
+    SessionManager manager(o.pool);
+    ServeProtocol protocol(manager, ProtocolLimits{}, o.ckpt_dir);
+    SocketServer server(protocol, ServerConfig{o.path, 16, log});
+    std::fprintf(log, "serve: socket=%s max_resident=%d workers=%u\n",
+                 o.path.c_str(), o.pool.max_resident, o.pool.workers);
+    std::fflush(log);
+    server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(log, "serve: fatal: %s\n", e.what());
+    if (log != stderr) std::fclose(log);
+    return 1;
+  }
+  std::fprintf(log, "serve: clean shutdown\n");
+  if (log != stderr) std::fclose(log);
+  return 0;
+}
+
+/// Read one '\n'-terminated line from fd. False on EOF/error.
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return !line.empty();
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+bool write_line(int fd, std::string line) {
+  line.push_back('\n');
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t w = ::write(fd, line.data() + off, line.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+int run_client(const Options& o) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("lattice_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (o.path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "lattice_serve: socket path too long\n");
+    return 1;
+  }
+  std::memcpy(addr.sun_path, o.path.c_str(), o.path.size() + 1);
+  // The server may still be binding; retry briefly so the CI smoke
+  // script needs no sleep choreography.
+  int rc = -1;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (rc == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (rc != 0) {
+    std::perror("lattice_serve: connect");
+    return 1;
+  }
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t n;
+  int status = 0;
+  bool shutdown_acked = false;
+  while ((n = ::getline(&line, &cap, stdin)) > 0) {
+    std::string req(line, static_cast<std::size_t>(n));
+    while (!req.empty() && (req.back() == '\n' || req.back() == '\r')) {
+      req.pop_back();
+    }
+    if (req.empty()) continue;
+    if (!write_line(fd, req)) {
+      std::fprintf(stderr, "lattice_serve: server closed connection\n");
+      status = 1;
+      break;
+    }
+    std::string resp;
+    if (!read_line(fd, resp)) {
+      std::fprintf(stderr, "lattice_serve: no response\n");
+      status = 1;
+      break;
+    }
+    std::printf("%s\n", resp.c_str());
+    std::fflush(stdout);
+    try {
+      const JsonValue v = parse_json(resp);
+      if (!field_bool(v, "ok", false)) status = 1;
+      if (field_bool(v, "shutdown", false)) {
+        shutdown_acked = true;
+        break;
+      }
+    } catch (const std::exception&) {
+      status = 1;
+    }
+  }
+  std::free(line);
+  ::close(fd);
+  if (status != 0) {
+    std::fprintf(stderr, "lattice_serve: %s\n",
+                 shutdown_acked ? "done" : "one or more requests failed");
+  }
+  return status;
+}
+
+// ---- --smoke: drive the full stack over a socketpair ----
+
+struct SmokeClient {
+  int fd;
+  int failures = 0;
+
+  /// Send `req`, expect `"ok":` to be `want_ok`; returns the response.
+  std::string roundtrip(const std::string& req, bool want_ok) {
+    if (!write_line(fd, req)) {
+      std::fprintf(stderr, "smoke: FAIL write: %s\n", req.c_str());
+      ++failures;
+      return {};
+    }
+    std::string resp;
+    if (!read_line(fd, resp)) {
+      std::fprintf(stderr, "smoke: FAIL no response to: %s\n", req.c_str());
+      ++failures;
+      return {};
+    }
+    bool ok = false;
+    try {
+      ok = field_bool(parse_json(resp), "ok", false);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "smoke: FAIL unparsable response %s (%s)\n",
+                   resp.c_str(), e.what());
+      ++failures;
+      return resp;
+    }
+    if (ok != want_ok) {
+      std::fprintf(stderr, "smoke: FAIL %s -> %s (wanted ok=%d)\n",
+                   req.c_str(), resp.c_str(), want_ok ? 1 : 0);
+      ++failures;
+    }
+    return resp;
+  }
+};
+
+int run_smoke(const Options& o) {
+  SessionManager::Config pool = o.pool;
+  pool.max_resident = 2;  // force eviction traffic even in the smoke
+  SessionManager manager(pool);
+  ServeProtocol protocol(manager, ProtocolLimits{}, o.ckpt_dir);
+
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    std::perror("lattice_serve: socketpair");
+    return 1;
+  }
+  std::thread server([&] {
+    SocketServer::serve_connection(fds[0], protocol, nullptr);
+    ::close(fds[0]);
+  });
+
+  SmokeClient c{fds[1]};
+  std::vector<std::int64_t> ids;
+  // Three sessions against a pool of two: the third create must evict.
+  for (int i = 0; i < 3; ++i) {
+    const std::string resp = c.roundtrip(
+        "{\"op\":\"create\",\"width\":32,\"height\":32,\"gas\":\"hpp\","
+        "\"backend\":\"bitplane\",\"init\":\"random\",\"seed\":" +
+            std::to_string(7 + i) + "}",
+        true);
+    try {
+      ids.push_back(field_int(parse_json(resp), "id", -1));
+    } catch (const std::exception&) {
+      ids.push_back(-1);
+    }
+  }
+  for (const std::int64_t id : ids) {
+    c.roundtrip("{\"op\":\"step\",\"id\":" + std::to_string(id) +
+                    ",\"generations\":16,\"wait\":true}",
+                true);
+  }
+  for (const std::int64_t id : ids) {
+    const std::string resp = c.roundtrip(
+        "{\"op\":\"query\",\"id\":" + std::to_string(id) + "}", true);
+    try {
+      if (field_int(parse_json(resp), "generation", -1) != 16) {
+        std::fprintf(stderr, "smoke: FAIL generation != 16: %s\n",
+                     resp.c_str());
+        ++c.failures;
+      }
+    } catch (const std::exception&) {
+      ++c.failures;
+    }
+  }
+  c.roundtrip("{\"op\":\"checkpoint\",\"id\":" + std::to_string(ids[0]) +
+                  ",\"name\":\"smoke\"}",
+              true);
+  // Typed-error paths: each must answer, none may down the server.
+  c.roundtrip("{\"op\":\"query\",\"id\":999999}", false);
+  c.roundtrip("{\"op\":\"step\",\"id\":1}", false);  // missing generations
+  c.roundtrip("not json at all", false);
+  c.roundtrip("{\"op\":\"nope\"}", false);
+  c.roundtrip("{\"op\":\"create\",\"width\":1,\"height\":9}", false);
+  c.roundtrip("{\"op\":\"ping\"}", true);  // server alive after the abuse
+  for (const std::int64_t id : ids) {
+    c.roundtrip("{\"op\":\"destroy\",\"id\":" + std::to_string(id) + "}",
+                true);
+  }
+  const std::string stats = c.roundtrip("{\"op\":\"stats\"}", true);
+  try {
+    const JsonValue v = parse_json(stats);
+    if (field_int(v, "created", 0) != 3 || field_int(v, "destroyed", 0) != 3 ||
+        field_int(v, "evicted", 0) < 1 || field_int(v, "restored", 0) < 1) {
+      std::fprintf(stderr, "smoke: FAIL stats counters: %s\n", stats.c_str());
+      ++c.failures;
+    }
+  } catch (const std::exception&) {
+    ++c.failures;
+  }
+  c.roundtrip("{\"op\":\"shutdown\"}", true);
+  server.join();
+  ::close(fds[1]);
+  if (c.failures == 0) {
+    std::printf("lattice_serve --smoke: PASS\n");
+    return 0;
+  }
+  std::fprintf(stderr, "lattice_serve --smoke: %d failure(s)\n", c.failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  switch (o.mode) {
+    case Options::Mode::Server:
+      return run_server(o);
+    case Options::Mode::Client:
+      return run_client(o);
+    case Options::Mode::Smoke:
+      return run_smoke(o);
+    case Options::Mode::None:
+      break;
+  }
+  return 2;
+}
