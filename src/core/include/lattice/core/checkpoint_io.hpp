@@ -8,20 +8,27 @@
 //
 //   offset  size  field
 //        0     4  magic "LCKP" (little-endian u32)
-//        4     4  format version (currently 1)
-//        8     8  extent.width   (i64)
-//       16     8  extent.height  (i64)
-//       24     1  boundary (0 = Null, 1 = Periodic)
-//       25     8  generation (i64)
-//       33   w·h  site payload, row-major, one byte per site
+//        4     4  format version (currently 2)
+//        8     8  width  nx      (i64)
+//       16     8  height ny      (i64)
+//       24     8  depth  nz      (i64; v2 only — absent in v1, where
+//                                 the geometry is {nx, ny} with nz = 1)
+//     32/24     1  boundary (0 = Null, 1 = Periodic)
+//     33/25     8  generation (i64)
+//          nx·ny·nz  site payload, raster (z·ny + y)·nx + x, one byte
+//                    per site (row-major for nz = 1)
 //      end     8  FNV-1a 64 checksum of bytes [0, end)
 //
 // All multi-byte fields are little-endian regardless of host order, so
-// a checkpoint written on one machine restores on another. load()
-// rejects — with a typed CheckpointError, never a silent zero state —
-// bad magic, unknown versions, nonsense geometry, truncation, and any
-// bit flip anywhere in the file (the checksum covers the header too,
-// so a corrupted extent cannot masquerade as a different lattice).
+// a checkpoint written on one machine restores on another. save()
+// always writes v2; load() accepts v1 files unchanged (they have no
+// depth field and restore with depth 1). load() rejects — with a typed
+// CheckpointError, never a silent zero state — bad magic, unknown
+// versions, nonsense geometry (each side bounded, and the nx·ny·nz
+// volume bounded overflow-safely BEFORE any allocation, so a hostile
+// header cannot request a 2^60-byte buffer), truncation, and any bit
+// flip anywhere in the file (the checksum covers the header too, so a
+// corrupted extent cannot masquerade as a different lattice).
 //
 // The payload is the byte-site SiteLattice image, which every backend
 // shares (the bit-plane backend packs/unpacks around it), so a

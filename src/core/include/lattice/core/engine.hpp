@@ -55,7 +55,17 @@ enum class Backend {
               // boolean-algebra collisions (HPP, FHP-I/II gases only)
   WsaE,       // extensible WSA (§5): one PE per chip, line buffer
               // off-chip on an external memory channel
+  Reference3, // golden gather-and-collide updater for the cubic 3-D
+              // gas (Config::depth z-planes; custom rules rejected)
+  BitPlane3,  // multi-spin coded 3-D backend: z-slab banding, scalar64
+              // boolean-algebra collisions of the cubic gas
 };
+
+/// Whether `backend` runs the cubic 3-D gas over a {nx, ny, nz} volume
+/// (carried through the engine as the flat {nx, ny·nz} byte lattice).
+constexpr bool backend_is_3d(Backend backend) noexcept {
+  return backend == Backend::Reference3 || backend == Backend::BitPlane3;
+}
 
 /// What a run cost and what the technology model says about it.
 struct PerformanceReport {
@@ -118,16 +128,25 @@ struct PerformanceReport {
   double effective_measured_rate = 0; // committed / wall_seconds
 };
 
-/// A resumable engine snapshot (see LatticeEngine::checkpoint).
+/// A resumable engine snapshot (see LatticeEngine::checkpoint). For a
+/// 3-D engine `state` is the flat {nx, ny·nz} view and `depth` records
+/// nz, so restore() and the durable format can reject a snapshot whose
+/// volume factorization does not match the target engine.
 struct EngineCheckpoint {
   lgca::SiteLattice state;
   std::int64_t generation = 0;
+  std::int64_t depth = 1;
 };
 
 class LatticeEngine {
  public:
   struct Config {
     Extent extent{64, 64};
+    /// z extent (nz) for the 3-D backends: the engine's state becomes
+    /// the flat {width, height·depth} byte view of a {width, height,
+    /// depth} volume (raster order (z·ny + y)·nx + x — byte-compatible
+    /// with lgca3d::Lattice3). Must be 1 for every 2-D backend.
+    std::int64_t depth = 1;
     lgca::GasKind gas = lgca::GasKind::FHP_II;
     /// Override: run an arbitrary rule instead of a gas (the engine
     /// does not own it; it must outlive the engine).
@@ -212,7 +231,9 @@ class LatticeEngine {
   void advance(std::int64_t generations);
 
   /// Snapshot the current state and generation for later restore().
-  EngineCheckpoint checkpoint() const { return {state_, generation_}; }
+  EngineCheckpoint checkpoint() const {
+    return {state_, generation_, config_.depth};
+  }
 
   /// Generation quantum of one executor pass (>= 1): a temporally-tiled
   /// executor commits whole tile blocks, so callers that slice work into

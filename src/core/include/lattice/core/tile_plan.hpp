@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "lattice/lgca/temporal_tile.hpp"
+#include "lattice/lgca3d/plane_lattice3.hpp"
 
 namespace lattice::core {
 
@@ -88,5 +89,21 @@ TilePlan plan_temporal_tiles(Extent extent, lgca::Boundary boundary,
                              std::int64_t row_bytes,
                              std::int64_t requested_depth,
                              std::int64_t cache_bytes = 0);
+
+/// Bytes of one z-plane slab in the 3-D bit-plane layout: ny bit-plane
+/// storage rows. The slab is the tile unit of the z-blocked 3-D
+/// drivers, so it plays the role plane_row_bytes plays in 2-D.
+std::int64_t plane_slab_bytes(lgca3d::Extent3 extent);
+
+/// The d = 3 plan: identical cache model with the row unit promoted to
+/// a z-plane slab (TilePlan::tile_rows counts z-planes, row_bytes holds
+/// slab bytes) and the Theorem 4 ceiling evaluated at d = 3 — the
+/// working set a depth-k z-slab trapezoid pins is what bends R/B toward
+/// the S^(1/3) law. The returned plan always satisfies
+/// lgca3d::temporal_tiling_feasible3 or has depth == 1.
+TilePlan plan_temporal_tiles3(lgca3d::Extent3 extent,
+                              lgca3d::Boundary3 boundary,
+                              std::int64_t requested_depth,
+                              std::int64_t cache_bytes = 0);
 
 }  // namespace lattice::core

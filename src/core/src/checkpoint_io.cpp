@@ -12,7 +12,11 @@ namespace lattice::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x504B434Cu;  // "LCKP" on disk
-constexpr std::uint32_t kVersion = 1;
+// v1 carried a {width, height} geometry; v2 inserts a depth (nz) field
+// after height so 3-D volumes round-trip with their factorization.
+// save() always writes v2; load() still accepts v1 (depth = 1).
+constexpr std::uint32_t kVersionLegacy2d = 1;
+constexpr std::uint32_t kVersion = 2;
 
 // FNV-1a 64: tiny, dependency-free, and plenty for detecting the
 // accidental corruptions this guards against (truncation, bit flips,
@@ -79,11 +83,17 @@ std::uint32_t get_u32(std::istream& in, Hasher& hash) {
 
 void save_checkpoint(const EngineCheckpoint& ckpt, std::ostream& out) {
   const Extent e = ckpt.state.extent();
+  // The checkpoint's state is the flat {nx, ny·nz} view; the file
+  // stores the semantic per-plane height so a reader reconstructs the
+  // same volume the writer held.
+  LATTICE_REQUIRE(ckpt.depth >= 1 && e.height % ckpt.depth == 0,
+                  "checkpoint depth does not divide the flat height");
   Hasher hash;
   put_u32(out, hash, kMagic);
   put_u32(out, hash, kVersion);
   put_u64(out, hash, static_cast<std::uint64_t>(e.width));
-  put_u64(out, hash, static_cast<std::uint64_t>(e.height));
+  put_u64(out, hash, static_cast<std::uint64_t>(e.height / ckpt.depth));
+  put_u64(out, hash, static_cast<std::uint64_t>(ckpt.depth));
   const unsigned char boundary =
       ckpt.state.boundary() == lgca::Boundary::Periodic ? 1 : 0;
   put_bytes(out, hash, &boundary, 1);
@@ -118,20 +128,29 @@ EngineCheckpoint load_checkpoint(std::istream& in) {
     throw CheckpointError("not a checkpoint file (bad magic)");
   }
   const std::uint32_t version = get_u32(in, hash);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionLegacy2d) {
     throw CheckpointError("unsupported checkpoint version " +
                           std::to_string(version));
   }
   const auto width = static_cast<std::int64_t>(get_u64(in, hash));
   const auto height = static_cast<std::int64_t>(get_u64(in, hash));
-  // Sanity-bound the geometry before allocating width·height bytes: a
+  const auto depth = version >= kVersion
+                         ? static_cast<std::int64_t>(get_u64(in, hash))
+                         : std::int64_t{1};
+  // Sanity-bound the geometry before allocating nx·ny·nz bytes: a
   // corrupted header must not turn into a 2^60-byte allocation. The
-  // checksum would catch it anyway, but only after the damage.
+  // checksum would catch it anyway, but only after the damage. Each
+  // side is bounded, then the volume, with divisions so the product
+  // check itself cannot overflow.
   constexpr std::int64_t kMaxSide = std::int64_t{1} << 24;
-  if (width <= 0 || height <= 0 || width > kMaxSide || height > kMaxSide) {
+  constexpr std::int64_t kMaxVolume = std::int64_t{1} << 42;
+  if (width <= 0 || height <= 0 || depth <= 0 || width > kMaxSide ||
+      height > kMaxSide || depth > kMaxSide ||
+      height > kMaxVolume / width || depth > kMaxVolume / (width * height)) {
     throw CheckpointError("checkpoint geometry out of range: " +
                           std::to_string(width) + "x" +
-                          std::to_string(height));
+                          std::to_string(height) + "x" +
+                          std::to_string(depth));
   }
   unsigned char boundary = 0;
   get_bytes(in, hash, &boundary, 1);
@@ -145,9 +164,10 @@ EngineCheckpoint load_checkpoint(std::istream& in) {
   }
   EngineCheckpoint ckpt;
   ckpt.state = lgca::SiteLattice(
-      Extent{width, height},
+      Extent{width, height * depth},
       boundary == 1 ? lgca::Boundary::Periodic : lgca::Boundary::Null);
   ckpt.generation = generation;
+  ckpt.depth = depth;
   get_bytes(in, hash,
             reinterpret_cast<unsigned char*>(ckpt.state.grid().data()),
             ckpt.state.site_count());

@@ -12,10 +12,26 @@
 #include "lattice/obs/metrics.hpp"
 #include "lattice/obs/trace.hpp"
 #include "lattice/pebble/bounds.hpp"
+#include "volume3.hpp"
 
 namespace lattice::core {
 
 namespace {
+
+// Resolve the extent of the engine's state buffers. A 3-D backend
+// carries the {nx, ny, nz} volume as its flat {nx, ny·nz} byte view
+// (validated as a volume first, so hostile extents fail with a typed
+// error before any allocation); every 2-D backend requires depth == 1.
+Extent engine_state_extent(const LatticeEngine::Config& config) {
+  LATTICE_REQUIRE(config.depth >= 1, "depth must be >= 1");
+  if (backend_is_3d(config.backend)) {
+    lgca3d::validate_extent3(detail::extent3_of(config));
+    return lgca3d::flat_extent(detail::extent3_of(config));
+  }
+  LATTICE_REQUIRE(config.depth == 1,
+                  "depth > 1 needs a 3-D backend (Reference3 or BitPlane3)");
+  return config.extent;
+}
 
 // Resolved once; the engine's hot loop then only touches atomics. The
 // per-backend pass histograms live with the executors (each BackendExec
@@ -63,8 +79,8 @@ std::int64_t pick_spa_slice_width(const arch::Technology& tech,
 
 LatticeEngine::LatticeEngine(Config config)
     : config_(config),
-      initial_({config.extent.width, config.extent.height}, config.boundary),
-      state_({config.extent.width, config.extent.height}, config.boundary) {
+      initial_(engine_state_extent(config), config.boundary),
+      state_(engine_state_extent(config), config.boundary) {
   LATTICE_REQUIRE(config_.pipeline_depth >= 1, "pipeline depth must be >= 1");
   if (config_.custom_rule != nullptr) {
     rule_ = config_.custom_rule;
@@ -247,7 +263,13 @@ void LatticeEngine::advance_guarded(std::int64_t generations) {
       if (exec_->try_degrade()) continue;
       if (config_.oracle_fallback) {
         const obs::TraceSpan oracle_span("engine.oracle");
-        lgca::reference_run(state_, *rule_, chunk, generation_);
+        if (backend_is_3d(config_.backend)) {
+          detail::reference_run3(state_, detail::extent3_of(config_),
+                                 lgca3d::to_boundary3(config_.boundary),
+                                 chunk, generation_);
+        } else {
+          lgca::reference_run(state_, *rule_, chunk, generation_);
+        }
         generation_ += chunk;
         ++oracle_passes_;
         obs::count(EngineObs::get().oracle_passes, 1);
@@ -273,6 +295,9 @@ void LatticeEngine::restore(const EngineCheckpoint& ckpt) {
                   "checkpoint extent does not match the engine");
   LATTICE_REQUIRE(ckpt.state.boundary() == state_.boundary(),
                   "checkpoint boundary mode does not match the engine");
+  LATTICE_REQUIRE(ckpt.depth == config_.depth,
+                  "checkpoint depth does not match the engine: the same "
+                  "flat byte count can factor into different volumes");
   LATTICE_REQUIRE(ckpt.generation >= 0, "checkpoint generation must be >= 0");
   const obs::ScopedTimer timer(EngineObs::get().restore_ns);
   state_ = ckpt.state;
@@ -301,12 +326,14 @@ PerformanceReport LatticeEngine::report() const {
   exec_->fill_report(r);
 
   if (r.bandwidth_bits_per_tick > 0 && r.storage_sites > 0) {
-    // B in site values per second, d = kEngineLatticeDim.
+    // B in site values per second; d follows the lattice the backend
+    // actually runs (the 3-D backends report against the S^(1/3) law).
     const double bw_sites = r.bandwidth_bits_per_tick /
                             config_.tech.bits_per_site * config_.tech.clock_hz;
+    const int dim =
+        backend_is_3d(config_.backend) ? 3 : pebble::kEngineLatticeDim;
     r.pebbling_rate_ceiling = pebble::update_rate_upper(
-        pebble::kEngineLatticeDim, static_cast<double>(r.storage_sites),
-        bw_sites);
+        dim, static_cast<double>(r.storage_sites), bw_sites);
   }
 
   // Robustness accounting. committed_updates counts only generations
@@ -344,7 +371,13 @@ MetricsReport LatticeEngine::snapshot() const {
 bool LatticeEngine::verify_against_reference() const {
   if (!initial_captured_) return true;
   lgca::SiteLattice replay = initial_;
-  lgca::reference_run(replay, *rule_, generation_, 0);
+  if (backend_is_3d(config_.backend)) {
+    detail::reference_run3(replay, detail::extent3_of(config_),
+                           lgca3d::to_boundary3(config_.boundary),
+                           generation_, 0);
+  } else {
+    lgca::reference_run(replay, *rule_, generation_, 0);
+  }
   return replay == state_;
 }
 

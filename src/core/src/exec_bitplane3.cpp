@@ -1,0 +1,100 @@
+// BitPlane3Exec — the multi-spin coded 3-D backend: 64 sites/word
+// along x, boolean-algebra collisions of the cubic gas, z-slab banding
+// across threads, and temporal z-slab tiling per the d = 3 cache plan.
+// Mirrors BitPlaneExec one dimension up; the engine's state is the
+// flat {nx, ny·nz} byte view and the runners pack/unpack around it.
+//
+// max_chunk() takes everything in one pass for the same reasons as the
+// 2-D executor: pipeline_depth is a hardware parameter here, and
+// chunking would re-pay the pack/unpack transpose per chunk.
+
+#include <optional>
+
+#include "exec_factories.hpp"
+#include "lattice/core/tile_plan.hpp"
+#include "lattice/fault/memory_guard.hpp"
+#include "lattice/lgca3d/plane_kernel3.hpp"
+#include "lattice/obs/metrics.hpp"
+#include "volume3.hpp"
+
+namespace lattice::core::detail {
+
+namespace {
+
+class BitPlane3Exec final : public BackendExec {
+ public:
+  BitPlane3Exec(const LatticeEngine::Config& config,
+                fault::FaultInjector* injector)
+      : BackendExec("bitplane3", config.pipeline_depth),
+        extent_(extent3_of(config)),
+        threads_(config.threads),
+        injector_(injector),
+        plan_(plan_temporal_tiles3(extent_,
+                                   lgca3d::to_boundary3(config.boundary),
+                                   config.tile_generations)) {
+    if (injector_ != nullptr) guard_.emplace(*injector_);
+    // The 3-D spans are scalar64-only (see plane_kernel3.hpp); the
+    // gauge keeps profiles honest about which width this backend ran.
+    static const obs::MetricsRegistry::Id simd_id =
+        obs::gauge_id("bitplane3.simd_bits");
+    obs::gauge_set(simd_id, 64);
+  }
+
+  void prepare(const lgca::SiteLattice& state) override { (void)state; }
+
+  std::int64_t max_chunk(std::int64_t remaining) const noexcept override {
+    return remaining;
+  }
+
+  std::int64_t chunk_quantum() const noexcept override { return plan_.depth; }
+
+  void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
+                std::int64_t generation) override {
+    if (plan_.depth > 1) {
+      lgca3d::bitplane_gas_run_tiled3(state, extent_, chunk, generation,
+                                      threads_, plan_.tiling(),
+                                      guard_ ? &*guard_ : nullptr);
+    } else {
+      lgca3d::bitplane_gas_run3(state, extent_, chunk, generation, threads_,
+                                /*band_grain_words=*/0,
+                                guard_ ? &*guard_ : nullptr);
+    }
+    stats_.site_updates += extent_.volume() * chunk;
+  }
+
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    // Plane-resident storage realizes every plane-memory source; the
+    // machine-memory sources have no physical analog here.
+    return !plan.arms_machine_memory();
+  }
+
+  bool try_degrade() override {
+    if (injector_ != nullptr && injector_->has_stuck_planes()) {
+      injector_->disable_stuck_planes();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  lgca3d::Extent3 extent_;
+  unsigned threads_;
+  fault::FaultInjector* injector_;
+  TilePlan plan_;
+  std::optional<fault::PlaneMemoryGuard> guard_;
+};
+
+}  // namespace
+
+std::unique_ptr<BackendExec> make_bitplane3_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector) {
+  (void)rule;
+  LATTICE_REQUIRE(config.custom_rule == nullptr,
+                  "the 3-D backends run the cubic gas only; custom "
+                  "rules have no boolean-algebra kernel");
+  return std::make_unique<BitPlane3Exec>(config, injector);
+}
+
+}  // namespace lattice::core::detail

@@ -31,4 +31,12 @@ std::unique_ptr<BackendExec> make_wsa_e_exec(
     const LatticeEngine::Config& config, const lgca::Rule& rule,
     fault::FaultInjector* injector);
 
+std::unique_ptr<BackendExec> make_reference3_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector);
+
+std::unique_ptr<BackendExec> make_bitplane3_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector);
+
 }  // namespace lattice::core::detail

@@ -1,0 +1,88 @@
+// Reference3Exec — the golden gather-and-collide updater for the cubic
+// 3-D gas behind the executor interface. The engine's state stays the
+// flat {nx, ny·nz} byte view; each pass crosses into a Lattice3 (an
+// exact memcpy — the rasters coincide), runs the lgca3d reference
+// updater, and crosses back. Deliberately unclever: this executor is
+// the oracle the BitPlane3 backend is measured against, so it reuses
+// the reference updater the parity tests trust rather than growing a
+// fast path of its own.
+
+#include <cstring>
+#include <optional>
+
+#include "exec_factories.hpp"
+#include "lattice/fault/memory_guard.hpp"
+#include "volume3.hpp"
+
+namespace lattice::core::detail {
+
+namespace {
+
+class Reference3Exec final : public BackendExec {
+ public:
+  Reference3Exec(const LatticeEngine::Config& config,
+                 fault::FaultInjector* injector)
+      : BackendExec("reference3", config.pipeline_depth),
+        extent_(extent3_of(config)),
+        boundary_(lgca3d::to_boundary3(config.boundary)) {
+    if (injector != nullptr) guard_.emplace(*injector);
+  }
+
+  void prepare(const lgca::SiteLattice& state) override { (void)state; }
+
+  void run_pass(lgca::SiteLattice& state, std::int64_t chunk,
+                std::int64_t generation) override {
+    if (guard_) {
+      // Guarded: one generation at a time, so each fault lands (and is
+      // audited) in the same generation that would read it on the
+      // bit-plane backend — the two fault runs stay like-for-like. The
+      // site guard keys its draws by global flat row z·ny + y, the
+      // same coordinates the 3-D plane guard uses.
+      guard_->run_begin(state);
+      for (std::int64_t g = 0; g < chunk; ++g) {
+        guard_->inject_and_audit(state, generation + g);
+        reference_run3(state, extent_, boundary_, 1, generation + g);
+        guard_->record(state);
+      }
+    } else {
+      reference_run3(state, extent_, boundary_, chunk, generation);
+    }
+    stats_.site_updates += extent_.volume() * chunk;
+  }
+
+  bool supports_fault_plan(
+      const fault::FaultPlan& plan) const noexcept override {
+    // Same subset as the 2-D reference executor: site space mirrors
+    // the in-lattice plane sources; guard words and the parity shadow
+    // only exist in the bit-plane coding.
+    return !plan.arms_machine_memory() && plan.halo_flip_rate == 0.0 &&
+           !plan.parity_plane;
+  }
+
+  bool try_degrade() override {
+    if (guard_ && guard_->injector()->has_stuck_planes()) {
+      guard_->injector()->disable_stuck_planes();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  lgca3d::Extent3 extent_;
+  lgca3d::Boundary3 boundary_;
+  std::optional<fault::SiteMemoryGuard> guard_;
+};
+
+}  // namespace
+
+std::unique_ptr<BackendExec> make_reference3_exec(
+    const LatticeEngine::Config& config, const lgca::Rule& rule,
+    fault::FaultInjector* injector) {
+  (void)rule;
+  LATTICE_REQUIRE(config.custom_rule == nullptr,
+                  "the 3-D backends run the cubic gas only; custom "
+                  "rules have no 3-D form");
+  return std::make_unique<Reference3Exec>(config, injector);
+}
+
+}  // namespace lattice::core::detail

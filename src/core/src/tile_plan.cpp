@@ -24,6 +24,10 @@ std::int64_t plane_row_bytes(Extent extent) {
 
 std::int64_t byte_row_bytes(Extent extent) { return extent.width; }
 
+std::int64_t plane_slab_bytes(lgca3d::Extent3 extent) {
+  return extent.ny * plane_row_bytes({extent.nx, extent.ny});
+}
+
 TilePlan plan_temporal_tiles(Extent extent, lgca::Boundary boundary,
                              std::int64_t row_bytes,
                              std::int64_t requested_depth,
@@ -78,6 +82,23 @@ TilePlan plan_temporal_tiles(Extent extent, lgca::Boundary boundary,
     if (rows < 8 * depth) continue;
     if (resolve(depth)) break;
   }
+  return plan;
+}
+
+TilePlan plan_temporal_tiles3(lgca3d::Extent3 extent,
+                              lgca3d::Boundary3 boundary,
+                              std::int64_t requested_depth,
+                              std::int64_t cache_bytes) {
+  // The 2-D planner with rows promoted to z-plane slabs: a {nx, nz}
+  // "lattice" whose row footprint is the whole slab reproduces exactly
+  // the feasibility predicate the 3-D tiled driver enforces (>= 2
+  // tiles over nz; Null scratch slab no deeper than nz).
+  TilePlan plan = plan_temporal_tiles({extent.nx, extent.nz},
+                                      lgca3d::to_boundary2(boundary),
+                                      plane_slab_bytes(extent),
+                                      requested_depth, cache_bytes);
+  plan.updates_per_io_ceiling =
+      pebble::updates_per_io_upper(3, static_cast<double>(plan.cache_bytes));
   return plan;
 }
 

@@ -1,0 +1,26 @@
+#include "volume3.hpp"
+
+#include <cstring>
+
+#include "lattice/common/error.hpp"
+
+namespace lattice::core::detail {
+
+lgca3d::Extent3 extent3_of(const LatticeEngine::Config& config) {
+  return {config.extent.width, config.extent.height, config.depth};
+}
+
+void reference_run3(lgca::SiteLattice& state, lgca3d::Extent3 extent,
+                    lgca3d::Boundary3 boundary, std::int64_t generations,
+                    std::int64_t t0) {
+  LATTICE_REQUIRE(state.extent() == lgca3d::flat_extent(extent),
+                  "flat state does not match the 3-D extent");
+  lgca3d::Lattice3 volume(extent, boundary);
+  static_assert(sizeof(lgca::Site) == sizeof(lgca3d::Site),
+                "the flat view assumes identical site encodings");
+  std::memcpy(volume.data(), state.grid().data(), state.site_count());
+  lgca3d::reference_run(volume, generations, t0);
+  std::memcpy(state.grid().data(), volume.data(), state.site_count());
+}
+
+}  // namespace lattice::core::detail

@@ -63,8 +63,8 @@ class PlaneMemoryGuard final : public lgca::PlaneRunHooks {
   // concurrently from the run's row bands on disjoint row ranges; all
   // guard state is per-row, and counter updates go through the
   // injector's thread-safe note_*/report_* methods.
-  void run_begin(lgca::PlaneLattice& lat, const lgca::PlaneKernel& kernel,
-                 std::int64_t t0) override;
+  void run_begin(lgca::PlaneLattice& lat, std::uint32_t written_planes,
+                 std::uint32_t halo_planes, std::int64_t t0) override;
   void before_rows(lgca::PlaneLattice& cur, std::int64_t t, std::int64_t y0,
                    std::int64_t y1) override;
   void after_rows(const lgca::PlaneLattice& next, std::int64_t t,

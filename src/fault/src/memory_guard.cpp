@@ -9,11 +9,12 @@ namespace lattice::fault {
 using lgca::PlaneLattice;
 
 void PlaneMemoryGuard::run_begin(PlaneLattice& lat,
-                                 const lgca::PlaneKernel& kernel,
+                                 std::uint32_t written_planes,
+                                 std::uint32_t halo_planes,
                                  std::int64_t /*t0*/) {
   ops_ = &lgca::plane_span_ops(lgca::plane_simd_active());
-  halo_mask_ = kernel.halo_planes();
-  written_mask_ = kernel.written_planes();
+  halo_mask_ = halo_planes;
+  written_mask_ = written_planes;
   n_halo_ = 0;
   for (int p = 0; p < PlaneLattice::kPlanes; ++p) {
     if (((halo_mask_ >> p) & 1u) != 0) halo_planes_[n_halo_++] = p;

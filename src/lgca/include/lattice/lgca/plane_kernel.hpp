@@ -165,9 +165,13 @@ class PlaneRunHooks {
   virtual ~PlaneRunHooks() = default;
 
   /// Once per run, serially, after static planes are primed and the
-  /// generation-t0 shift halo is filled, before any update.
-  virtual void run_begin(PlaneLattice& lat, const PlaneKernel& kernel,
-                         std::int64_t t0) = 0;
+  /// generation-t0 shift halo is filled, before any update. The masks
+  /// are the running kernel's written_planes()/halo_planes() — passed
+  /// as plain masks rather than a kernel reference so the same hooks
+  /// serve every plane-coded runner (the 3-D kernel included), which
+  /// all share the PlaneLattice storage contract.
+  virtual void run_begin(PlaneLattice& lat, std::uint32_t written_planes,
+                         std::uint32_t halo_planes, std::int64_t t0) = 0;
 
   /// Per band, per generation, before update_rows gathers from rows
   /// [y0, y1) of the generation-t source `cur`. May mutate those rows

@@ -240,7 +240,9 @@ void plane_gas_run(PlaneLattice& lat, const PlaneKernel& kernel,
   // generation's halo is written by update_rows itself, band-locally.
   kernel.prime_static_planes(lat, next);
   lat.prepare_shift_halo(kernel.halo_planes(), 0, e.height);
-  if (hooks != nullptr) hooks->run_begin(lat, kernel, t0);
+  if (hooks != nullptr) {
+    hooks->run_begin(lat, kernel.written_planes(), kernel.halo_planes(), t0);
+  }
   if (bands == 1) {
     // Inline path: no pool traffic at all. This is also where the band
     // planner lands whenever the per-generation work is below the grain

@@ -202,7 +202,9 @@ void plane_gas_run_tiled(PlaneLattice& lat, const PlaneKernel& kernel,
   PlaneLattice next(e, lat.boundary());
   kernel.prime_static_planes(lat, next);
   lat.prepare_shift_halo(kernel.halo_planes(), 0, e.height);
-  if (hooks != nullptr) hooks->run_begin(lat, kernel, t0);
+  if (hooks != nullptr) {
+    hooks->run_begin(lat, kernel.written_planes(), kernel.halo_planes(), t0);
+  }
 
   if (lanes <= 1) {
     PlaneLattice s0(scratch_extent, lat.boundary());

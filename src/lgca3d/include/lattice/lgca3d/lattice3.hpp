@@ -22,6 +22,22 @@ struct Extent3 {
   }
 };
 
+/// Largest per-axis extent any 3-D container accepts — the same bound
+/// checkpoint headers enforce, so a lattice that can be built can also
+/// be serialized.
+inline constexpr std::int64_t kMaxSide3 = std::int64_t{1} << 24;
+/// Largest accepted nx*ny*nz. Far above anything that fits in memory,
+/// but small enough that volume() and every byte-size computation
+/// derived from it stay clear of int64 overflow.
+inline constexpr std::int64_t kMaxSites3 = std::int64_t{1} << 42;
+
+/// Throws lattice::Error unless 0 < nx,ny,nz <= kMaxSide3 and the
+/// volume is <= kMaxSites3 (checked without overflowing). Every 3-D
+/// container validates through this, so a hostile extent — negative,
+/// zero, or overflow-prone — fails with a typed error before any
+/// allocation is attempted.
+void validate_extent3(Extent3 extent);
+
 enum class Boundary3 { Null, Periodic };
 
 class Lattice3 {
@@ -44,6 +60,12 @@ class Lattice3 {
   Site at(Vec3 c) const { return data_[index(c)]; }
   Site& operator[](std::size_t i) { return data_[i]; }
   Site operator[](std::size_t i) const { return data_[i]; }
+
+  /// Raw raster storage ((z*ny + y)*nx + x) — byte-compatible with a
+  /// 2-D SiteLattice of extent {nx, ny*nz}, which is how the engine
+  /// carries 3-D state through its dimension-blind layers.
+  Site* data() noexcept { return data_.data(); }
+  const Site* data() const noexcept { return data_.data(); }
 
   friend bool operator==(const Lattice3& a, const Lattice3& b) {
     return a.boundary_ == b.boundary_ && a.extent_ == b.extent_ &&

@@ -11,12 +11,22 @@ constexpr std::int64_t wrap3(std::int64_t v, std::int64_t m) noexcept {
 }
 }  // namespace
 
-Lattice3::Lattice3(Extent3 extent, Boundary3 boundary)
-    : extent_(extent),
-      boundary_(boundary),
-      data_(static_cast<std::size_t>(extent.volume()), 0) {
+void validate_extent3(Extent3 extent) {
   LATTICE_REQUIRE(extent.nx > 0 && extent.ny > 0 && extent.nz > 0,
-                  "Lattice3 extent must be positive");
+                  "Extent3 sides must be positive");
+  LATTICE_REQUIRE(extent.nx <= kMaxSide3 && extent.ny <= kMaxSide3 &&
+                      extent.nz <= kMaxSide3,
+                  "Extent3 side exceeds kMaxSide3");
+  // Overflow-safe volume bound: divide instead of multiply.
+  LATTICE_REQUIRE(extent.ny <= kMaxSites3 / extent.nx &&
+                      extent.nz <= kMaxSites3 / (extent.nx * extent.ny),
+                  "Extent3 volume exceeds kMaxSites3");
+}
+
+Lattice3::Lattice3(Extent3 extent, Boundary3 boundary)
+    : extent_(extent), boundary_(boundary) {
+  validate_extent3(extent);
+  data_.assign(static_cast<std::size_t>(extent.volume()), 0);
 }
 
 Site Lattice3::get(Vec3 c) const noexcept {

@@ -104,6 +104,8 @@ struct SessionInfo {
   std::int64_t pending_generations = 0;
   Priority priority = Priority::Normal;
   Extent extent{0, 0};
+  /// z extent (nz) of a 3-D session; 1 for every 2-D backend.
+  std::int64_t depth = 1;
   core::Backend backend = core::Backend::Reference;
   std::int64_t evictions = 0;
   std::int64_t restores = 0;

@@ -1,9 +1,11 @@
 #include "lattice/serve/protocol.hpp"
 
+#include <cstring>
 #include <filesystem>
 #include <utility>
 
 #include "lattice/lgca/init.hpp"
+#include "lattice/lgca3d/lattice3.hpp"
 #include "lattice/obs/json.hpp"
 #include "lattice/serve/json_parse.hpp"
 
@@ -85,8 +87,11 @@ core::Backend parse_backend(std::string_view s) {
   if (s == "wsa") return core::Backend::Wsa;
   if (s == "spa") return core::Backend::Spa;
   if (s == "wsa_e") return core::Backend::WsaE;
+  if (s == "reference3") return core::Backend::Reference3;
+  if (s == "bitplane3") return core::Backend::BitPlane3;
   throw BadRequest("unknown backend '" + std::string(s) +
-                   "' (reference|bitplane|wsa|spa|wsa_e)");
+                   "' (reference|bitplane|wsa|spa|wsa_e|reference3|"
+                   "bitplane3)");
 }
 
 Priority parse_priority(std::string_view s) {
@@ -175,6 +180,10 @@ std::string ServeProtocol::dispatch(std::string_view frame) {
     cfg.backend = parse_backend(req.find("backend") != nullptr
                                     ? req.find("backend")->string_or("")
                                     : "reference");
+    // The wire name "depth" is taken by pipeline_depth, so the z
+    // extent of a 3-D session rides as "nz" (must stay 1 for the 2-D
+    // backends — the engine rejects the mismatch).
+    cfg.depth = int_field(req, "nz", 1, 1, limits_.max_side);
     const std::string_view boundary =
         req.find("boundary") != nullptr ? req.find("boundary")->string_or("")
                                         : "null";
@@ -211,7 +220,24 @@ std::string ServeProtocol::dispatch(std::string_view frame) {
         static_cast<std::uint64_t>(int_field(req, "seed", 1, 0,
                                              std::int64_t{1} << 62));
     SessionManager::InitFn init_fn;
-    if (init == "random") {
+    if (core::backend_is_3d(cfg.backend)) {
+      // 3-D sessions fill through the cubic gas's own initializer; the
+      // flat engine state is the Lattice3 raster, so one memcpy lands
+      // the volume.
+      if (init == "random") {
+        const lgca3d::Extent3 e3{cfg.extent.width, cfg.extent.height,
+                                 cfg.depth};
+        init_fn = [density, seed, e3](lgca::SiteLattice& state,
+                                      const lgca::GasModel&) {
+          lgca3d::Lattice3 volume(e3, lgca3d::Boundary3::Null);
+          lgca3d::fill_random(volume, density, seed);
+          std::memcpy(state.grid().data(), volume.data(),
+                      state.site_count());
+        };
+      } else if (init != "empty") {
+        throw BadRequest("unknown 3-D init (empty|random)");
+      }
+    } else if (init == "random") {
       init_fn = [density, seed](lgca::SiteLattice& state,
                                 const lgca::GasModel& model) {
         lgca::fill_random(state, model, density, seed, 0.1);
@@ -271,6 +297,7 @@ std::string ServeProtocol::dispatch(std::string_view frame) {
           .field("priority", priority_name(info.priority))
           .field("width", info.extent.width)
           .field("height", info.extent.height)
+          .field("nz", info.depth)
           .field("evictions", info.evictions)
           .field("restores", info.restores)
           .field("quanta", info.quanta)

@@ -357,7 +357,8 @@ void SessionManager::worker_loop() {
     ++s->quanta;
     ++stats_.quanta;
     stats_.generations += grant;
-    stats_.site_updates += grant * s->engine_config.extent.area();
+    stats_.site_updates +=
+        grant * s->engine_config.extent.area() * s->engine_config.depth;
     obs::count(ServeObs::get().quanta, 1);
     obs::count(ServeObs::get().generations, grant);
     obs::record(ServeObs::get().quantum_ns, t1 - t0);
@@ -420,13 +421,15 @@ SessionInfo SessionManager::query(SessionId id) const {
   info.pending_generations = s.pending;
   info.priority = s.opts.priority;
   info.extent = s.engine_config.extent;
+  info.depth = s.engine_config.depth;
   info.backend = s.engine_config.backend;
   info.evictions = s.evictions;
   info.restores = s.restores;
   info.quanta = s.quanta;
   info.busy_seconds = static_cast<double>(s.busy_ns) * 1e-9;
   const double updates = static_cast<double>(s.committed) *
-                         static_cast<double>(s.engine_config.extent.area());
+                         static_cast<double>(s.engine_config.extent.area()) *
+                         static_cast<double>(s.engine_config.depth);
   info.sites_per_sec =
       info.busy_seconds > 0 ? updates / info.busy_seconds : 0.0;
   return info;

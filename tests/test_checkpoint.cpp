@@ -263,6 +263,97 @@ TEST(CheckpointIo, RejectsBadMagicVersionAndGeometryBeforeAllocation) {
   }
 }
 
+// ---- the v2 depth field and v1 read-compatibility ----
+
+TEST(CheckpointIo, V2DepthFieldRoundTrips) {
+  EngineCheckpoint ckpt;
+  ckpt.state = lgca::SiteLattice({8, 12}, lgca::Boundary::Periodic);
+  for (std::size_t i = 0; i < ckpt.state.site_count(); ++i) {
+    ckpt.state[i] = static_cast<lgca::Site>((i * 37) & 0x7F);
+  }
+  ckpt.generation = 7;
+  ckpt.depth = 3;  // the flat {8, 12} view is the volume {8, 4, 3}
+  std::stringstream buf;
+  save_checkpoint(ckpt, buf);
+  const EngineCheckpoint loaded = load_checkpoint(buf);
+  EXPECT_EQ(loaded.depth, 3);
+  EXPECT_EQ(loaded.generation, 7);
+  EXPECT_TRUE(loaded.state == ckpt.state)
+      << "the flat byte view must survive the factorized header";
+}
+
+TEST(CheckpointIo, SaveRejectsDepthThatDoesNotDivideTheHeight) {
+  EngineCheckpoint ckpt;
+  ckpt.state = lgca::SiteLattice({8, 12}, lgca::Boundary::Null);
+  ckpt.depth = 5;  // 12 % 5 != 0: no volume factors this way
+  std::stringstream buf;
+  EXPECT_THROW(save_checkpoint(ckpt, buf), Error);
+}
+
+std::string legacy_v1_image(std::int64_t width, std::int64_t height,
+                            unsigned char boundary, std::int64_t generation,
+                            const std::string& payload) {
+  // Hand-assembled v1 bytes (pre-depth format), exactly as the v1
+  // writer emitted them: magic, version 1, {width, height}, boundary,
+  // generation, payload, FNV-1a-64 trailer over everything before it.
+  std::string img;
+  const auto u32 = [&img](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) img.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  const auto u64 = [&img](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) img.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  u32(0x504B434Cu);
+  u32(1);
+  u64(static_cast<std::uint64_t>(width));
+  u64(static_cast<std::uint64_t>(height));
+  img.push_back(static_cast<char>(boundary));
+  u64(static_cast<std::uint64_t>(generation));
+  img += payload;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const unsigned char c : img) h = (h ^ c) * 0x100000001b3ull;
+  u64(h);
+  return img;
+}
+
+TEST(CheckpointIo, ReadsLegacyV1ImagesAsDepthOne) {
+  std::string payload(8 * 4, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 7) & 0x7F);
+  }
+  std::istringstream in(legacy_v1_image(8, 4, 1, 5, payload));
+  const EngineCheckpoint loaded = load_checkpoint(in);
+  EXPECT_EQ(loaded.depth, 1) << "a pre-depth image is a planar lattice";
+  EXPECT_EQ(loaded.generation, 5);
+  EXPECT_EQ(loaded.state.extent().width, 8);
+  EXPECT_EQ(loaded.state.extent().height, 4);
+  EXPECT_EQ(loaded.state.boundary(), lgca::Boundary::Periodic);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(loaded.state[i], static_cast<lgca::Site>(payload[i]));
+  }
+}
+
+TEST(CheckpointIo, RejectsCorruptLegacyV1Images) {
+  const std::string image = legacy_v1_image(8, 4, 0, 5, std::string(32, 'x'));
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    std::string bad = image;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    std::istringstream in(bad);
+    EXPECT_THROW(load_checkpoint(in), CheckpointError)
+        << "v1 flip at byte " << i << " must be rejected";
+  }
+}
+
+TEST(CheckpointIo, RejectsDepthGeometryBombBeforeAllocation) {
+  // A corrupted depth field (bytes 24..32 of a v2 image) must hit the
+  // sanity bound, not become a giant height·depth allocation.
+  const std::string image = serialized_checkpoint();
+  std::string bad = image;
+  for (std::size_t i = 24; i < 32; ++i) bad[i] = static_cast<char>(0xFF);
+  std::istringstream in(bad);
+  EXPECT_THROW(load_checkpoint(in), CheckpointError);
+}
+
 TEST(Checkpoint, SnapshotIsIsolatedFromLaterEvolution) {
   LatticeEngine e(cfg(Backend::Reference, lgca::Boundary::Null));
   seed(e);

@@ -1,0 +1,215 @@
+// Fault-injection tests for the 3-D backends: the escalation ladder
+// (retry -> interval shrink -> slice remap -> oracle -> corruption)
+// was written against the 2-D engines; these tests pin that the
+// volume executors inherit it unchanged. Faults are keyed by global
+// (x, y, z) so a z-banded run and a whole-volume run inject the same
+// set, which is what makes the Reference3 mirror comparison and the
+// thread-invariance checks meaningful.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "lattice/core/engine.hpp"
+#include "lattice/lgca3d/plane_kernel3.hpp"
+
+namespace lattice::core {
+namespace {
+
+LatticeEngine::Config engine_cfg3(Backend b, const fault::FaultPlan& plan,
+                                  unsigned threads = 1) {
+  LatticeEngine::Config c;
+  c.extent = {24, 12};
+  c.depth = 8;
+  c.boundary = lgca::Boundary::Periodic;
+  c.backend = b;
+  c.threads = threads;
+  c.fault = plan;
+  c.checkpoint_interval = 8;
+  return c;
+}
+
+void seed3(LatticeEngine& e, std::uint64_t seed = 47) {
+  const lgca3d::Extent3 ext{24, 12, 8};
+  lgca3d::Lattice3 vol(ext, lgca3d::Boundary3::Periodic);
+  lgca3d::fill_random(vol, 0.3, seed);
+  ASSERT_EQ(e.state().site_count(), vol.site_count());
+  std::memcpy(e.state().grid().data(), vol.data(), vol.site_count());
+}
+
+// ---- capability matrix ----
+
+TEST(Fault3Capability, BitPlane3TakesPlaneFaultsButNotMachineMemory) {
+  for (const auto arm : {0, 1, 2, 3}) {
+    fault::FaultPlan plan;
+    switch (arm) {
+      case 0: plan.plane_flip_rate = 1e-3; break;
+      case 1: plan.halo_flip_rate = 1e-3; break;
+      case 2: plan.parity_plane = true; break;
+      case 3: plan.stuck_planes.push_back({2, 0, 1, ~0ull}); break;
+    }
+    EXPECT_NO_THROW(LatticeEngine{engine_cfg3(Backend::BitPlane3, plan)})
+        << "arm " << arm;
+  }
+  fault::FaultPlan machine;
+  machine.buffer_flip_rate = 1e-3;
+  EXPECT_THROW(LatticeEngine{engine_cfg3(Backend::BitPlane3, machine)},
+               Error)
+      << "machine-memory faults belong to the pipelined 2-D engines";
+}
+
+TEST(Fault3Capability, Reference3TakesOnlyWhatItCanMirror) {
+  fault::FaultPlan flips;
+  flips.plane_flip_rate = 1e-3;
+  flips.stuck_planes.push_back({2, 0, 1, ~0ull});
+  EXPECT_NO_THROW(LatticeEngine{engine_cfg3(Backend::Reference3, flips)});
+
+  fault::FaultPlan halo;
+  halo.halo_flip_rate = 1e-3;
+  EXPECT_THROW(LatticeEngine{engine_cfg3(Backend::Reference3, halo)}, Error)
+      << "the golden updater has no halo exchange to corrupt";
+
+  fault::FaultPlan parity;
+  parity.parity_plane = true;
+  EXPECT_THROW(LatticeEngine{engine_cfg3(Backend::Reference3, parity)},
+               Error)
+      << "the golden updater carries no parity plane";
+}
+
+// ---- armed but inert ----
+
+TEST(Fault3, ArmedButInertPlanRaisesNoFalsePositives) {
+  // An identity stuck mask (OR 0, AND all-ones) arms the machinery
+  // without perturbing a single bit: every detector must stay quiet.
+  fault::FaultPlan plan;
+  plan.stuck_planes.push_back({3, 5, 0, ~0ull});
+  plan.parity_plane = true;
+  LatticeEngine faulty(engine_cfg3(Backend::BitPlane3, plan));
+  LatticeEngine clean(engine_cfg3(Backend::BitPlane3, {}));
+  seed3(faulty);
+  seed3(clean);
+  faulty.advance(40);
+  clean.advance(40);
+  EXPECT_TRUE(faulty.state() == clean.state());
+  EXPECT_EQ(faulty.fault_counters().detected(), 0);
+  EXPECT_EQ(faulty.report().rollbacks, 0);
+}
+
+// ---- recovery ----
+
+TEST(Fault3, RecoveredRunMatchesFaultFreeGolden) {
+  fault::FaultPlan plan;
+  plan.plane_flip_rate = 1e-3;
+  plan.parity_plane = true;
+  plan.seed = 99;
+  LatticeEngine faulty(engine_cfg3(Backend::BitPlane3, plan));
+  LatticeEngine clean(engine_cfg3(Backend::BitPlane3, {}));
+  seed3(faulty);
+  seed3(clean);
+  faulty.advance(80);
+  clean.advance(80);
+  EXPECT_GT(faulty.fault_counters().injected(), 0)
+      << "the plan must actually fire at this rate and volume";
+  EXPECT_TRUE(faulty.state() == clean.state())
+      << "every injected flip must be detected and rolled back";
+}
+
+TEST(Fault3, ReferenceMirrorTracksBitPlaneRun) {
+  // Same seed, same plan: the deterministic injector must hand both
+  // backends the identical fault set, so counters, rollbacks, and the
+  // final volume all agree.
+  fault::FaultPlan plan;
+  plan.plane_flip_rate = 2e-3;
+  plan.seed = 21;
+  LatticeEngine bp3(engine_cfg3(Backend::BitPlane3, plan));
+  LatticeEngine ref3(engine_cfg3(Backend::Reference3, plan));
+  seed3(bp3);
+  seed3(ref3);
+  bp3.advance(64);
+  ref3.advance(64);
+  const auto snapshot = [](const LatticeEngine& e) {
+    return std::make_tuple(e.fault_counters().injected_plane,
+                           e.report().rollbacks, e.generation());
+  };
+  EXPECT_EQ(snapshot(bp3), snapshot(ref3));
+  EXPECT_GT(bp3.fault_counters().injected_plane, 0);
+  EXPECT_TRUE(bp3.state() == ref3.state());
+}
+
+TEST(Fault3, ThreadCountDoesNotChangeTheFaultSet) {
+  fault::FaultPlan plan;
+  plan.plane_flip_rate = 1e-3;
+  plan.parity_plane = true;
+  plan.seed = 7;
+  LatticeEngine solo(engine_cfg3(Backend::BitPlane3, plan, 1));
+  LatticeEngine team(engine_cfg3(Backend::BitPlane3, plan, 4));
+  seed3(solo);
+  seed3(team);
+  solo.advance(64);
+  team.advance(64);
+  EXPECT_EQ(solo.fault_counters().injected(),
+            team.fault_counters().injected())
+      << "faults key on global (x, y, z), never on the z-band split";
+  EXPECT_EQ(solo.fault_counters().detected(),
+            team.fault_counters().detected());
+  EXPECT_TRUE(solo.state() == team.state());
+}
+
+// ---- escalation ----
+
+TEST(Fault3, StuckPlaneWordEscalatesToDegradeOnBothBackends) {
+  for (const Backend b : {Backend::BitPlane3, Backend::Reference3}) {
+    fault::FaultPlan plan;
+    plan.stuck_planes.push_back({0, 5, ~0ull, ~0ull});
+    LatticeEngine::Config c = engine_cfg3(b, plan);
+    c.max_retries = 1;
+    LatticeEngine e(c);
+    seed3(e);
+    e.advance(32);
+    const PerformanceReport r = e.report();
+    EXPECT_EQ(r.remapped_slices, 1)
+        << "a persistent stuck word must force a remap, backend "
+        << static_cast<int>(b);
+    EXPECT_EQ(r.oracle_passes, 0);
+    EXPECT_EQ(e.generation(), 32) << "degraded, but still progressing";
+  }
+}
+
+TEST(Fault3, CorruptionErrorWhenLadderIsExhausted) {
+  fault::FaultPlan plan;
+  plan.plane_flip_rate = 1.0;
+  plan.parity_plane = true;
+  LatticeEngine::Config c = engine_cfg3(Backend::BitPlane3, plan);
+  c.max_retries = 1;
+  LatticeEngine e(c);
+  seed3(e);
+  try {
+    e.advance(64);
+    FAIL() << "a saturating flip rate must exhaust the ladder";
+  } catch (const fault::CorruptionError& err) {
+    EXPECT_GT(err.counters().injected(), 0);
+    EXPECT_GT(err.counters().detected(), 0);
+  }
+}
+
+TEST(Fault3, SeededSoakMatchesGolden) {
+  fault::FaultPlan plan;
+  plan.plane_flip_rate = 0.03;
+  plan.parity_plane = true;
+  plan.seed = 1234;
+  LatticeEngine::Config c = engine_cfg3(Backend::BitPlane3, plan);
+  c.oracle_fallback = true;
+  LatticeEngine faulty(c);
+  LatticeEngine clean(engine_cfg3(Backend::BitPlane3, {}));
+  seed3(faulty);
+  seed3(clean);
+  faulty.advance(250);
+  clean.advance(250);
+  EXPECT_TRUE(faulty.state() == clean.state())
+      << "with the oracle rung available no corruption may survive";
+  EXPECT_GT(faulty.fault_counters().injected(), 0);
+}
+
+}  // namespace
+}  // namespace lattice::core

@@ -202,6 +202,43 @@ TEST(Lattice3, RejectsEmptyExtent) {
   EXPECT_THROW(Lattice3({0, 4, 4}, Boundary3::Null), Error);
 }
 
+TEST(Extent3Validation, RejectsNonPositiveSides) {
+  EXPECT_THROW(validate_extent3({0, 4, 4}), Error);
+  EXPECT_THROW(validate_extent3({4, 0, 4}), Error);
+  EXPECT_THROW(validate_extent3({4, 4, 0}), Error);
+  EXPECT_THROW(validate_extent3({-1, 4, 4}), Error);
+  EXPECT_THROW(validate_extent3({4, -7, 4}), Error);
+  EXPECT_THROW(validate_extent3({4, 4, -64}), Error);
+  EXPECT_NO_THROW(validate_extent3({1, 1, 1}));
+}
+
+TEST(Extent3Validation, RejectsSidesPastTheBound) {
+  const std::int64_t over = kMaxSide3 + 1;
+  EXPECT_THROW(validate_extent3({over, 1, 1}), Error);
+  EXPECT_THROW(validate_extent3({1, over, 1}), Error);
+  EXPECT_THROW(validate_extent3({1, 1, over}), Error);
+  EXPECT_NO_THROW(validate_extent3({kMaxSide3, 1, 1}));
+}
+
+TEST(Extent3Validation, RejectsOverflowShapedVolumes) {
+  // Each side individually legal; nx·ny·nz overflows int64 twice over.
+  // The divide-form checks must reject without wrapping.
+  const std::int64_t s = std::int64_t{1} << 24;
+  EXPECT_THROW(validate_extent3({s, s, s}), Error);
+  // Volume past kMaxSites3 but nowhere near int64 overflow.
+  const std::int64_t big = std::int64_t{1} << 15;
+  EXPECT_THROW(validate_extent3({big, big, big}), Error);
+  // Exactly at the volume bound: 2^14 · 2^14 · 2^14 = 2^42.
+  const std::int64_t edge = std::int64_t{1} << 14;
+  EXPECT_NO_THROW(validate_extent3({edge, edge, edge}));
+}
+
+TEST(Extent3Validation, Lattice3ConstructorAppliesTheSameGate) {
+  EXPECT_THROW(Lattice3({4, -1, 4}, Boundary3::Null), Error);
+  const std::int64_t big = std::int64_t{1} << 15;
+  EXPECT_THROW(Lattice3({big, big, big}, Boundary3::Periodic), Error);
+}
+
 // ---- pipeline equivalence ----
 
 struct Pipe3Case {

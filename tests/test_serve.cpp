@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "lattice/core/engine.hpp"
 #include "lattice/lgca/init.hpp"
+#include "lattice/lgca3d/lattice3.hpp"
 #include "lattice/serve/json_parse.hpp"
 #include "lattice/serve/protocol.hpp"
 #include "lattice/serve/server.hpp"
@@ -169,6 +171,61 @@ TEST(SessionManager, EvictThenRestoreIsBitExactVsUneventfulTwin) {
     EXPECT_EQ(info.restores, 1);
     EXPECT_TRUE(mgr.state(id) == twin.state())
         << "diverged after evict/restore, backend "
+        << static_cast<int>(backend);
+  }
+}
+
+TEST(SessionManager, Session3dEvictThenRestoreIsBitExact) {
+  // The acceptance claim for the 3-D refactor at this layer: a hosted
+  // cubic-gas session survives spool eviction and restore-on-touch
+  // bit-exactly, because the checkpoint carries the volume's
+  // factorization (depth) alongside the flat byte image.
+  for (const Backend backend : {Backend::Reference3, Backend::BitPlane3}) {
+    SessionManager::Config pool;
+    pool.max_resident = 2;
+    pool.workers = 1;
+    pool.quantum = 4;
+    pool.spool_dir = fresh_dir("evict3d");
+    SessionManager mgr(pool);
+
+    LatticeEngine::Config cfg;
+    cfg.extent = Extent{24, 12};
+    cfg.depth = 6;
+    cfg.backend = backend;
+    const lattice::lgca3d::Extent3 e3{24, 12, 6};
+    const auto init = [e3](lattice::lgca::SiteLattice& state,
+                           const lattice::lgca::GasModel&) {
+      lattice::lgca3d::Lattice3 volume(e3, lattice::lgca3d::Boundary3::Null);
+      lattice::lgca3d::fill_random(volume, 0.3, 99);
+      std::memcpy(state.grid().data(), volume.data(), state.site_count());
+    };
+    const SessionId id = mgr.create(cfg, {}, init);
+
+    LatticeEngine twin(cfg);
+    {
+      lattice::lgca3d::Lattice3 volume(e3, lattice::lgca3d::Boundary3::Null);
+      lattice::lgca3d::fill_random(volume, 0.3, 99);
+      std::memcpy(twin.state().grid().data(), volume.data(),
+                  twin.state().site_count());
+    }
+
+    mgr.step(id, 10);
+    mgr.wait(id);
+    ASSERT_TRUE(mgr.evict(id));
+    EXPECT_FALSE(mgr.query(id).resident);
+
+    mgr.step(id, 7);
+    mgr.wait(id);
+    twin.advance(17);
+
+    const auto info = mgr.query(id);
+    EXPECT_TRUE(info.resident);
+    EXPECT_EQ(info.generation, 17);
+    EXPECT_EQ(info.depth, 6) << "the session must remember its nz";
+    EXPECT_EQ(info.evictions, 1);
+    EXPECT_EQ(info.restores, 1);
+    EXPECT_TRUE(mgr.state(id) == twin.state())
+        << "3-D session diverged after evict/restore, backend "
         << static_cast<int>(backend);
   }
 }
@@ -453,6 +510,54 @@ TEST_F(ProtocolTest, EveryAbuseGetsATypedErrorNeverAThrow) {
   }
   // After all of that the protocol still serves.
   EXPECT_TRUE(response_ok(proto_.handle("{\"op\":\"ping\"}")));
+}
+
+TEST_F(ProtocolTest, Create3dSessionOverTheWire) {
+  // "depth" on the wire is pipeline depth, so nz carries the z extent.
+  const std::string created = proto_.handle(
+      "{\"op\":\"create\",\"width\":16,\"height\":12,\"nz\":4,"
+      "\"backend\":\"bitplane3\",\"init\":\"random\",\"seed\":5}");
+  ASSERT_TRUE(response_ok(created)) << created;
+  const std::int64_t id = parse_json(created).find("id")->integer;
+
+  EXPECT_TRUE(response_ok(
+      proto_.handle("{\"op\":\"step\",\"id\":" + std::to_string(id) +
+                    ",\"generations\":6,\"wait\":true}")));
+  const std::string queried =
+      proto_.handle("{\"op\":\"query\",\"id\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(response_ok(queried)) << queried;
+  const JsonValue v = parse_json(queried);
+  EXPECT_EQ(v.find("generation")->integer, 6);
+  ASSERT_NE(v.find("nz"), nullptr) << "query must report the z extent";
+  EXPECT_EQ(v.find("nz")->integer, 4);
+  EXPECT_TRUE(response_ok(proto_.handle(
+      "{\"op\":\"destroy\",\"id\":" + std::to_string(id) + "}")));
+}
+
+TEST_F(ProtocolTest, Bad3dCreatesGetTypedErrors) {
+  const struct {
+    const char* frame;
+    const char* code;
+  } cases[] = {
+      // flow init has no 3-D analog
+      {"{\"op\":\"create\",\"width\":16,\"height\":12,\"nz\":4,"
+       "\"backend\":\"bitplane3\",\"init\":\"flow\"}",
+       "bad_request"},
+      // nz > 1 on a 2-D backend
+      {"{\"op\":\"create\",\"width\":16,\"height\":12,\"nz\":4,"
+       "\"backend\":\"bitplane\"}",
+       "bad_request"},
+      // nz out of the wire bound
+      {"{\"op\":\"create\",\"width\":16,\"height\":12,\"nz\":0,"
+       "\"backend\":\"bitplane3\"}",
+       "bad_request"},
+  };
+  for (const auto& c : cases) {
+    std::string resp;
+    EXPECT_NO_THROW(resp = proto_.handle(c.frame)) << c.frame;
+    EXPECT_FALSE(response_ok(resp)) << c.frame;
+    EXPECT_EQ(error_code(resp), c.code) << c.frame << " -> " << resp;
+  }
 }
 
 TEST_F(ProtocolTest, CheckpointNameCannotEscapeDirectory) {

@@ -1,8 +1,9 @@
 // lattice_profile — run one engine configuration under full
 // observability and dump what the instrumentation saw.
 //
-//   lattice_profile [--backend reference|wsa|spa|bitplane|wsa_e]
-//                   [--gas hpp|fhp1|fhp2|fhp3] [--side N]
+//   lattice_profile [--backend reference|wsa|spa|bitplane|wsa_e|
+//                              reference3|bitplane3]
+//                   [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--nz N]
 //                   [--generations N] [--threads N] [--depth N]
 //                   [--tile-generations N]
 //                   [--metrics FILE.json] [--trace FILE.json]
@@ -44,6 +45,7 @@
 #include "lattice/fault/fault.hpp"
 #include "lattice/lgca/init.hpp"
 #include "lattice/lgca/plane_simd.hpp"
+#include "lattice/lgca3d/plane_lattice3.hpp"
 #include "lattice/obs/json.hpp"
 #include "lattice/obs/trace.hpp"
 
@@ -55,6 +57,8 @@ struct Options {
   Backend backend = Backend::Reference;
   lattice::lgca::GasKind gas = lattice::lgca::GasKind::FHP_II;
   std::int64_t side = 256;
+  /// z extent for the 3-D backends (the lattice is side × side × nz).
+  std::int64_t nz = 8;
   std::int64_t generations = 64;
   unsigned threads = 1;
   int depth = 4;
@@ -70,8 +74,10 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--backend reference|wsa|spa|bitplane|wsa_e]\n"
-      "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--generations N]\n"
+      "usage: %s [--backend reference|wsa|spa|bitplane|wsa_e|\n"
+      "                     reference3|bitplane3]\n"
+      "          [--gas hpp|fhp1|fhp2|fhp3] [--side N] [--nz N]\n"
+      "          [--generations N]\n"
       "          [--threads N] [--depth N] [--tile-generations N]\n"
       "          [--metrics FILE] [--trace FILE]\n"
       "          [--fault-plan SPEC] [--checkpoint-interval N]\n"
@@ -132,6 +138,8 @@ bool parse_backend(const char* s, Backend* out) {
   else if (std::strcmp(s, "spa") == 0) *out = Backend::Spa;
   else if (std::strcmp(s, "bitplane") == 0) *out = Backend::BitPlane;
   else if (std::strcmp(s, "wsa_e") == 0) *out = Backend::WsaE;
+  else if (std::strcmp(s, "reference3") == 0) *out = Backend::Reference3;
+  else if (std::strcmp(s, "bitplane3") == 0) *out = Backend::BitPlane3;
   else return false;
   return true;
 }
@@ -160,6 +168,8 @@ Options parse_args(int argc, char** argv) {
       if (!parse_gas(next(), &opt.gas)) usage(argv[0]);
     } else if (std::strcmp(a, "--side") == 0) {
       opt.side = std::atoll(next());
+    } else if (std::strcmp(a, "--nz") == 0) {
+      opt.nz = std::atoll(next());
     } else if (std::strcmp(a, "--generations") == 0) {
       opt.generations = std::atoll(next());
     } else if (std::strcmp(a, "--threads") == 0) {
@@ -184,8 +194,8 @@ Options parse_args(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (opt.side < 2 || opt.generations < 0 || opt.threads < 1 ||
-      opt.depth < 1 || opt.tile_generations < 0 ||
+  if (opt.side < 2 || opt.nz < 1 || opt.generations < 0 ||
+      opt.threads < 1 || opt.depth < 1 || opt.tile_generations < 0 ||
       opt.checkpoint_interval < 0 || opt.max_retries < 0) {
     usage(argv[0]);
   }
@@ -199,6 +209,8 @@ const char* backend_name(Backend b) {
     case Backend::Spa: return "spa";
     case Backend::BitPlane: return "bitplane";
     case Backend::WsaE: return "wsa_e";
+    case Backend::Reference3: return "reference3";
+    case Backend::BitPlane3: return "bitplane3";
   }
   return "?";
 }
@@ -213,6 +225,7 @@ int main(int argc, char** argv) {
 
   lattice::core::LatticeEngine::Config config;
   config.extent = {opt.side, opt.side};
+  if (lattice::core::backend_is_3d(opt.backend)) config.depth = opt.nz;
   config.gas = opt.gas;
   config.backend = opt.backend;
   config.pipeline_depth = opt.depth;
@@ -224,8 +237,18 @@ int main(int argc, char** argv) {
   config.max_retries = opt.max_retries;
   config.oracle_fallback = opt.oracle;
   lattice::core::LatticeEngine engine(config);
-  lattice::lgca::fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1,
-                           /*seed=*/42);
+  if (lattice::core::backend_is_3d(opt.backend)) {
+    // The flat engine state is the Lattice3 raster: fill through the
+    // cubic gas's initializer, land with one memcpy.
+    lattice::lgca3d::Lattice3 volume({opt.side, opt.side, opt.nz},
+                                     lattice::lgca3d::Boundary3::Null);
+    lattice::lgca3d::fill_random(volume, 0.3, /*seed=*/42);
+    std::memcpy(engine.state().grid().data(), volume.data(),
+                engine.state().site_count());
+  } else {
+    lattice::lgca::fill_flow(engine.state(), engine.gas_model(), 0.3, 0.1,
+                             /*seed=*/42);
+  }
   try {
     engine.advance(opt.generations);
   } catch (const lattice::fault::CorruptionError& e) {
@@ -244,21 +267,36 @@ int main(int argc, char** argv) {
               backend_name(opt.backend), static_cast<int>(opt.gas),
               static_cast<long long>(opt.side),
               static_cast<long long>(opt.generations), opt.threads);
+  if (lattice::core::backend_is_3d(opt.backend)) {
+    std::printf("nz                %lld\n", static_cast<long long>(opt.nz));
+  }
   if (opt.backend == Backend::BitPlane) {
     std::printf("simd              %s\n",
                 lattice::lgca::to_string(lattice::lgca::plane_simd_active()));
   }
+  if (opt.backend == Backend::BitPlane3) {
+    // The 3-D spans are scalar64-only by design (plane_kernel3.hpp).
+    std::printf("simd              scalar64\n");
+  }
   if (opt.tile_generations != 1 &&
-      (opt.backend == Backend::BitPlane ||
-       opt.backend == Backend::Reference)) {
+      (opt.backend == Backend::BitPlane || opt.backend == Backend::Reference ||
+       opt.backend == Backend::BitPlane3)) {
     // Re-derive the plan the executor resolved (same deterministic
     // model, same inputs) so the profile shows what actually ran.
+    // (tile_rows count z-planes for the 3-D backend.)
     const std::int64_t row_bytes =
         opt.backend == Backend::BitPlane
             ? lattice::core::plane_row_bytes(config.extent)
             : lattice::core::byte_row_bytes(config.extent);
-    const lattice::core::TilePlan plan = lattice::core::plan_temporal_tiles(
-        config.extent, config.boundary, row_bytes, opt.tile_generations);
+    const lattice::core::TilePlan plan =
+        opt.backend == Backend::BitPlane3
+            ? lattice::core::plan_temporal_tiles3(
+                  {opt.side, opt.side, opt.nz},
+                  lattice::lgca3d::to_boundary3(config.boundary),
+                  opt.tile_generations)
+            : lattice::core::plan_temporal_tiles(config.extent,
+                                                 config.boundary, row_bytes,
+                                                 opt.tile_generations);
     if (plan.depth > 1) {
       std::printf("tile_plan         depth=%lld rows=%lld tiles=%lld "
                   "(scratch %lld rows)\n",
